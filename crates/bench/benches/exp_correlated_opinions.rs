@@ -1,0 +1,84 @@
+//! E11 — the *correlated information* challenge (Section 3.1): false-positive
+//! rate of dissimilarity/similarity detection on honest consensus-followers,
+//! with and without per-item residualisation.
+
+use sailing_bench::{banner, header, row};
+use sailing_core::dissim::{detect_all, DissimParams};
+use sailing_datagen::ratings::{RaterBehavior, RatingWorld, RatingWorldConfig};
+
+/// A world of honest raters who all follow item popularity to a varying
+/// degree — zero real dependence, lots of agreement.
+fn follower_world(noise: f64, seed: u64) -> RatingWorld {
+    let raters = (0..10)
+        .map(|_| RaterBehavior::Follower { noise })
+        .collect();
+    RatingWorld::generate(&RatingWorldConfig {
+        num_items: 250,
+        scale_max: 2,
+        raters,
+        coverage: 1.0,
+        seed,
+    })
+}
+
+fn main() {
+    banner(
+        "E11",
+        "False positives on correlated (but independent) opinions",
+    );
+    header(&["noise", "FP rate (resid.)", "FP rate (no resid.)"]);
+    for &noise in &[0.1f64, 0.2, 0.3, 0.5] {
+        let mut fp = [0usize; 2];
+        let mut total = 0usize;
+        const SEEDS: u64 = 2;
+        for seed in 0..SEEDS {
+            let world = follower_world(noise, 1100 + seed);
+            for (i, residualize) in [true, false].into_iter().enumerate() {
+                let params = DissimParams {
+                    residualize,
+                    ..Default::default()
+                };
+                let deps = detect_all(&world.view, &params);
+                fp[i] += deps.iter().filter(|d| d.probability > 0.8).count();
+                if i == 0 {
+                    total += deps.len();
+                }
+            }
+        }
+        println!(
+            "{}",
+            row(&[
+                format!("{noise:.1}"),
+                format!("{:.3}", fp[0] as f64 / total.max(1) as f64),
+                format!("{:.3}", fp[1] as f64 / total.max(1) as f64),
+            ])
+        );
+    }
+
+    // Sanity: with residualisation on, a genuine copier is still caught.
+    let config = RatingWorldConfig {
+        num_items: 250,
+        scale_max: 2,
+        raters: vec![
+            RaterBehavior::Follower { noise: 0.2 },
+            RaterBehavior::Follower { noise: 0.3 },
+            RaterBehavior::Follower { noise: 0.2 },
+            RaterBehavior::Follower { noise: 0.3 },
+            RaterBehavior::Copier { of: 0, rate: 0.9 },
+        ],
+        coverage: 1.0,
+        seed: 77,
+    };
+    let world = RatingWorld::generate(&config);
+    let deps = detect_all(&world.view, &DissimParams::default());
+    let copier = deps
+        .iter()
+        .find(|d| (d.a.0, d.b.0) == (0, 4))
+        .map(|d| d.probability)
+        .unwrap_or(0.0);
+    println!("\nControl: genuine copier pair posterior with residualisation: {copier:.3}");
+    println!("\nPaper expectation (shape): without the correction, agreement driven");
+    println!("by item popularity ('Star Wars fans') floods detection with false");
+    println!("positives; residualisation suppresses them while true dependents");
+    println!("remain detectable via co-deviation.");
+}

@@ -1,0 +1,74 @@
+//! E6 — online query answering (Example 4.1 Queries 1/4 shape): answer
+//! quality vs number of sources probed, for each ordering policy, plus
+//! top-k early termination.
+
+use sailing_bench::{banner, header, row};
+use sailing_core::{AccuCopy, DetectionParams};
+use sailing_datagen::bookstores::{BookCorpus, BookCorpusConfig};
+use sailing_query::topk::top_k_values_for_object;
+use sailing_query::{order_sources, OnlineSession, OrderingPolicy};
+
+fn main() {
+    banner("E6", "Online answering: quality vs sources probed");
+    let corpus = BookCorpus::generate(&BookCorpusConfig::small(606));
+    let linked = corpus.author_claim_store(true);
+    let snapshot = linked.snapshot();
+    let pilot = AccuCopy::with_defaults().run(&snapshot);
+    let deps = pilot.dependence_matrix();
+
+    let checkpoints = [2usize, 5, 10, 20, 40];
+    header(&["policy", "k=2", "k=5", "k=10", "k=20", "k=40"]);
+    for policy in [
+        OrderingPolicy::Random(1),
+        OrderingPolicy::ByCoverage,
+        OrderingPolicy::ByAccuracy,
+        OrderingPolicy::GreedyIndependent,
+    ] {
+        let order = order_sources(&snapshot, &pilot.accuracies, &deps, &policy);
+        let mut session = OnlineSession::new(
+            &snapshot,
+            pilot.accuracies.clone(),
+            deps.clone(),
+            DetectionParams::default(),
+        );
+        let steps = session.run_order(&order[..40.min(order.len())]);
+        let mut cells = vec![policy.name().to_string()];
+        for &k in &checkpoints {
+            let quality = steps
+                .get(k - 1)
+                .map(|s| corpus.score_decisions(&linked, &s.decisions))
+                .unwrap_or(0.0);
+            cells.push(format!("{quality:.3}"));
+        }
+        println!("{}", row(&cells));
+    }
+
+    // Top-k with early termination on a popular book.
+    let popular = (0..snapshot.num_objects())
+        .map(sailing_model::ObjectId::from_index)
+        .max_by_key(|&o| snapshot.support(o))
+        .unwrap();
+    let order = order_sources(
+        &snapshot,
+        &pilot.accuracies,
+        &deps,
+        &OrderingPolicy::GreedyIndependent,
+    );
+    // Weight = accuracy × independence, the dependence-aware support.
+    let reports = pilot.source_reports(&snapshot);
+    let weights: Vec<f64> = reports
+        .iter()
+        .map(|r| r.accuracy * r.mean_independence)
+        .collect();
+    let result = top_k_values_for_object(&snapshot, popular, &order, &weights, 1);
+    println!(
+        "\nTop-1 author list for the best-covered book: stabilised after {} of {} probes (early stop: {})",
+        result.probed,
+        order.len(),
+        result.early_stopped
+    );
+
+    println!("\nPaper expectation (shape): the dependence-aware greedy order reaches");
+    println!("high quality after a handful of probes; random needs many more; top-k");
+    println!("terminates before exhausting the sources.");
+}

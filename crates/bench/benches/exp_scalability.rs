@@ -1,0 +1,91 @@
+//! E7 — scalability (Section 1's "scalable manner"): pairwise detection
+//! wall-time vs number of sources, with and without shared-object pruning,
+//! sequential vs parallel.
+
+use std::time::Instant;
+
+use sailing_bench::{banner, header, row};
+use sailing_core::pairs::{all_pairs_count, candidate_pairs, detect_all};
+use sailing_core::truth::naive_probabilities;
+use sailing_core::DetectionParams;
+use sailing_datagen::world::{SnapshotWorld, SourceBehavior, WorldConfig};
+
+/// A corpus where sources are specialists: each covers a random slice of the
+/// objects, so most pairs share little (the pruning's best case, and the
+/// realistic one per Example 4.1's coverage skew).
+fn specialist_world(num_sources: usize, seed: u64) -> SnapshotWorld {
+    let num_objects = 400;
+    let coverage = 40;
+    let mut sources = Vec::with_capacity(num_sources);
+    for i in 0..num_sources {
+        if i % 10 == 9 {
+            sources.push(SourceBehavior::Copier {
+                original: i - 1,
+                copy_fraction: 1.0,
+                mutation_rate: 0.02,
+                own_accuracy: 0.6,
+                own_coverage: 0,
+            });
+        } else {
+            sources.push(SourceBehavior::Independent {
+                accuracy: 0.5 + 0.4 * ((i % 7) as f64 / 6.0),
+                coverage,
+            });
+        }
+    }
+    SnapshotWorld::generate(&WorldConfig {
+        num_objects,
+        domain_size: 10,
+        sources,
+        seed,
+    })
+}
+
+fn main() {
+    banner("E7", "Detection scalability vs number of sources");
+    header(&[
+        "sources",
+        "all pairs",
+        "candidates",
+        "prune x",
+        "1 thread",
+        "4 threads",
+    ]);
+    for &n in &[100usize, 200, 400, 800] {
+        let world = specialist_world(n, 7);
+        let probs = naive_probabilities(&world.snapshot);
+        let params = DetectionParams::default();
+        let accs = vec![params.initial_accuracy; n];
+
+        let candidates = candidate_pairs(&world.snapshot, params.min_overlap).len();
+        let all = all_pairs_count(n);
+
+        let t = Instant::now();
+        let seq = detect_all(&world.snapshot, &probs, &accs, &params);
+        let t_seq = t.elapsed();
+
+        let par_params = DetectionParams {
+            threads: 4,
+            ..params
+        };
+        let t = Instant::now();
+        let par = detect_all(&world.snapshot, &probs, &accs, &par_params);
+        let t_par = t.elapsed();
+        assert_eq!(seq.len(), par.len());
+
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                all.to_string(),
+                candidates.to_string(),
+                format!("{:.1}", all as f64 / candidates.max(1) as f64),
+                format!("{:.1?}", t_seq),
+                format!("{:.1?}", t_par),
+            ])
+        );
+    }
+    println!("\nPaper expectation (shape): candidate pruning keeps the tested pair");
+    println!("count far below O(S²) under realistic coverage skew, and pairwise");
+    println!("detection parallelises nearly linearly.");
+}

@@ -1,0 +1,89 @@
+//! E2 — Table 2 + Example 2.2: dissimilarity-dependence between movie
+//! reviewers, on the exact fixture and at scale.
+
+use sailing_bench::{banner, header, row};
+use sailing_core::dissim::{detect_all, DissimParams, RatingView};
+use sailing_core::report::DependenceKind;
+use sailing_datagen::ratings::{inverter_world, RatingWorld};
+use sailing_fusion::{aggregate_ratings, RatingAggregate};
+use sailing_model::fixtures;
+
+fn main() {
+    banner("E2", "Table 2 — movie ratings (Example 2.2)");
+    let store = fixtures::table2();
+    let view = RatingView::from_store(&store, 2);
+
+    header(&["movie", "R1", "R2", "R3", "R4"]);
+    for movie in fixtures::MOVIES {
+        let o = store.object_id(movie).unwrap();
+        let mut cells = vec![movie.to_string()];
+        for r in fixtures::REVIEWERS {
+            let sid = store.source_id(r).unwrap();
+            cells.push(
+                fixtures::rating::label(&sailing_model::Value::Rating(
+                    view.rating(sid, o).unwrap(),
+                ))
+                .to_string(),
+            );
+        }
+        println!("{}", row(&cells));
+    }
+
+    println!("\nPairwise dependence posteriors (3 movies — soft, ranking matters):");
+    let mut deps = detect_all(&view, &DissimParams::default());
+    deps.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
+    header(&["pair", "p(dependent)", "kind"]);
+    for dep in &deps {
+        println!(
+            "{}",
+            row(&[
+                format!(
+                    "{}-{}",
+                    store.source_name(dep.a).unwrap(),
+                    store.source_name(dep.b).unwrap()
+                ),
+                format!("{:.3}", dep.probability),
+                format!("{:?}", dep.kind),
+            ])
+        );
+    }
+
+    // Naive vs aware aggregation on the fixture.
+    let agg = aggregate_ratings(&view, &DissimParams::default());
+    println!("\nAggregated rating per movie (0 = Bad .. 2 = Good):");
+    header(&["movie", "naive mean", "aware mean"]);
+    for (i, movie) in fixtures::MOVIES.iter().enumerate() {
+        println!(
+            "{}",
+            row(&[
+                movie.to_string(),
+                format!("{:.2}", agg.naive_mean[i].unwrap()),
+                format!("{:.2}", agg.aware_mean[i].unwrap()),
+            ])
+        );
+    }
+
+    // The same phenomenon at scale, where the posterior saturates.
+    println!("\nScaled world: 300 movies, 8 followers + 1 maverick + 2 inverters:");
+    let world = RatingWorld::generate(&inverter_world(300, 8, 2, 4242));
+    let agg = aggregate_ratings(&world.view, &DissimParams::default());
+    let dissim_pairs = agg
+        .dependences
+        .iter()
+        .filter(|d| d.kind == DependenceKind::Dissimilarity && d.probability > 0.9)
+        .count();
+    let unbiased = world.unbiased_consensus();
+    header(&["metric", "naive", "aware"]);
+    println!(
+        "{}",
+        row(&[
+            "MSE vs unbiased".to_string(),
+            format!("{:.4}", RatingAggregate::mse_against(&agg.naive_mean, &unbiased)),
+            format!("{:.4}", RatingAggregate::mse_against(&agg.aware_mean, &unbiased)),
+        ])
+    );
+    println!("high-confidence dissimilarity pairs: {dissim_pairs}");
+    println!("inverter weights: {:?}", &agg.rater_weights[9..]);
+    println!("\nPaper expectation: R1-R4 is the top dissimilarity pair; the naive");
+    println!("aggregate shifts visibly once R4 is discounted.");
+}

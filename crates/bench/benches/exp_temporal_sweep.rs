@@ -1,0 +1,79 @@
+//! E9 — temporal detection vs copier laziness and observation granularity
+//! (Section 3.2 temporal intuitions + the "incomplete observations"
+//! challenge).
+
+use sailing_bench::{banner, f1, header, pair_quality, row};
+use sailing_core::params::TemporalParams;
+use sailing_core::temporal::detect_all;
+use sailing_datagen::temporal::{table3_style, TemporalWorld};
+
+fn main() {
+    banner("E9", "Temporal detection vs copier lag");
+    header(&["copy lag", "P(S1~S3)", "P(S1~S2)", "est. lag", "F1@0.8"]);
+    for &lag in &[0i64, 1, 2, 4, 6] {
+        let mut p13 = 0.0;
+        let mut p12 = 0.0;
+        let mut est = 0.0;
+        let mut f = 0.0;
+        const SEEDS: u64 = 3;
+        for seed in 0..SEEDS {
+            let (config, _) = table3_style(80, lag, 900 + seed);
+            let world = TemporalWorld::generate(&config);
+            let params = TemporalParams {
+                max_lag: 6,
+                ..Default::default()
+            };
+            let deps = detect_all(&world.history, &params);
+            let find = |a: u32, b: u32| {
+                deps.iter()
+                    .find(|p| (p.a.0, p.b.0) == (a.min(b), a.max(b)))
+                    .map(|p| (p.probability, p.diagnostic))
+                    .unwrap_or((0.0, 0.0))
+            };
+            p13 += find(0, 2).0;
+            p12 += find(0, 1).0;
+            est += find(0, 2).1;
+            let flagged: Vec<_> = deps
+                .iter()
+                .filter(|p| p.probability > 0.8)
+                .map(|p| (p.a, p.b))
+                .collect();
+            let (precision, recall) = pair_quality(&flagged, &world.planted_pairs);
+            f += f1(precision, recall);
+        }
+        println!(
+            "{}",
+            row(&[
+                lag.to_string(),
+                format!("{:.3}", p13 / SEEDS as f64),
+                format!("{:.3}", p12 / SEEDS as f64),
+                format!("{:.1}", est / SEEDS as f64),
+                format!("{:.2}", f / SEEDS as f64),
+            ])
+        );
+    }
+
+    // Incomplete observations: detection when the detector's lag window is
+    // too small for the copier's laziness.
+    println!("\nDetection window vs actual lag (lag fixed at 4):");
+    header(&["max_lag", "P(S1~S3)"]);
+    for &max_lag in &[1i64, 2, 4, 8] {
+        let (config, _) = table3_style(80, 4, 321);
+        let world = TemporalWorld::generate(&config);
+        let params = TemporalParams {
+            max_lag,
+            ..Default::default()
+        };
+        let deps = detect_all(&world.history, &params);
+        let p = deps
+            .iter()
+            .find(|p| (p.a.0, p.b.0) == (0, 2))
+            .map(|p| p.probability)
+            .unwrap_or(0.0);
+        println!("{}", row(&[max_lag.to_string(), format!("{p:.3}")]));
+    }
+    println!("\nPaper expectation (shape): lazy copiers stay detectable as long as");
+    println!("the observation window covers their lag; once the window is too");
+    println!("small the matched updates vanish and detection collapses —");
+    println!("the 'incomplete observations' challenge.");
+}

@@ -1,0 +1,81 @@
+//! P1–P4 — Criterion micro-benchmarks for the hot paths: pairwise copy
+//! detection, the full pipeline, linkage metrics, and snapshot construction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sailing_core::pairs::detect_all;
+use sailing_core::truth::{naive_probabilities, weighted_vote, DependenceMatrix};
+use sailing_core::{AccuCopy, DetectionParams};
+use sailing_datagen::world::{SnapshotWorld, WorldConfig};
+use sailing_linkage::{jaro_winkler, levenshtein, parse_author_list};
+
+fn bench_world() -> SnapshotWorld {
+    SnapshotWorld::generate(&WorldConfig::mixed(300, 12, 4, (0.5, 0.95), 42))
+}
+
+fn p1_pairwise_detection(c: &mut Criterion) {
+    let world = bench_world();
+    let params = DetectionParams::default();
+    let probs = naive_probabilities(&world.snapshot);
+    let accs = vec![params.initial_accuracy; world.snapshot.num_sources()];
+    c.bench_function("p1_detect_all_16_sources_300_objects", |b| {
+        b.iter(|| detect_all(black_box(&world.snapshot), &probs, &accs, &params))
+    });
+}
+
+fn p2_full_pipeline(c: &mut Criterion) {
+    let world = bench_world();
+    c.bench_function("p2_accu_copy_pipeline", |b| {
+        b.iter(|| AccuCopy::with_defaults().run(black_box(&world.snapshot)))
+    });
+}
+
+fn p3_linkage_metrics(c: &mut Criterion) {
+    let pairs = [
+        ("Hector Garcia-Molina", "H. Garcia Molina"),
+        ("Jeffrey D. Ullman", "Jefrey Ullmann"),
+        ("Jennifer Widom", "Widom, Jennifer"),
+    ];
+    c.bench_function("p3_jaro_winkler", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(jaro_winkler(x, y));
+            }
+        })
+    });
+    c.bench_function("p3_levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(levenshtein(x, y));
+            }
+        })
+    });
+    c.bench_function("p3_parse_author_list", |b| {
+        b.iter(|| {
+            black_box(parse_author_list(
+                "Garcia-Molina, Hector; Ullman, Jeffrey; Widom, Jennifer",
+            ))
+        })
+    });
+}
+
+fn p4_vote_round(c: &mut Criterion) {
+    let world = bench_world();
+    let params = DetectionParams::default();
+    let accs = vec![0.8; world.snapshot.num_sources()];
+    c.bench_function("p4_weighted_vote_round", |b| {
+        b.iter_batched(
+            DependenceMatrix::new,
+            |deps| weighted_vote(black_box(&world.snapshot), &accs, &deps, &params),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = p1_pairwise_detection, p2_full_pipeline, p3_linkage_metrics, p4_vote_round
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Every `exp_*` bench target regenerates one of the paper's tables/figures
+//! (see `DESIGN.md`'s experiment index) and prints it to stdout when run
+//! under `cargo bench`.
+
+use sailing_model::SourceId;
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Formats a row of fixed-width cells.
+pub fn row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:<14}"))
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+/// Prints a header + separator.
+pub fn header(cells: &[&str]) {
+    println!("{}", row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(cells.len() * 14));
+}
+
+/// Unordered precision/recall of detected pairs against planted pairs.
+pub fn pair_quality(
+    detected: &[(SourceId, SourceId)],
+    planted: &[(SourceId, SourceId)],
+) -> (f64, f64) {
+    let canon = |&(a, b): &(SourceId, SourceId)| if a < b { (a, b) } else { (b, a) };
+    let planted: std::collections::HashSet<_> = planted.iter().map(canon).collect();
+    let detected: std::collections::HashSet<_> = detected.iter().map(canon).collect();
+    let hits = detected.intersection(&planted).count();
+    let precision = if detected.is_empty() {
+        1.0
+    } else {
+        hits as f64 / detected.len() as f64
+    };
+    let recall = if planted.is_empty() {
+        1.0
+    } else {
+        hits as f64 / planted.len() as f64
+    };
+    (precision, recall)
+}
+
+/// F1 from precision/recall.
+pub fn f1(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_quality_counts() {
+        let planted = vec![(SourceId(0), SourceId(1)), (SourceId(2), SourceId(3))];
+        let detected = vec![(SourceId(1), SourceId(0)), (SourceId(4), SourceId(5))];
+        let (p, r) = pair_quality(&detected, &planted);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_harmonic() {
+        assert_eq!(f1(0.0, 0.0), 0.0);
+        assert!((f1(1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((f1(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

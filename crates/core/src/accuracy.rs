@@ -1,0 +1,111 @@
+//! Source accuracy estimation.
+//!
+//! The paper's iterative scheme alternates "determining true values,
+//! computing accuracy of sources, and discovering dependence" (Section 3.2).
+//! This module is the middle step: given the current belief about which
+//! values are true, a source's accuracy is the expected fraction of its
+//! assertions that are true.
+
+use sailing_model::{SnapshotView, SourceId};
+
+use crate::params::DetectionParams;
+use crate::truth::ValueProbabilities;
+
+/// Estimates every source's accuracy from the current value probabilities.
+///
+/// `accuracy(s) = (Σ P(v true) + λ·a₀) / (count + λ)` over the source's
+/// assertions, with one pseudo-observation at the prior accuracy `a₀`
+/// ([`DetectionParams::initial_accuracy`]) so tiny sources do not collapse to
+/// 0 or 1. Results are clamped into the configured accuracy band.
+pub fn estimate_accuracies(
+    snapshot: &SnapshotView,
+    probs: &ValueProbabilities,
+    params: &DetectionParams,
+) -> Vec<f64> {
+    const PSEUDO: f64 = 1.0;
+    (0..snapshot.num_sources())
+        .map(|idx| {
+            let s = SourceId::from_index(idx);
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (o, v) in snapshot.assertions_of(s) {
+                total += probs.prob(o, v);
+                count += 1;
+            }
+            let smoothed =
+                (total + PSEUDO * params.initial_accuracy) / (count as f64 + PSEUDO);
+            params.clamp_accuracy(smoothed)
+        })
+        .collect()
+}
+
+/// Largest absolute accuracy change between two estimates — the pipeline's
+/// convergence criterion.
+pub fn max_delta(old: &[f64], new: &[f64]) -> f64 {
+    old.iter()
+        .zip(new)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::{weighted_vote, DependenceMatrix};
+    use sailing_model::fixtures;
+
+    #[test]
+    fn accurate_source_scores_higher_once_truth_is_known() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        // Feed the *true* distribution: truth value probability 1.
+        let params = DetectionParams::default();
+        // Build probabilities by voting with oracle-like accuracies: give S1
+        // maximal accuracy so its values dominate.
+        let mut accs = vec![0.5; snap.num_sources()];
+        accs[store.source_id("S1").unwrap().index()] = 0.99;
+        let probs = weighted_vote(&snap, &accs, &DependenceMatrix::new(), &params);
+        let est = estimate_accuracies(&snap, &probs, &params);
+        let s1 = store.source_id("S1").unwrap();
+        let s3 = store.source_id("S3").unwrap();
+        assert!(
+            est[s1.index()] > est[s3.index()],
+            "S1 (all true) must outrank S3 (mostly false): {est:?}"
+        );
+        // Sanity: ground truth agrees S1 is perfect.
+        assert_eq!(truth.accuracy_of(&snap, s1), Some(1.0));
+    }
+
+    #[test]
+    fn estimates_stay_in_band() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let params = DetectionParams::default();
+        let accs = vec![0.8; snap.num_sources()];
+        let probs = weighted_vote(&snap, &accs, &DependenceMatrix::new(), &params);
+        for a in estimate_accuracies(&snap, &probs, &params) {
+            assert!((params.accuracy_floor..=params.accuracy_ceiling).contains(&a));
+        }
+    }
+
+    #[test]
+    fn source_without_assertions_gets_prior() {
+        let snap = sailing_model::SnapshotView::from_triples(2, 1, vec![(
+            SourceId(0),
+            sailing_model::ObjectId(0),
+            sailing_model::ValueId(0),
+        )]);
+        let params = DetectionParams::default();
+        let accs = vec![0.8, 0.8];
+        let probs = weighted_vote(&snap, &accs, &DependenceMatrix::new(), &params);
+        let est = estimate_accuracies(&snap, &probs, &params);
+        assert!((est[1] - params.initial_accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_delta_works() {
+        assert!((max_delta(&[0.5, 0.6], &[0.5, 0.9]) - 0.3).abs() < 1e-12);
+        assert_eq!(max_delta(&[], &[]), 0.0);
+        assert!((max_delta(&[0.2], &[0.1]) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,324 @@
+//! The iterative Bayesian loop: truth ↔ accuracy ↔ dependence.
+//!
+//! "A solution strategy can be devised using Bayesian analysis by iteratively
+//! determining true values, computing accuracy of sources, and discovering
+//! dependence between sources" (Section 3.2). [`AccuCopy`] runs that loop on
+//! a snapshot to a fixpoint; with copy detection disabled
+//! ([`DetectionParams::accu_baseline`]) it degenerates to accuracy-weighted
+//! voting (the dependence-*unaware* comparator used throughout the
+//! experiments).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sailing_model::{ObjectId, SnapshotView, SourceId, ValueId};
+
+use crate::accuracy::{estimate_accuracies, max_delta};
+use crate::pairs::detect_all;
+use crate::params::DetectionParams;
+use crate::partial;
+use crate::report::{Direction, PairDependence, SourceReport};
+use crate::truth::{naive_probabilities, weighted_vote, DependenceMatrix, ValueProbabilities};
+
+/// Dependence-aware truth discovery, run as a converging iteration.
+#[derive(Debug, Clone)]
+pub struct AccuCopy {
+    params: DetectionParams,
+}
+
+/// Everything the pipeline learned about a snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineResult {
+    /// Posterior value distributions per object.
+    pub probabilities: ValueProbabilities,
+    /// Converged accuracy per source (indexed by [`SourceId`]).
+    pub accuracies: Vec<f64>,
+    /// Detected pairwise dependences (candidate pairs only).
+    pub dependences: Vec<PairDependence>,
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Whether the accuracy fixpoint was reached before the iteration cap.
+    pub converged: bool,
+}
+
+impl PipelineResult {
+    /// Hard truth decisions: most probable value per object.
+    pub fn decisions(&self) -> HashMap<ObjectId, ValueId> {
+        self.probabilities.decisions()
+    }
+
+    /// Pairs whose dependence posterior crosses `threshold`, most probable
+    /// first.
+    pub fn dependent_pairs(&self, threshold: f64) -> Vec<&PairDependence> {
+        let mut out: Vec<_> = self
+            .dependences
+            .iter()
+            .filter(|p| p.is_dependent(threshold))
+            .collect();
+        out.sort_by(|x, y| y.probability.partial_cmp(&x.probability).unwrap());
+        out
+    }
+
+    /// The dependence matrix implied by the detected pairs.
+    pub fn dependence_matrix(&self) -> DependenceMatrix {
+        DependenceMatrix::from_pairs(&self.dependences)
+    }
+
+    /// Per-source summary: accuracy, coverage, copier probability and mean
+    /// vote independence.
+    pub fn source_reports(&self, snapshot: &SnapshotView) -> Vec<SourceReport> {
+        let matrix = self.dependence_matrix();
+        (0..snapshot.num_sources())
+            .map(|idx| {
+                let s = SourceId::from_index(idx);
+                let copier_probability = (0..snapshot.num_sources())
+                    .filter(|&j| j != idx)
+                    .map(|j| matrix.dep_on(s, SourceId::from_index(j)))
+                    .fold(0.0, f64::max);
+                let mut independence = 1.0;
+                for j in 0..snapshot.num_sources() {
+                    if j != idx {
+                        independence *= 1.0 - matrix.dep_on(s, SourceId::from_index(j));
+                    }
+                }
+                SourceReport {
+                    source: s,
+                    accuracy: self.accuracies.get(idx).copied().unwrap_or(0.5),
+                    coverage: snapshot.coverage(s),
+                    copier_probability,
+                    mean_independence: independence,
+                }
+            })
+            .collect()
+    }
+}
+
+impl AccuCopy {
+    /// Creates a pipeline after validating the parameters.
+    pub fn new(params: DetectionParams) -> Result<Self, String> {
+        params.validate()?;
+        Ok(Self { params })
+    }
+
+    /// Creates the dependence-aware pipeline with default parameters.
+    pub fn with_defaults() -> Self {
+        Self {
+            params: DetectionParams::default(),
+        }
+    }
+
+    /// Creates the ACCU baseline (accuracy-aware, dependence-unaware).
+    pub fn baseline() -> Self {
+        Self {
+            params: DetectionParams::accu_baseline(),
+        }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &DetectionParams {
+        &self.params
+    }
+
+    /// Runs the loop to convergence on `snapshot`.
+    ///
+    /// Each iteration: (1) vote with the current accuracies and dependence
+    /// matrix; (2) re-detect dependence from the fresh value probabilities;
+    /// (3) re-vote with the fresh dependences so copied votes are damped
+    /// *before* accuracies are re-estimated — otherwise a copier cluster
+    /// inflates its own accuracy in the first round and the iteration can
+    /// lock onto the copied values; (4) re-estimate accuracies and test
+    /// convergence.
+    pub fn run(&self, snapshot: &SnapshotView) -> PipelineResult {
+        let p = &self.params;
+        let mut accuracies = vec![p.initial_accuracy; snapshot.num_sources()];
+        let mut dependences: Vec<PairDependence> = Vec::new();
+        let mut matrix = DependenceMatrix::new();
+        // Bootstrap with naive vote shares: see `truth::naive_probabilities`.
+        let mut probabilities = naive_probabilities(snapshot);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        while iterations < p.max_iterations {
+            iterations += 1;
+            if p.enable_copy_detection {
+                dependences = detect_all(snapshot, &probabilities, &accuracies, p);
+                refine_directions(snapshot, &probabilities, &mut dependences);
+                matrix = DependenceMatrix::from_pairs(&dependences);
+            }
+            probabilities = weighted_vote(snapshot, &accuracies, &matrix, p);
+            let new_accuracies = estimate_accuracies(snapshot, &probabilities, p);
+            let delta = max_delta(&accuracies, &new_accuracies);
+            accuracies = new_accuracies;
+            if delta < p.convergence_epsilon {
+                converged = true;
+                break;
+            }
+            probabilities = weighted_vote(snapshot, &accuracies, &matrix, p);
+        }
+
+        PipelineResult {
+            probabilities,
+            accuracies,
+            dependences,
+            iterations,
+            converged,
+        }
+    }
+}
+
+/// Blends the likelihood-based direction posterior with the
+/// overlap-property hint (Section 3.2, intuition 2).
+fn refine_directions(
+    snapshot: &SnapshotView,
+    probs: &ValueProbabilities,
+    deps: &mut [PairDependence],
+) {
+    for dep in deps {
+        if let Some(hint) = partial::direction_hint(snapshot, dep.a, dep.b, probs) {
+            // Equal-weight blend of the two independent direction signals.
+            dep.prob_a_on_b = 0.5 * dep.prob_a_on_b + 0.5 * hint;
+            dep.direction = if dep.probability < 0.5 || (dep.prob_a_on_b - 0.5).abs() < 0.1 {
+                Direction::Unknown
+            } else if dep.prob_a_on_b > 0.5 {
+                Direction::AOnB
+            } else {
+                Direction::BOnA
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_model::fixtures;
+
+    #[test]
+    fn table1_accu_copy_recovers_all_truths() {
+        // Example 3.1: ignoring the values of the copy cluster lets the
+        // accurate source win everywhere.
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let result = AccuCopy::with_defaults().run(&snap);
+        let precision = truth.decision_precision(&result.decisions()).unwrap();
+        assert_eq!(
+            precision, 1.0,
+            "dependence-aware fusion must be correct on all five researchers; \
+             accuracies={:?}",
+            result.accuracies
+        );
+    }
+
+    #[test]
+    fn table1_baseline_follows_the_copiers() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let result = AccuCopy::baseline().run(&snap);
+        let precision = truth.decision_precision(&result.decisions()).unwrap();
+        assert!(
+            precision < 1.0,
+            "the dependence-unaware baseline should be misled on Table 1"
+        );
+        assert!(result.dependences.is_empty());
+    }
+
+    #[test]
+    fn table1_flags_the_cluster_not_the_independents() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let result = AccuCopy::with_defaults().run(&snap);
+        let s = |n: &str| store.source_id(n).unwrap();
+        let find = |a: SourceId, b: SourceId| {
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            result
+                .dependences
+                .iter()
+                .find(|p| p.a == a && p.b == b)
+                .unwrap()
+                .probability
+        };
+        for (x, y) in [("S3", "S4"), ("S3", "S5"), ("S4", "S5")] {
+            assert!(
+                find(s(x), s(y)) > 0.8,
+                "{x}-{y} should be flagged: {}",
+                find(s(x), s(y))
+            );
+        }
+        assert!(
+            find(s("S1"), s("S2")) < 0.5,
+            "S1-S2 share only true values: {}",
+            find(s("S1"), s("S2"))
+        );
+    }
+
+    #[test]
+    fn table1_accuracy_ordering_is_recovered() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let result = AccuCopy::with_defaults().run(&snap);
+        let a = |n: &str| result.accuracies[store.source_id(n).unwrap().index()];
+        assert!(a("S1") > a("S2"), "S1 perfect vs S2 3/5");
+        assert!(a("S2") > a("S3"), "S2 3/5 vs S3 2/5");
+    }
+
+    #[test]
+    fn pipeline_converges_and_reports() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let result = AccuCopy::with_defaults().run(&snap);
+        assert!(result.converged, "Table 1 should converge quickly");
+        assert!(result.iterations <= 20);
+        let reports = result.source_reports(&snap);
+        assert_eq!(reports.len(), 5);
+        let s4 = store.source_id("S4").unwrap();
+        let s1 = store.source_id("S1").unwrap();
+        let r4 = reports.iter().find(|r| r.source == s4).unwrap();
+        let r1 = reports.iter().find(|r| r.source == s1).unwrap();
+        assert!(r4.copier_probability > r1.copier_probability);
+        assert!(r1.mean_independence > r4.mean_independence);
+        assert_eq!(r1.coverage, 5);
+    }
+
+    #[test]
+    fn dependent_pairs_sorted_and_thresholded() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let result = AccuCopy::with_defaults().run(&snap);
+        let pairs = result.dependent_pairs(0.8);
+        assert!(!pairs.is_empty());
+        assert!(pairs.windows(2).all(|w| w[0].probability >= w[1].probability));
+        assert!(pairs.iter().all(|p| p.probability >= 0.8));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let bad = DetectionParams {
+            copy_rate: 2.0,
+            ..DetectionParams::default()
+        };
+        assert!(AccuCopy::new(bad).is_err());
+        assert!(AccuCopy::new(DetectionParams::default()).is_ok());
+    }
+
+    #[test]
+    fn empty_snapshot_is_fine() {
+        let snap = SnapshotView::from_triples(0, 0, Vec::new());
+        let result = AccuCopy::with_defaults().run(&snap);
+        assert!(result.decisions().is_empty());
+        assert!(result.dependences.is_empty());
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (store, _) = fixtures::table1();
+        let result = AccuCopy::with_defaults().run(&store.snapshot());
+        let json = serde_json::to_string(&result).unwrap();
+        let back: PipelineResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.iterations, result.iterations);
+        for (x, y) in back.accuracies.iter().zip(&result.accuracies) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Dependence-aware truth discovery: weighted voting with independence
+//! damping.
+//!
+//! This is the fusion half of the paper's iterative scheme: "ignore values
+//! that are copied (but not necessarily the values independently provided by
+//! copiers)" (Section 4, Data fusion). Every source votes for the value it
+//! asserts; a source's vote weight grows with its estimated accuracy and
+//! shrinks with the probability that its value was copied from a
+//! higher-ranked supporter of the same value.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sailing_model::{ObjectId, SnapshotView, SourceId, ValueId};
+
+use crate::params::DetectionParams;
+use crate::report::{Direction, PairDependence};
+
+/// Pairwise dependence posteriors in a form optimised for vote damping.
+///
+/// `dep_on(s, t)` answers: with what probability does `s` depend on (copy
+/// from) `t`?
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DependenceMatrix {
+    entries: HashMap<(SourceId, SourceId), f64>,
+}
+
+impl DependenceMatrix {
+    /// An empty matrix: every pair independent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the matrix from pair reports.
+    ///
+    /// For each pair the overall dependence probability is split between the
+    /// two directions according to `prob_a_on_b`; an unresolved
+    /// [`Direction::Unknown`] therefore damps both sides halfway, which is
+    /// the conservative choice.
+    pub fn from_pairs(pairs: &[PairDependence]) -> Self {
+        let mut entries = HashMap::new();
+        for p in pairs {
+            let p = p.clone().canonical();
+            entries.insert((p.a, p.b), p.probability * p.prob_a_on_b);
+            entries.insert((p.b, p.a), p.probability * (1.0 - p.prob_a_on_b));
+        }
+        Self { entries }
+    }
+
+    /// Probability that `s` depends on `t`.
+    #[inline]
+    pub fn dep_on(&self, s: SourceId, t: SourceId) -> f64 {
+        self.entries.get(&(s, t)).copied().unwrap_or(0.0)
+    }
+
+    /// Probability that `s` and `t` are dependent in either direction.
+    #[inline]
+    pub fn dependent(&self, s: SourceId, t: SourceId) -> f64 {
+        (self.dep_on(s, t) + self.dep_on(t, s)).min(1.0)
+    }
+
+    /// Number of directed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no dependence is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Per-object posterior distributions over asserted values.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ValueProbabilities {
+    dist: HashMap<ObjectId, Vec<(ValueId, f64)>>,
+}
+
+impl ValueProbabilities {
+    /// The probability that `value` is the true value of `object`
+    /// (0 if never asserted).
+    pub fn prob(&self, object: ObjectId, value: ValueId) -> f64 {
+        self.dist
+            .get(&object)
+            .and_then(|d| d.iter().find(|&&(v, _)| v == value))
+            .map_or(0.0, |&(_, p)| p)
+    }
+
+    /// The most probable value of `object` with its probability.
+    pub fn best(&self, object: ObjectId) -> Option<(ValueId, f64)> {
+        self.dist.get(&object).and_then(|d| d.first()).copied()
+    }
+
+    /// The full distribution for `object`, descending by probability.
+    pub fn distribution(&self, object: ObjectId) -> &[(ValueId, f64)] {
+        self.dist.get(&object).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Hard decisions: the most probable value per object.
+    pub fn decisions(&self) -> HashMap<ObjectId, ValueId> {
+        self.dist
+            .iter()
+            .filter_map(|(&o, d)| d.first().map(|&(v, _)| (o, v)))
+            .collect()
+    }
+
+    /// Objects with at least one asserted value, ascending.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut o: Vec<_> = self.dist.keys().copied().collect();
+        o.sort();
+        o
+    }
+
+    /// Number of objects with a distribution.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// `true` when no object has a distribution.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+}
+
+/// The vote weight of a source with accuracy `a` against `n` plausible false
+/// values: `ln(n·a / (1−a))`.
+///
+/// This is the standard Bayesian vote count: under the uniform-false-value
+/// model a source asserting `v` multiplies the odds of `v` being true by
+/// `n·a/(1−a)`.
+#[inline]
+pub fn vote_weight(accuracy: f64, n_false: usize, params: &DetectionParams) -> f64 {
+    let a = params.clamp_accuracy(accuracy);
+    ((n_false as f64) * a / (1.0 - a)).ln()
+}
+
+/// Effective number of false values for an object: the configured floor or
+/// the observed value diversity, whichever is larger.
+#[inline]
+pub fn effective_n_false(snapshot: &SnapshotView, object: ObjectId, params: &DetectionParams) -> usize {
+    params
+        .n_false_values
+        .max(snapshot.distinct_values(object).saturating_sub(1))
+        .max(1)
+}
+
+/// One round of dependence-damped weighted voting.
+///
+/// For each object, supporters of each value are processed in descending
+/// accuracy order; a supporter's weight is multiplied by
+/// `Π (1 − c·P(s depends on s'))` over the already-counted supporters `s'` of
+/// the same value — a copied vote contributes almost nothing beyond its
+/// original. Scores are turned into probabilities with the uniform-false
+/// prior: unobserved values share the zero-score mass.
+pub fn weighted_vote(
+    snapshot: &SnapshotView,
+    accuracies: &[f64],
+    deps: &DependenceMatrix,
+    params: &DetectionParams,
+) -> ValueProbabilities {
+    let mut dist = HashMap::new();
+    for idx in 0..snapshot.num_objects() {
+        let object = ObjectId::from_index(idx);
+        let assertions = snapshot.assertions_on(object);
+        if assertions.is_empty() {
+            continue;
+        }
+        let n_false = effective_n_false(snapshot, object, params);
+
+        // Group supporters per value.
+        let mut supporters: HashMap<ValueId, Vec<SourceId>> = HashMap::new();
+        for &(s, v) in assertions {
+            supporters.entry(v).or_default().push(s);
+        }
+
+        let mut scores: Vec<(ValueId, f64)> = Vec::with_capacity(supporters.len());
+        for (&value, sources) in &supporters {
+            let mut ordered: Vec<SourceId> = sources.clone();
+            // Highest-accuracy supporter first: it keeps its full vote and
+            // damps the (likely copied) votes below it.
+            ordered.sort_by(|&x, &y| {
+                let ax = accuracies.get(x.index()).copied().unwrap_or(0.5);
+                let ay = accuracies.get(y.index()).copied().unwrap_or(0.5);
+                ay.partial_cmp(&ax).unwrap().then(x.cmp(&y))
+            });
+            let mut score = 0.0;
+            for (i, &s) in ordered.iter().enumerate() {
+                let a = accuracies.get(s.index()).copied().unwrap_or(0.5);
+                let mut independence = 1.0;
+                for &prev in &ordered[..i] {
+                    // Either direction of dependence means the value was
+                    // provided independently at most once between the two
+                    // sources; the earlier-processed source keeps the
+                    // credit, so the later one is damped by the *total*
+                    // dependence probability. Past the hard threshold the
+                    // copied vote is ignored outright ("we would like to
+                    // ignore values that are copied", Section 4).
+                    let dep = deps.dependent(s, prev);
+                    independence *= if dep >= params.hard_damping_threshold {
+                        0.0
+                    } else {
+                        1.0 - params.copy_rate * dep
+                    };
+                }
+                score += independence * vote_weight(a, n_false, params);
+            }
+            scores.push((value, score));
+        }
+
+        // Softmax over observed values plus the unobserved remainder of the
+        // (1 true + n false) universe at score 0.
+        let unobserved = (n_false + 1).saturating_sub(scores.len()) as f64;
+        let max_score = scores
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0);
+        let mut z = unobserved * (-max_score).exp();
+        for &(_, s) in &scores {
+            z += (s - max_score).exp();
+        }
+        let mut probs: Vec<(ValueId, f64)> = scores
+            .into_iter()
+            .map(|(v, s)| (v, (s - max_score).exp() / z))
+            .collect();
+        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        dist.insert(object, probs);
+    }
+    ValueProbabilities { dist }
+}
+
+/// The least-committal starting belief: each object's naive vote shares.
+///
+/// The iterative pipeline bootstraps from these instead of a weighted-vote
+/// softmax: with no accuracy information yet, treating every source as an
+/// independent high-weight witness makes the majority value look certain and
+/// hides the shared-false-value mass that copy detection feeds on. Vote
+/// shares keep a 3-vs-2 split at 0.6/0.4 — uncertain enough for the shared
+/// minority/majority false values to register as copying evidence.
+pub fn naive_probabilities(snapshot: &SnapshotView) -> ValueProbabilities {
+    let mut dist = HashMap::new();
+    for idx in 0..snapshot.num_objects() {
+        let object = ObjectId::from_index(idx);
+        let counts = snapshot.value_counts(object);
+        let total: usize = counts.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            continue;
+        }
+        dist.insert(
+            object,
+            counts
+                .into_iter()
+                .map(|(v, c)| (v, c as f64 / total as f64))
+                .collect(),
+        );
+    }
+    ValueProbabilities { dist }
+}
+
+/// Convenience: a matrix asserting a single certain dependence `s` on `t`.
+pub fn single_dependence(s: SourceId, t: SourceId) -> DependenceMatrix {
+    DependenceMatrix::from_pairs(&[PairDependence {
+        a: s,
+        b: t,
+        probability: 1.0,
+        prob_a_on_b: 1.0,
+        kind: crate::report::DependenceKind::Similarity,
+        direction: Direction::AOnB,
+        overlap: 0,
+        diagnostic: 0.0,
+    }])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::DependenceKind;
+    use sailing_model::fixtures;
+    use sailing_model::Value;
+
+    fn params() -> DetectionParams {
+        DetectionParams::default()
+    }
+
+    #[test]
+    fn matrix_from_pairs_splits_directions() {
+        let p = PairDependence {
+            a: SourceId(1),
+            b: SourceId(2),
+            probability: 0.8,
+            prob_a_on_b: 0.75,
+            kind: DependenceKind::Similarity,
+            direction: Direction::AOnB,
+            overlap: 4,
+            diagnostic: 0.0,
+        };
+        let m = DependenceMatrix::from_pairs(&[p]);
+        assert!((m.dep_on(SourceId(1), SourceId(2)) - 0.6).abs() < 1e-12);
+        assert!((m.dep_on(SourceId(2), SourceId(1)) - 0.2).abs() < 1e-12);
+        assert!((m.dependent(SourceId(1), SourceId(2)) - 0.8).abs() < 1e-12);
+        assert_eq!(m.dep_on(SourceId(1), SourceId(3)), 0.0);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn vote_weight_monotone_in_accuracy() {
+        let p = params();
+        let w_low = vote_weight(0.6, 10, &p);
+        let w_high = vote_weight(0.9, 10, &p);
+        assert!(w_high > w_low);
+        assert!(vote_weight(0.9, 100, &p) > w_high);
+    }
+
+    #[test]
+    fn weighted_vote_equal_weights_matches_majority() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let accs = vec![0.8; snap.num_sources()];
+        let probs = weighted_vote(&snap, &accs, &DependenceMatrix::new(), &params());
+        let naive = crate::vote::naive_vote(&snap);
+        for (&o, &v) in &naive {
+            // With equal accuracies and no dependence, the weighted winner on
+            // non-tied objects is the majority value.
+            if snap.value_counts(o)[0].1 > snap.value_counts(o).get(1).map_or(0, |x| x.1) {
+                assert_eq!(probs.best(o).unwrap().0, v);
+            }
+        }
+    }
+
+    #[test]
+    fn distributions_are_valid_probabilities() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let accs = vec![0.8; snap.num_sources()];
+        let probs = weighted_vote(&snap, &accs, &DependenceMatrix::new(), &params());
+        for o in probs.objects() {
+            let d = probs.distribution(o);
+            let total: f64 = d.iter().map(|&(_, p)| p).sum();
+            assert!(total <= 1.0 + 1e-9, "mass {total} exceeds 1");
+            assert!(d.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
+            // Sorted descending.
+            assert!(d.windows(2).all(|w| w[0].1 >= w[1].1));
+        }
+    }
+
+    #[test]
+    fn damping_cancels_copied_votes() {
+        // Three sources assert "UW"; S2 and S3 copy S1 with certainty.
+        // One accurate independent source asserts "Google".
+        let mut b = sailing_model::ClaimStoreBuilder::new();
+        b.add("S0", "Halevy", "Google")
+            .add("S1", "Halevy", "UW")
+            .add("S2", "Halevy", "UW")
+            .add("S3", "Halevy", "UW");
+        let store = b.build();
+        let snap = store.snapshot();
+        let s1 = store.source_id("S1").unwrap();
+        let s2 = store.source_id("S2").unwrap();
+        let s3 = store.source_id("S3").unwrap();
+        let mk = |s: SourceId, t: SourceId| PairDependence {
+            a: s,
+            b: t,
+            probability: 1.0,
+            prob_a_on_b: 1.0,
+            kind: DependenceKind::Similarity,
+            direction: Direction::AOnB,
+            overlap: 1,
+            diagnostic: 0.0,
+        };
+        let deps = DependenceMatrix::from_pairs(&[mk(s2, s1), mk(s3, s1)]);
+        // S0 slightly more accurate than the copier cluster's root.
+        let accs = vec![0.9, 0.7, 0.7, 0.7];
+        let p = DetectionParams {
+            copy_rate: 1.0,
+            ..params()
+        };
+        let probs = weighted_vote(&snap, &accs, &deps, &p);
+        let halevy = store.object_id("Halevy").unwrap();
+        let google = store.value_id(&Value::text("Google")).unwrap();
+        assert_eq!(
+            probs.best(halevy).unwrap().0,
+            google,
+            "damped copies should not outvote the accurate independent source"
+        );
+
+        // Without damping, the three UW votes win.
+        let undamped = weighted_vote(&snap, &accs, &DependenceMatrix::new(), &p);
+        let uw = store.value_id(&Value::text("UW")).unwrap();
+        assert_eq!(undamped.best(halevy).unwrap().0, uw);
+    }
+
+    #[test]
+    fn single_dependence_helper() {
+        let m = single_dependence(SourceId(4), SourceId(2));
+        assert!((m.dep_on(SourceId(4), SourceId(2)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.dep_on(SourceId(2), SourceId(4)), 0.0);
+    }
+
+    #[test]
+    fn value_probabilities_accessors() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let accs = vec![0.8; snap.num_sources()];
+        let probs = weighted_vote(&snap, &accs, &DependenceMatrix::new(), &params());
+        assert_eq!(probs.len(), 5);
+        assert!(!probs.is_empty());
+        let o = probs.objects()[0];
+        let (v, p) = probs.best(o).unwrap();
+        assert!(probs.prob(o, v) == p);
+        assert_eq!(probs.prob(o, ValueId(9999)), 0.0);
+        let decisions = probs.decisions();
+        assert_eq!(decisions.len(), 5);
+        assert_eq!(decisions[&o], v);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let snap = SnapshotView::from_triples(0, 0, Vec::new());
+        let probs = weighted_vote(&snap, &[], &DependenceMatrix::new(), &params());
+        assert!(probs.is_empty());
+        assert_eq!(probs.best(ObjectId(0)), None);
+        assert_eq!(probs.distribution(ObjectId(0)), &[]);
+    }
+}

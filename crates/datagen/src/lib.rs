@@ -1,0 +1,41 @@
+//! # sailing-datagen
+//!
+//! Synthetic substrates for everything the paper evaluated on data we do not
+//! have. Each generator is deterministic by seed (ChaCha-based RNG) and
+//! returns the planted ground truth alongside the observable data, so
+//! experiments can score detection and fusion exactly.
+//!
+//! * [`world`] — snapshot worlds: independent sources with chosen accuracy,
+//!   full/partial copiers, coverage skew (Table 1 at scale);
+//! * [`temporal`] — evolving worlds with slow providers and lazy copiers
+//!   (Table 3 at scale);
+//! * [`ratings`] — opinion worlds with item-popularity correlation, copier
+//!   raters and inverter raters (Table 2 at scale);
+//! * [`bookstores`] — the AbeBooks-like corpus calibrated to Example 4.1's
+//!   published statistics (876 bookstores, 1263 books, 24364 listings, 471
+//!   dependent store pairs, messy author lists);
+//! * [`zipf`] — the coverage-skew sampler shared by the generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bookstores;
+pub mod ratings;
+pub mod temporal;
+pub mod world;
+pub mod zipf;
+
+pub use bookstores::{BookCorpus, BookCorpusConfig};
+pub use ratings::{RatingWorld, RatingWorldConfig, RaterBehavior};
+pub use temporal::{TemporalWorld, TemporalWorldConfig};
+pub use world::{SnapshotWorld, SourceBehavior, WorldConfig};
+pub use zipf::Zipf;
+
+/// The workspace-standard seeded RNG.
+pub type Rng = rand_chacha::ChaCha8Rng;
+
+/// Creates the workspace-standard RNG from a seed.
+pub fn rng(seed: u64) -> Rng {
+    use rand::SeedableRng;
+    Rng::seed_from_u64(seed)
+}

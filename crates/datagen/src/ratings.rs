@@ -1,0 +1,368 @@
+//! Rating worlds: Table 2 at arbitrary scale.
+//!
+//! Items carry an intrinsic *consensus* rating (their popularity); raters
+//! are noisy consensus-followers, contrarian-but-independent critics,
+//! copier raters, or inverter raters (the paper's
+//! dissimilarity-dependence). The popularity structure is what makes the
+//! *correlated information* challenge real: two honest raters agree a lot
+//! without any dependence.
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+
+use sailing_core::dissim::RatingView;
+use sailing_model::{ObjectId, SourceId};
+
+use crate::Rng;
+
+/// Behaviour of a synthetic rater.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RaterBehavior {
+    /// Rates each item at its consensus level with probability
+    /// `1 − noise`, otherwise uniformly.
+    Follower {
+        /// Probability of deviating from the item consensus.
+        noise: f64,
+    },
+    /// Rates independently of the consensus (uniform).
+    Maverick,
+    /// Repeats rater `of`'s rating with probability `rate`, else behaves as
+    /// a follower with noise 0.3 (similarity-dependence).
+    Copier {
+        /// Index of the mimicked rater.
+        of: usize,
+        /// Per-item mimic probability.
+        rate: f64,
+    },
+    /// Inverts rater `of`'s rating on the scale with probability `rate`,
+    /// else behaves as a follower with noise 0.3
+    /// (dissimilarity-dependence, Table 2's `R4`).
+    Inverter {
+        /// Index of the inverted rater.
+        of: usize,
+        /// Per-item inversion probability.
+        rate: f64,
+    },
+}
+
+impl RaterBehavior {
+    /// `true` for the two dependent behaviours.
+    pub fn is_dependent(&self) -> bool {
+        matches!(self, RaterBehavior::Copier { .. } | RaterBehavior::Inverter { .. })
+    }
+
+    /// The target rater index for dependent behaviours.
+    pub fn target(&self) -> Option<usize> {
+        match self {
+            RaterBehavior::Copier { of, .. } | RaterBehavior::Inverter { of, .. } => Some(*of),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of a rating world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatingWorldConfig {
+    /// Number of rated items.
+    pub num_items: usize,
+    /// Rating scale `0..=scale_max`.
+    pub scale_max: u8,
+    /// Rater behaviours; dependent raters must reference earlier indices.
+    pub raters: Vec<RaterBehavior>,
+    /// Fraction of items each rater covers (1.0 = rates everything).
+    pub coverage: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RatingWorldConfig {
+    /// Checks structural validity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_items == 0 || self.scale_max == 0 {
+            return Err("degenerate rating world".into());
+        }
+        if !(0.0..=1.0).contains(&self.coverage) || self.coverage == 0.0 {
+            return Err("coverage must be in (0, 1]".into());
+        }
+        for (i, r) in self.raters.iter().enumerate() {
+            match r {
+                RaterBehavior::Follower { noise } => {
+                    if !(0.0..=1.0).contains(noise) {
+                        return Err(format!("rater {i}: noise out of range"));
+                    }
+                }
+                RaterBehavior::Maverick => {}
+                RaterBehavior::Copier { of, rate } | RaterBehavior::Inverter { of, rate } => {
+                    if *of >= i {
+                        return Err(format!("rater {i}: must reference an earlier rater"));
+                    }
+                    if !(0.0..=1.0).contains(rate) {
+                        return Err(format!("rater {i}: rate out of range"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A generated rating world.
+#[derive(Debug, Clone)]
+pub struct RatingWorld {
+    /// The observable ratings.
+    pub view: RatingView,
+    /// Each item's intrinsic consensus rating.
+    pub consensus: Vec<u8>,
+    /// The planted dependent `(dependent, target)` pairs.
+    pub planted_pairs: Vec<(SourceId, SourceId)>,
+    /// The behaviours used.
+    pub behaviors: Vec<RaterBehavior>,
+}
+
+impl RatingWorld {
+    /// Generates the world.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn generate(config: &RatingWorldConfig) -> Self {
+        config.validate().expect("invalid rating world config");
+        let mut rng = crate::rng(config.seed);
+        let levels = config.scale_max as u32 + 1;
+        let consensus: Vec<u8> = (0..config.num_items)
+            .map(|_| rng.gen_range(0..levels) as u8)
+            .collect();
+
+        let mut ratings: Vec<Vec<Option<u8>>> = Vec::with_capacity(config.raters.len());
+        let mut planted_pairs = Vec::new();
+
+        for (i, behavior) in config.raters.iter().enumerate() {
+            let mut mine: Vec<Option<u8>> = vec![None; config.num_items];
+            for item in 0..config.num_items {
+                if rng.gen::<f64>() >= config.coverage {
+                    continue;
+                }
+                let follower = |rng: &mut Rng, noise: f64| {
+                    if rng.gen::<f64>() < noise {
+                        rng.gen_range(0..levels) as u8
+                    } else {
+                        consensus[item]
+                    }
+                };
+                let r = match behavior {
+                    RaterBehavior::Follower { noise } => follower(&mut rng, *noise),
+                    RaterBehavior::Maverick => rng.gen_range(0..levels) as u8,
+                    RaterBehavior::Copier { of, rate } => match ratings[*of][item] {
+                        Some(target) if rng.gen::<f64>() < *rate => target,
+                        _ => follower(&mut rng, 0.3),
+                    },
+                    RaterBehavior::Inverter { of, rate } => match ratings[*of][item] {
+                        Some(target) if rng.gen::<f64>() < *rate => config.scale_max - target,
+                        _ => follower(&mut rng, 0.3),
+                    },
+                };
+                mine[item] = Some(r);
+            }
+            if let Some(of) = behavior.target() {
+                planted_pairs.push((SourceId::from_index(i), SourceId::from_index(of)));
+            }
+            ratings.push(mine);
+        }
+
+        let triples = ratings.iter().enumerate().flat_map(|(s, items)| {
+            items.iter().enumerate().filter_map(move |(o, r)| {
+                r.map(|r| (SourceId::from_index(s), ObjectId::from_index(o), r))
+            })
+        });
+        let view = RatingView::from_triples(
+            config.raters.len(),
+            config.num_items,
+            config.scale_max,
+            triples,
+        );
+        Self {
+            view,
+            consensus,
+            planted_pairs,
+            behaviors: config.raters.clone(),
+        }
+    }
+
+    /// Mean rating each item would get from the *independent* raters only —
+    /// the unbiased consensus experiments compare against.
+    pub fn unbiased_consensus(&self) -> Vec<Option<f64>> {
+        (0..self.view.num_objects())
+            .map(|o| {
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for &(s, r) in self.view.ratings_on(ObjectId::from_index(o)) {
+                    if !self.behaviors[s.index()].is_dependent() {
+                        sum += r as f64;
+                        n += 1;
+                    }
+                }
+                (n > 0).then(|| sum / n as f64)
+            })
+            .collect()
+    }
+}
+
+/// A convenient world: `followers` honest raters, one maverick, plus
+/// `inverters` raters inverting rater 0.
+pub fn inverter_world(
+    num_items: usize,
+    followers: usize,
+    inverters: usize,
+    seed: u64,
+) -> RatingWorldConfig {
+    assert!(followers > 0);
+    let mut raters = Vec::new();
+    for i in 0..followers {
+        raters.push(RaterBehavior::Follower {
+            noise: 0.2 + 0.1 * (i % 3) as f64,
+        });
+    }
+    raters.push(RaterBehavior::Maverick);
+    for _ in 0..inverters {
+        raters.push(RaterBehavior::Inverter { of: 0, rate: 0.9 });
+    }
+    RatingWorldConfig {
+        num_items,
+        scale_max: 2,
+        raters,
+        coverage: 1.0,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_core::dissim::{detect_all, DissimParams};
+    use sailing_core::report::DependenceKind;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = inverter_world(50, 3, 1, 4);
+        let w1 = RatingWorld::generate(&config);
+        let w2 = RatingWorld::generate(&config);
+        for s in 0..w1.view.num_sources() {
+            for o in 0..w1.view.num_objects() {
+                assert_eq!(
+                    w1.view.rating(SourceId::from_index(s), ObjectId::from_index(o)),
+                    w2.view.rating(SourceId::from_index(s), ObjectId::from_index(o))
+                );
+            }
+        }
+        assert_eq!(w1.consensus, w2.consensus);
+    }
+
+    #[test]
+    fn follower_tracks_consensus() {
+        let config = RatingWorldConfig {
+            num_items: 1000,
+            scale_max: 2,
+            raters: vec![RaterBehavior::Follower { noise: 0.1 }],
+            coverage: 1.0,
+            seed: 8,
+        };
+        let w = RatingWorld::generate(&config);
+        let agree = (0..1000)
+            .filter(|&o| {
+                w.view.rating(SourceId(0), ObjectId::from_index(o)) == Some(w.consensus[o])
+            })
+            .count();
+        // noise 0.1 → ~93% agreement (noise picks consensus 1/3 of the time).
+        assert!(agree > 880, "agreement {agree}");
+    }
+
+    #[test]
+    fn inverter_inverts_its_target() {
+        let config = inverter_world(300, 2, 1, 15);
+        let w = RatingWorld::generate(&config);
+        let inverter = SourceId::from_index(3); // 2 followers + 1 maverick
+        let target = SourceId(0);
+        let inverted = w
+            .view
+            .shared_items(target, inverter)
+            .iter()
+            .filter(|&&(_, rt, ri)| ri == 2 - rt)
+            .count();
+        assert!(inverted > 200, "inversions: {inverted}/300");
+        assert_eq!(w.planted_pairs, vec![(inverter, target)]);
+    }
+
+    #[test]
+    fn detector_finds_the_inverter_not_the_followers() {
+        // Eight followers give the residualised consensus a solid reference
+        // pool; the inverter is rater 9 (after the maverick at 8).
+        let config = inverter_world(200, 8, 1, 23);
+        let w = RatingWorld::generate(&config);
+        let deps = detect_all(&w.view, &DissimParams::default());
+        let flagged: Vec<_> = deps.iter().filter(|p| p.probability > 0.9).collect();
+        assert!(
+            flagged
+                .iter()
+                .any(|p| p.kind == DependenceKind::Dissimilarity
+                    && (p.a, p.b) == (SourceId(0), SourceId(9))),
+            "inverter pair must be flagged: {flagged:?}"
+        );
+        // Follower pairs agree via consensus only — not flagged.
+        for p in &flagged {
+            let follower_pair = p.a.index() < 8 && p.b.index() < 8;
+            assert!(!follower_pair, "follower pair falsely flagged: {p:?}");
+        }
+    }
+
+    #[test]
+    fn unbiased_consensus_excludes_dependents() {
+        let config = inverter_world(100, 3, 2, 31);
+        let w = RatingWorld::generate(&config);
+        let unbiased = w.unbiased_consensus();
+        assert_eq!(unbiased.len(), 100);
+        assert!(unbiased.iter().all(Option::is_some));
+        // Unbiased consensus must track the intrinsic consensus closely.
+        let mse: f64 = unbiased
+            .iter()
+            .zip(&w.consensus)
+            .map(|(u, &c)| (u.unwrap() - c as f64).powi(2))
+            .sum::<f64>()
+            / 100.0;
+        assert!(mse < 0.5, "mse {mse}");
+    }
+
+    #[test]
+    fn coverage_thins_ratings() {
+        let config = RatingWorldConfig {
+            num_items: 500,
+            scale_max: 2,
+            raters: vec![RaterBehavior::Follower { noise: 0.2 }],
+            coverage: 0.4,
+            seed: 5,
+        };
+        let w = RatingWorld::generate(&config);
+        let covered = w.view.ratings_of(SourceId(0)).count();
+        assert!(covered > 140 && covered < 260, "covered {covered}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = inverter_world(10, 2, 1, 0);
+        c.coverage = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = inverter_world(10, 2, 1, 0);
+        c.raters[0] = RaterBehavior::Inverter { of: 3, rate: 0.5 };
+        assert!(c.validate().is_err());
+        let mut c = inverter_world(10, 2, 1, 0);
+        c.num_items = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn behavior_helpers() {
+        assert!(RaterBehavior::Copier { of: 0, rate: 0.5 }.is_dependent());
+        assert!(RaterBehavior::Inverter { of: 0, rate: 0.5 }.is_dependent());
+        assert!(!RaterBehavior::Maverick.is_dependent());
+        assert_eq!(RaterBehavior::Copier { of: 2, rate: 0.5 }.target(), Some(2));
+        assert_eq!(RaterBehavior::Follower { noise: 0.1 }.target(), None);
+    }
+}

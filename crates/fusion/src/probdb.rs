@@ -1,0 +1,225 @@
+//! Probabilistic-database output.
+//!
+//! "We can either determine one true value for each object, or identify a
+//! probabilistic distribution of possible values for each object and
+//! generate a probabilistic database" (Section 4). This module materialises
+//! the second option and implements the paper's point about combining
+//! probabilities from multiple sources: "removing the independence
+//! assumption can significantly change the computation of the probabilities
+//! of the answer tuples".
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sailing_core::truth::{DependenceMatrix, ValueProbabilities};
+use sailing_model::{ObjectId, SourceId, ValueId};
+
+/// A per-object distribution over possible values.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProbabilisticDatabase {
+    rows: HashMap<ObjectId, Vec<(ValueId, f64)>>,
+}
+
+impl ProbabilisticDatabase {
+    /// Builds from pipeline value probabilities.
+    pub fn from_probabilities(probs: &ValueProbabilities) -> Self {
+        let rows = probs
+            .objects()
+            .into_iter()
+            .map(|o| (o, probs.distribution(o).to_vec()))
+            .collect();
+        Self { rows }
+    }
+
+    /// Number of objects with a distribution.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The distribution for one object, descending by probability.
+    pub fn distribution(&self, object: ObjectId) -> &[(ValueId, f64)] {
+        self.rows.get(&object).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The probability a specific value is true.
+    pub fn prob(&self, object: ObjectId, value: ValueId) -> f64 {
+        self.distribution(object)
+            .iter()
+            .find(|&&(v, _)| v == value)
+            .map_or(0.0, |&(_, p)| p)
+    }
+
+    /// Objects whose top value has probability at least `threshold` —
+    /// the "confident" part of the database.
+    pub fn confident_objects(&self, threshold: f64) -> Vec<ObjectId> {
+        let mut out: Vec<_> = self
+            .rows
+            .iter()
+            .filter(|(_, d)| d.first().is_some_and(|&(_, p)| p >= threshold))
+            .map(|(&o, _)| o)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Shannon entropy (bits) of one object's distribution, including the
+    /// unassigned remainder mass; higher = more conflicted.
+    pub fn entropy(&self, object: ObjectId) -> f64 {
+        let d = self.distribution(object);
+        let mut h = 0.0;
+        let mut mass = 0.0;
+        for &(_, p) in d {
+            if p > 0.0 {
+                h -= p * p.log2();
+                mass += p;
+            }
+        }
+        let rest = (1.0 - mass).max(0.0);
+        if rest > 1e-12 {
+            h -= rest * rest.log2();
+        }
+        h
+    }
+}
+
+/// Combines per-source answer probabilities assuming **independence**:
+/// `P = 1 − Π (1 − pᵢ)` (the disjoint-probability rule the paper says
+/// current systems use).
+pub fn combine_independent(probs: &[f64]) -> f64 {
+    1.0 - probs.iter().fold(1.0, |acc, &p| acc * (1.0 - p.clamp(0.0, 1.0)))
+}
+
+/// Combines per-source answer probabilities **aware of dependence**: a
+/// source's contribution is damped by the probability it merely copied an
+/// already-counted source, so a cluster of copies contributes barely more
+/// than its original. Sources are processed in descending probability.
+pub fn combine_dependence_aware(
+    probs: &[(SourceId, f64)],
+    deps: &DependenceMatrix,
+    copy_rate: f64,
+) -> f64 {
+    let mut ordered: Vec<(SourceId, f64)> = probs.to_vec();
+    ordered.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut not_answer = 1.0;
+    for (i, &(s, p)) in ordered.iter().enumerate() {
+        let mut independence = 1.0;
+        for &(prev, _) in &ordered[..i] {
+            independence *= 1.0 - copy_rate * deps.dependent(s, prev);
+        }
+        not_answer *= 1.0 - (p.clamp(0.0, 1.0) * independence);
+    }
+    1.0 - not_answer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_core::report::{DependenceKind, Direction, PairDependence};
+    use sailing_core::AccuCopy;
+    use sailing_model::fixtures;
+
+    fn table1_db() -> (sailing_model::ClaimStore, ProbabilisticDatabase) {
+        let (store, _) = fixtures::table1();
+        let result = AccuCopy::with_defaults().run(&store.snapshot());
+        let db = ProbabilisticDatabase::from_probabilities(&result.probabilities);
+        (store, db)
+    }
+
+    #[test]
+    fn distributions_roundtrip() {
+        let (store, db) = table1_db();
+        assert_eq!(db.len(), 5);
+        assert!(!db.is_empty());
+        let dong = store.object_id("Dong").unwrap();
+        let d = db.distribution(dong);
+        assert!(!d.is_empty());
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!(total <= 1.0 + 1e-9);
+        let top = d[0];
+        assert_eq!(db.prob(dong, top.0), top.1);
+        assert_eq!(db.prob(dong, ValueId(9999)), 0.0);
+    }
+
+    #[test]
+    fn confident_objects_thresholding() {
+        let (_, db) = table1_db();
+        let all = db.confident_objects(0.0);
+        assert_eq!(all.len(), 5);
+        let few = db.confident_objects(0.999);
+        assert!(few.len() <= all.len());
+    }
+
+    #[test]
+    fn entropy_orders_conflict() {
+        let (store, db) = table1_db();
+        let bal = store.object_id("Balazinska").unwrap(); // unanimous
+        let dong = store.object_id("Dong").unwrap(); // 3-way conflict
+        assert!(
+            db.entropy(dong) > db.entropy(bal),
+            "dong {} vs balazinska {}",
+            db.entropy(dong),
+            db.entropy(bal)
+        );
+    }
+
+    #[test]
+    fn combine_independent_basics() {
+        assert_eq!(combine_independent(&[]), 0.0);
+        assert!((combine_independent(&[0.5]) - 0.5).abs() < 1e-12);
+        assert!((combine_independent(&[0.5, 0.5]) - 0.75).abs() < 1e-12);
+        assert!((combine_independent(&[1.0, 0.2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependence_aware_combination_discounts_copies() {
+        // Three sources each report the answer with p = 0.6; two of them are
+        // certain copies of the first.
+        let mk = |a: u32, b: u32| PairDependence {
+            a: SourceId(a),
+            b: SourceId(b),
+            probability: 1.0,
+            prob_a_on_b: 0.0,
+            kind: DependenceKind::Similarity,
+            direction: Direction::BOnA,
+            overlap: 10,
+            diagnostic: 0.0,
+        };
+        let deps = DependenceMatrix::from_pairs(&[mk(0, 1), mk(0, 2)]);
+        let probs = [(SourceId(0), 0.6), (SourceId(1), 0.6), (SourceId(2), 0.6)];
+        let independent = combine_independent(&[0.6, 0.6, 0.6]);
+        let aware = combine_dependence_aware(&probs, &deps, 1.0);
+        assert!((independent - 0.936).abs() < 1e-9);
+        assert!(
+            (aware - 0.6).abs() < 1e-9,
+            "copies must contribute nothing: {aware}"
+        );
+        // With no dependence, both rules agree.
+        let no_deps = combine_dependence_aware(&probs, &DependenceMatrix::new(), 1.0);
+        assert!((no_deps - independent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_dependence_partially_discounts() {
+        let mk = |a: u32, b: u32, p: f64| PairDependence {
+            a: SourceId(a),
+            b: SourceId(b),
+            probability: p,
+            prob_a_on_b: 0.0,
+            kind: DependenceKind::Similarity,
+            direction: Direction::BOnA,
+            overlap: 10,
+            diagnostic: 0.0,
+        };
+        let deps = DependenceMatrix::from_pairs(&[mk(0, 1, 0.5)]);
+        let probs = [(SourceId(0), 0.6), (SourceId(1), 0.6)];
+        let aware = combine_dependence_aware(&probs, &deps, 1.0);
+        let independent = combine_independent(&[0.6, 0.6]);
+        assert!(aware > 0.6 && aware < independent);
+    }
+}

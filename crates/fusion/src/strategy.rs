@@ -1,0 +1,133 @@
+//! Conflict-resolution strategies.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use sailing_core::truth::ValueProbabilities;
+use sailing_core::{AccuCopy, DetectionParams, PairDependence};
+use sailing_model::{ObjectId, SnapshotView, ValueId};
+
+/// Which fusion algorithm to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FusionStrategy {
+    /// Majority voting — the paper's inadequate baseline.
+    NaiveVote,
+    /// Accuracy-weighted voting without dependence awareness (ACCU).
+    AccuracyVote,
+    /// The full dependence-aware pipeline (ACCU-COPY).
+    DependenceAware(DetectionParams),
+}
+
+impl FusionStrategy {
+    /// The default dependence-aware strategy.
+    pub fn dependence_aware() -> Self {
+        FusionStrategy::DependenceAware(DetectionParams::default())
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FusionStrategy::NaiveVote => "naive",
+            FusionStrategy::AccuracyVote => "accu",
+            FusionStrategy::DependenceAware(_) => "accu-copy",
+        }
+    }
+}
+
+/// What fusion produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusionOutcome {
+    /// Hard decision per object.
+    pub decisions: HashMap<ObjectId, ValueId>,
+    /// Posterior value distributions (empty for naive voting, which has no
+    /// calibrated probabilities — use [`crate::ProbabilisticDatabase`] for shares).
+    pub probabilities: ValueProbabilities,
+    /// Estimated source accuracies (empty for naive voting).
+    pub accuracies: Vec<f64>,
+    /// Detected dependences (empty unless dependence-aware).
+    pub dependences: Vec<PairDependence>,
+    /// Strategy name, for reporting.
+    pub strategy: String,
+}
+
+/// Runs a fusion strategy over a snapshot.
+pub fn fuse(snapshot: &SnapshotView, strategy: &FusionStrategy) -> FusionOutcome {
+    match strategy {
+        FusionStrategy::NaiveVote => FusionOutcome {
+            decisions: sailing_core::vote::naive_vote(snapshot),
+            probabilities: ValueProbabilities::default(),
+            accuracies: Vec::new(),
+            dependences: Vec::new(),
+            strategy: strategy.name().to_string(),
+        },
+        FusionStrategy::AccuracyVote => {
+            let result = AccuCopy::baseline().run(snapshot);
+            FusionOutcome {
+                decisions: result.decisions(),
+                probabilities: result.probabilities,
+                accuracies: result.accuracies,
+                dependences: Vec::new(),
+                strategy: strategy.name().to_string(),
+            }
+        }
+        FusionStrategy::DependenceAware(params) => {
+            let pipeline = AccuCopy::new(params.clone()).expect("invalid fusion params");
+            let result = pipeline.run(snapshot);
+            FusionOutcome {
+                decisions: result.decisions(),
+                probabilities: result.probabilities,
+                accuracies: result.accuracies,
+                dependences: result.dependences,
+                strategy: strategy.name().to_string(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_model::fixtures;
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(FusionStrategy::NaiveVote.name(), "naive");
+        assert_eq!(FusionStrategy::AccuracyVote.name(), "accu");
+        assert_eq!(FusionStrategy::dependence_aware().name(), "accu-copy");
+    }
+
+    #[test]
+    fn table1_strategy_ladder() {
+        // The paper's headline: naive < dependence-aware on Table 1.
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let naive = fuse(&snap, &FusionStrategy::NaiveVote);
+        let aware = fuse(&snap, &FusionStrategy::dependence_aware());
+        let p_naive = truth.decision_precision(&naive.decisions).unwrap();
+        let p_aware = truth.decision_precision(&aware.decisions).unwrap();
+        assert!((p_naive - 0.4).abs() < 1e-9);
+        assert_eq!(p_aware, 1.0);
+        assert!(!aware.dependences.is_empty());
+        assert!(naive.dependences.is_empty());
+    }
+
+    #[test]
+    fn accu_reports_accuracies_but_no_dependences() {
+        let (store, _) = fixtures::table1();
+        let outcome = fuse(&store.snapshot(), &FusionStrategy::AccuracyVote);
+        assert_eq!(outcome.accuracies.len(), 5);
+        assert!(outcome.dependences.is_empty());
+        assert_eq!(outcome.decisions.len(), 5);
+    }
+
+    #[test]
+    fn outcome_serializes() {
+        let (store, _) = fixtures::table1();
+        let outcome = fuse(&store.snapshot(), &FusionStrategy::dependence_aware());
+        let json = serde_json::to_string(&outcome).unwrap();
+        let back: FusionOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.decisions.len(), outcome.decisions.len());
+        assert_eq!(back.strategy, "accu-copy");
+    }
+}

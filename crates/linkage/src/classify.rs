@@ -1,0 +1,230 @@
+//! Representation-vs-wrong-value classification.
+//!
+//! "A challenge is that the boundary between a wrong value and an
+//! alternative representation is often vague. For example, 'Luna Dong' is an
+//! alternative representation of 'Xin Dong', while 'Xing Dong' is a wrong
+//! value. How can one distinguish between them?" (Section 4).
+//!
+//! [`classify_pair`] combines three signals:
+//!
+//! 1. **formatting**: normalised equality → same representation;
+//! 2. **surface similarity**: high n-gram/edit similarity with *structural*
+//!    agreement (same token count, compatible initials) → alternative
+//!    representation;
+//! 3. **alias evidence**: a caller-provided alias table (e.g. learned from
+//!    co-occurrence across sources) can promote dissimilar strings
+//!    ("Luna" vs "Xin") to alternatives — pure string distance cannot know
+//!    that, which is exactly the paper's point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{levenshtein, ngram_similarity};
+use crate::normalize::normalize;
+
+/// How two value strings relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueRelation {
+    /// Identical up to formatting ("AT&T Research" vs "at&t research").
+    SameRepresentation,
+    /// Different renderings of the same underlying value
+    /// ("Xin Dong" vs "X. Dong", or a known alias like "Luna Dong").
+    AlternativeRepresentation,
+    /// Genuinely different values ("Xin Dong" vs "Xing Dong").
+    DifferentValue,
+}
+
+/// Thresholds for [`classify_pair`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifyParams {
+    /// Minimum full-string similarity for the alternative-representation
+    /// verdict when the token structure agrees.
+    pub alt_similarity: f64,
+    /// Maximum edit distance, per token, still considered a formatting-level
+    /// variation (e.g. "Ullman"/"Ullmann").
+    pub token_edit_tolerance: usize,
+}
+
+impl Default for ClassifyParams {
+    fn default() -> Self {
+        Self {
+            alt_similarity: 0.88,
+            token_edit_tolerance: 1,
+        }
+    }
+}
+
+/// Classifies the relation between two strings, optionally consulting an
+/// alias oracle (`is_alias(a_token, b_token) == true` means the tokens are
+/// known alternative names).
+pub fn classify_pair(
+    a: &str,
+    b: &str,
+    params: &ClassifyParams,
+    is_alias: impl Fn(&str, &str) -> bool,
+) -> ValueRelation {
+    let na = normalize(a);
+    let nb = normalize(b);
+    if na == nb {
+        return ValueRelation::SameRepresentation;
+    }
+    let ta: Vec<&str> = na.split_whitespace().collect();
+    let tb: Vec<&str> = nb.split_whitespace().collect();
+
+    // Token-aligned comparison when structures are compatible.
+    if tokens_compatible(&ta, &tb, params, &is_alias) {
+        return ValueRelation::AlternativeRepresentation;
+    }
+
+    // Reordered tokens: "dong xin" vs "xin dong" are the same tokens in a
+    // different order. Only exact multiset equality counts here — a fuzzy
+    // whole-string fallback would wave "Xing Dong" through.
+    let mut sa = ta.clone();
+    let mut sb = tb.clone();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    if sa == sb {
+        return ValueRelation::AlternativeRepresentation;
+    }
+    // Long single-token variants missed by the aligned pass (hyphenation
+    // differences collapse token counts in odd ways).
+    if ta.len() != tb.len() && ngram_similarity(&na, &nb, 2) >= params.alt_similarity.max(0.92) {
+        return ValueRelation::AlternativeRepresentation;
+    }
+    ValueRelation::DifferentValue
+}
+
+fn tokens_compatible(
+    ta: &[&str],
+    tb: &[&str],
+    params: &ClassifyParams,
+    is_alias: &impl Fn(&str, &str) -> bool,
+) -> bool {
+    if ta.is_empty() || tb.is_empty() {
+        return false;
+    }
+    // Same token count: align positionally.
+    if ta.len() == tb.len() {
+        return ta
+            .iter()
+            .zip(tb)
+            .all(|(x, y)| token_variant(x, y, params, is_alias));
+    }
+    // Different counts: the shorter must be a subsequence of compatible
+    // tokens of the longer (dropped middle names are fine, the *last* token
+    // — usually the surname — must still match).
+    let (short, long) = if ta.len() < tb.len() { (ta, tb) } else { (tb, ta) };
+    if !token_variant(short.last().unwrap(), long.last().unwrap(), params, is_alias) {
+        return false;
+    }
+    let mut it = long.iter();
+    short[..short.len() - 1].iter().all(|x| {
+        it.by_ref()
+            .any(|y| token_variant(x, y, params, is_alias))
+    })
+}
+
+fn token_variant(
+    x: &str,
+    y: &str,
+    params: &ClassifyParams,
+    is_alias: &impl Fn(&str, &str) -> bool,
+) -> bool {
+    if x == y || is_alias(x, y) || is_alias(y, x) {
+        return true;
+    }
+    // Initial matching: "x" ↔ "xin".
+    if (x.len() == 1 && y.starts_with(x)) || (y.len() == 1 && x.starts_with(y)) {
+        return true;
+    }
+    // Small typo tolerance only for tokens long enough that one edit is
+    // clearly formatting noise rather than a different name: "ullman" vs
+    // "ullmann" yes, "xin" vs "xing" no.
+    x.len().min(y.len()) >= 5 && levenshtein(x, y) <= params.token_edit_tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_alias(_: &str, _: &str) -> bool {
+        false
+    }
+
+    fn classify(a: &str, b: &str) -> ValueRelation {
+        classify_pair(a, b, &ClassifyParams::default(), no_alias)
+    }
+
+    #[test]
+    fn formatting_variants_are_same() {
+        assert_eq!(classify("AT&T Research", "at&t research"), ValueRelation::SameRepresentation);
+        assert_eq!(classify("  Xin  Dong ", "xin dong"), ValueRelation::SameRepresentation);
+    }
+
+    #[test]
+    fn initials_are_alternatives() {
+        assert_eq!(
+            classify("Xin Dong", "X. Dong"),
+            ValueRelation::AlternativeRepresentation
+        );
+        assert_eq!(
+            classify("Jeffrey D. Ullman", "Jeffrey Ullman"),
+            ValueRelation::AlternativeRepresentation
+        );
+    }
+
+    #[test]
+    fn long_token_typos_are_alternatives() {
+        assert_eq!(
+            classify("Jeffrey Ullman", "Jeffrey Ullmann"),
+            ValueRelation::AlternativeRepresentation
+        );
+    }
+
+    #[test]
+    fn the_papers_xing_dong_is_wrong() {
+        // "Xing Dong" is a wrong value, not a representation of "Xin Dong":
+        // short tokens get no typo tolerance.
+        assert_eq!(classify("Xin Dong", "Xing Dong"), ValueRelation::DifferentValue);
+    }
+
+    #[test]
+    fn the_papers_luna_dong_needs_alias_evidence() {
+        // Pure string distance cannot see that "Luna" aliases "Xin"...
+        assert_eq!(classify("Xin Dong", "Luna Dong"), ValueRelation::DifferentValue);
+        // ...but alias evidence (e.g. learned from co-occurrence) can.
+        let alias = |a: &str, b: &str| (a, b) == ("xin", "luna") || (a, b) == ("luna", "xin");
+        assert_eq!(
+            classify_pair("Xin Dong", "Luna Dong", &ClassifyParams::default(), alias),
+            ValueRelation::AlternativeRepresentation
+        );
+    }
+
+    #[test]
+    fn reordered_tokens_are_alternatives() {
+        assert_eq!(
+            classify("Dong Xin", "Xin Dong"),
+            ValueRelation::AlternativeRepresentation
+        );
+    }
+
+    #[test]
+    fn unrelated_values_differ() {
+        assert_eq!(classify("Google", "Microsoft Research"), ValueRelation::DifferentValue);
+        assert_eq!(classify("UW", "UWisc"), ValueRelation::DifferentValue);
+    }
+
+    #[test]
+    fn dropped_middle_name_is_alternative_but_wrong_surname_is_not() {
+        assert_eq!(
+            classify("Hector Garcia-Molina", "H. Garcia-Molina"),
+            ValueRelation::AlternativeRepresentation
+        );
+        assert_eq!(classify("Jeffrey Ullman", "Jeffrey Naughton"), ValueRelation::DifferentValue);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(classify("", ""), ValueRelation::SameRepresentation);
+        assert_eq!(classify("x", ""), ValueRelation::DifferentValue);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for model construction and lookup.
+
+use std::fmt;
+
+/// Errors raised while building or querying the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A name was used before being interned in the corresponding catalog.
+    UnknownName {
+        /// Which catalog the lookup targeted ("source", "object", "value").
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
+    /// A claim referenced an id that was never issued.
+    UnknownId {
+        /// Which catalog the id belongs to.
+        kind: &'static str,
+        /// The raw id value.
+        id: u32,
+    },
+    /// A probability outside `[0, 1]` was supplied where clamping is not
+    /// appropriate (e.g. explicit distribution input).
+    InvalidProbability(
+        /// The offending probability.
+        f64,
+    ),
+    /// A temporal operation was requested on data without timestamps.
+    MissingTemporalInfo {
+        /// Human-readable context for the failed operation.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} name: {name:?}")
+            }
+            ModelError::UnknownId { kind, id } => write!(f, "unknown {kind} id: {id}"),
+            ModelError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside [0, 1]")
+            }
+            ModelError::MissingTemporalInfo { context } => {
+                write!(f, "temporal information required but missing: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::UnknownName {
+            kind: "source",
+            name: "S9".into(),
+        };
+        assert!(e.to_string().contains("source"));
+        assert!(e.to_string().contains("S9"));
+
+        assert!(ModelError::UnknownId { kind: "object", id: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(ModelError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(ModelError::MissingTemporalInfo { context: "history" }
+            .to_string()
+            .contains("history"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ModelError::InvalidProbability(2.0));
+    }
+}

@@ -1,0 +1,48 @@
+//! # sailing-model
+//!
+//! The structured data-source model from *Sailing the Information Ocean with
+//! Awareness of Currents* (CIDR 2009), Section 2.1.
+//!
+//! A structured data source is modelled as a set of 4-tuples
+//! `(identifier, value, time, probability)`: the source asserts that the data
+//! item named by `identifier` had `value` at `time`, with confidence
+//! `probability`. Not every source provides temporal or probabilistic
+//! information; both components are optional and default to "now"/`1.0`.
+//!
+//! This crate provides:
+//!
+//! * interned identifiers ([`SourceId`], [`ObjectId`], [`ValueId`]) and their
+//!   catalogs ([`Catalog`]),
+//! * the value domain ([`Value`]) covering atomic text/integers, ordinal
+//!   ratings, and lists (e.g. author lists),
+//! * [`Claim`]s and the indexed [`ClaimStore`] that holds them,
+//! * [`SnapshotView`]s (latest value per source and object) for the paper's
+//!   *snapshot dependence* setting,
+//! * per-source update [`history`] traces for the *temporal dependence*
+//!   setting,
+//! * ground-truth [`world`]s used to evaluate detection and fusion, and
+//! * the paper's worked examples (Tables 1–3) as ready-made [`fixtures`].
+//!
+//! Everything downstream — dependence detection (`sailing-core`), fusion
+//! (`sailing-fusion`), online query answering (`sailing-query`) — operates on
+//! these types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod claim;
+pub mod error;
+pub mod fixtures;
+pub mod history;
+pub mod ids;
+pub mod store;
+pub mod value;
+pub mod world;
+
+pub use claim::{Claim, Timestamp};
+pub use error::ModelError;
+pub use history::{History, UpdateTrace};
+pub use ids::{Catalog, ObjectId, SourceId};
+pub use store::{ClaimStore, ClaimStoreBuilder, SnapshotView};
+pub use value::{Value, ValueId};
+pub use world::{GroundTruth, TemporalTruth, TruthClass};

@@ -1,0 +1,661 @@
+//! The indexed claim store and its snapshot view.
+//!
+//! [`ClaimStore`] owns the three catalogs (sources, objects, values) and the
+//! flat claim list, with per-source and per-object indexes. It is immutable
+//! once built; construction goes through [`ClaimStoreBuilder`].
+//!
+//! [`SnapshotView`] materialises the paper's *snapshot* setting: for each
+//! `(source, object)` pair only the most recent claim survives, giving one
+//! value per source per covered object (Table 1 shape). All snapshot-mode
+//! algorithms in `sailing-core` consume this view.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::claim::{Claim, Timestamp};
+use crate::error::ModelError;
+use crate::ids::{Catalog, ObjectId, SourceId};
+use crate::value::{Value, ValueId};
+
+/// Incrementally assembles a [`ClaimStore`].
+#[derive(Debug, Default, Clone)]
+pub struct ClaimStoreBuilder {
+    sources: Catalog<String, SourceId>,
+    objects: Catalog<String, ObjectId>,
+    values: Catalog<Value, ValueId>,
+    claims: Vec<Claim>,
+}
+
+impl ClaimStoreBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a source name.
+    pub fn source(&mut self, name: &str) -> SourceId {
+        self.sources.intern(&name.to_string())
+    }
+
+    /// Interns an object (data item) name.
+    pub fn object(&mut self, name: &str) -> ObjectId {
+        self.objects.intern(&name.to_string())
+    }
+
+    /// Interns a value.
+    pub fn value(&mut self, value: &Value) -> ValueId {
+        self.values.intern(value)
+    }
+
+    /// Adds an untimed, certain claim, interning all names.
+    pub fn add(&mut self, source: &str, object: &str, value: impl Into<Value>) -> &mut Self {
+        let s = self.source(source);
+        let o = self.object(object);
+        let v = self.value(&value.into());
+        self.claims.push(Claim::snapshot(s, o, v));
+        self
+    }
+
+    /// Adds a timestamped, certain claim, interning all names.
+    pub fn add_timed(
+        &mut self,
+        source: &str,
+        object: &str,
+        value: impl Into<Value>,
+        time: Timestamp,
+    ) -> &mut Self {
+        let s = self.source(source);
+        let o = self.object(object);
+        let v = self.value(&value.into());
+        self.claims.push(Claim::timed(s, o, v, time));
+        self
+    }
+
+    /// Adds a fully specified claim with pre-interned ids.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::UnknownId`] if any id was not issued by this
+    /// builder, and [`ModelError::InvalidProbability`] for probabilities
+    /// outside `[0, 1]`.
+    pub fn add_claim(&mut self, claim: Claim) -> Result<&mut Self, ModelError> {
+        if claim.source.index() >= self.sources.len() {
+            return Err(ModelError::UnknownId {
+                kind: "source",
+                id: claim.source.0,
+            });
+        }
+        if claim.object.index() >= self.objects.len() {
+            return Err(ModelError::UnknownId {
+                kind: "object",
+                id: claim.object.0,
+            });
+        }
+        if claim.value.index() >= self.values.len() {
+            return Err(ModelError::UnknownId {
+                kind: "value",
+                id: claim.value.0,
+            });
+        }
+        if !(0.0..=1.0).contains(&claim.probability) {
+            return Err(ModelError::InvalidProbability(claim.probability));
+        }
+        self.claims.push(claim);
+        Ok(self)
+    }
+
+    /// Number of claims added so far.
+    pub fn claim_count(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Finalises the store, building all indexes.
+    pub fn build(self) -> ClaimStore {
+        let mut by_source: Vec<Vec<u32>> = vec![Vec::new(); self.sources.len()];
+        let mut by_object: Vec<Vec<u32>> = vec![Vec::new(); self.objects.len()];
+        for (i, c) in self.claims.iter().enumerate() {
+            let i = i as u32;
+            by_source[c.source.index()].push(i);
+            by_object[c.object.index()].push(i);
+        }
+        ClaimStore {
+            sources: self.sources,
+            objects: self.objects,
+            values: self.values,
+            claims: self.claims,
+            by_source,
+            by_object,
+        }
+    }
+}
+
+/// An immutable, indexed collection of claims from many sources.
+#[derive(Debug, Clone)]
+pub struct ClaimStore {
+    sources: Catalog<String, SourceId>,
+    objects: Catalog<String, ObjectId>,
+    values: Catalog<Value, ValueId>,
+    claims: Vec<Claim>,
+    by_source: Vec<Vec<u32>>,
+    by_object: Vec<Vec<u32>>,
+}
+
+impl ClaimStore {
+    /// Number of distinct sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of distinct objects (data items).
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of distinct interned values.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total number of claims.
+    pub fn num_claims(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// All claims, in insertion order.
+    pub fn claims(&self) -> &[Claim] {
+        &self.claims
+    }
+
+    /// All source ids.
+    pub fn source_ids(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.sources.ids()
+    }
+
+    /// All object ids.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.ids()
+    }
+
+    /// The name behind a source id.
+    pub fn source_name(&self, id: SourceId) -> Option<&str> {
+        self.sources.name(id).map(String::as_str)
+    }
+
+    /// The name behind an object id.
+    pub fn object_name(&self, id: ObjectId) -> Option<&str> {
+        self.objects.name(id).map(String::as_str)
+    }
+
+    /// The value behind a value id.
+    pub fn value(&self, id: ValueId) -> Option<&Value> {
+        self.values.name(id)
+    }
+
+    /// Looks up a source id by name.
+    pub fn source_id(&self, name: &str) -> Option<SourceId> {
+        self.sources.lookup(&name.to_string())
+    }
+
+    /// Looks up an object id by name.
+    pub fn object_id(&self, name: &str) -> Option<ObjectId> {
+        self.objects.lookup(&name.to_string())
+    }
+
+    /// Looks up a value id for an exact value.
+    pub fn value_id(&self, value: &Value) -> Option<ValueId> {
+        self.values.lookup(value)
+    }
+
+    /// Claims asserted by `source`, in insertion order.
+    pub fn claims_of_source(&self, source: SourceId) -> impl Iterator<Item = &Claim> {
+        self.by_source
+            .get(source.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.claims[i as usize])
+    }
+
+    /// Claims about `object`, in insertion order.
+    pub fn claims_on_object(&self, object: ObjectId) -> impl Iterator<Item = &Claim> {
+        self.by_object
+            .get(object.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.claims[i as usize])
+    }
+
+    /// Builds the snapshot view: the most recent claim per `(source, object)`.
+    ///
+    /// Untimed claims are treated as *current* (they out-date any timestamped
+    /// claim); among equal times the later-inserted claim wins, so repeated
+    /// `add` calls behave like upserts.
+    pub fn snapshot(&self) -> SnapshotView {
+        self.snapshot_at(None)
+    }
+
+    /// Builds the snapshot as of time `t` (inclusive). Claims with no
+    /// timestamp are included only when `t` is `None`.
+    pub fn snapshot_at(&self, t: Option<Timestamp>) -> SnapshotView {
+        // Rank: None (untimed/current) above any timestamp.
+        type Rank = (i64, i64);
+        fn rank(time: Option<Timestamp>) -> Rank {
+            match time {
+                None => (1, 0),
+                Some(ts) => (0, ts),
+            }
+        }
+        let mut latest: HashMap<(SourceId, ObjectId), (usize, Rank)> = HashMap::new();
+        for (i, c) in self.claims.iter().enumerate() {
+            if let (Some(cutoff), Some(ts)) = (t, c.time) {
+                if ts > cutoff {
+                    continue;
+                }
+            }
+            if t.is_some() && c.time.is_none() {
+                continue;
+            }
+            let r = rank(c.time);
+            let entry = latest.entry((c.source, c.object)).or_insert((i, r));
+            // `>=` so later insertion wins ties.
+            if (r, i) >= (entry.1, entry.0) {
+                *entry = (i, r);
+            }
+        }
+
+        let num_sources = self.sources.len();
+        let num_objects = self.objects.len();
+        let mut per_source: Vec<HashMap<ObjectId, ValueId>> =
+            vec![HashMap::new(); num_sources];
+        let mut per_object: Vec<Vec<(SourceId, ValueId)>> = vec![Vec::new(); num_objects];
+        let mut entries: Vec<_> = latest.into_iter().collect();
+        // Deterministic order regardless of hash-map iteration.
+        entries.sort_by_key(|&((s, o), _)| (s, o));
+        for ((s, o), (i, _)) in entries {
+            let v = self.claims[i].value;
+            if let Some(val) = self.values.name(v) {
+                if val.is_absent() {
+                    continue; // withdrawn value: source no longer covers object
+                }
+            }
+            per_source[s.index()].insert(o, v);
+            per_object[o.index()].push((s, v));
+        }
+        SnapshotView {
+            per_source,
+            per_object,
+        }
+    }
+}
+
+/// One value per source per covered object: the paper's snapshot setting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SnapshotView {
+    per_source: Vec<HashMap<ObjectId, ValueId>>,
+    per_object: Vec<Vec<(SourceId, ValueId)>>,
+}
+
+impl SnapshotView {
+    /// Builds a snapshot view directly from `(source, object, value)` triples.
+    ///
+    /// Ids must be dense; `num_sources`/`num_objects` bound the id spaces.
+    /// Later triples overwrite earlier ones for the same `(source, object)`.
+    pub fn from_triples(
+        num_sources: usize,
+        num_objects: usize,
+        triples: impl IntoIterator<Item = (SourceId, ObjectId, ValueId)>,
+    ) -> Self {
+        let mut per_source: Vec<HashMap<ObjectId, ValueId>> = vec![HashMap::new(); num_sources];
+        for (s, o, v) in triples {
+            per_source[s.index()].insert(o, v);
+        }
+        let mut per_object: Vec<Vec<(SourceId, ValueId)>> = vec![Vec::new(); num_objects];
+        for (s, m) in per_source.iter().enumerate() {
+            let mut items: Vec<_> = m.iter().map(|(&o, &v)| (o, v)).collect();
+            items.sort_by_key(|&(o, _)| o);
+            for (o, v) in items {
+                per_object[o.index()].push((SourceId::from_index(s), v));
+            }
+        }
+        Self {
+            per_source,
+            per_object,
+        }
+    }
+
+    /// Number of sources (including sources covering nothing).
+    pub fn num_sources(&self) -> usize {
+        self.per_source.len()
+    }
+
+    /// Number of objects (including objects covered by nobody).
+    pub fn num_objects(&self) -> usize {
+        self.per_object.len()
+    }
+
+    /// The value `source` asserts for `object` in this snapshot.
+    #[inline]
+    pub fn value(&self, source: SourceId, object: ObjectId) -> Option<ValueId> {
+        self.per_source.get(source.index())?.get(&object).copied()
+    }
+
+    /// All `(object, value)` assertions of one source.
+    pub fn assertions_of(
+        &self,
+        source: SourceId,
+    ) -> impl Iterator<Item = (ObjectId, ValueId)> + '_ {
+        self.per_source
+            .get(source.index())
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&o, &v)| (o, v)))
+    }
+
+    /// All `(source, value)` assertions about one object, sorted by source.
+    pub fn assertions_on(&self, object: ObjectId) -> &[(SourceId, ValueId)] {
+        self.per_object
+            .get(object.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// How many objects `source` covers.
+    pub fn coverage(&self, source: SourceId) -> usize {
+        self.per_source.get(source.index()).map_or(0, HashMap::len)
+    }
+
+    /// How many sources cover `object`.
+    pub fn support(&self, object: ObjectId) -> usize {
+        self.assertions_on(object).len()
+    }
+
+    /// Distinct values asserted for `object`, with their supporter counts,
+    /// sorted by descending support then by value id.
+    pub fn value_counts(&self, object: ObjectId) -> Vec<(ValueId, usize)> {
+        let mut counts: HashMap<ValueId, usize> = HashMap::new();
+        for &(_, v) in self.assertions_on(object) {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let mut out: Vec<_> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of distinct values asserted for `object`.
+    pub fn distinct_values(&self, object: ObjectId) -> usize {
+        self.value_counts(object).len()
+    }
+
+    /// Objects covered by *both* sources, with both values:
+    /// `(object, value_a, value_b)`.
+    pub fn overlap(
+        &self,
+        a: SourceId,
+        b: SourceId,
+    ) -> impl Iterator<Item = (ObjectId, ValueId, ValueId)> + '_ {
+        let (small, large, swapped) = {
+            let ca = self.coverage(a);
+            let cb = self.coverage(b);
+            if ca <= cb {
+                (a, b, false)
+            } else {
+                (b, a, true)
+            }
+        };
+        self.assertions_of(small).filter_map(move |(o, v_small)| {
+            self.value(large, o).map(|v_large| {
+                if swapped {
+                    (o, v_large, v_small)
+                } else {
+                    (o, v_small, v_large)
+                }
+            })
+        })
+    }
+
+    /// Size of the overlap (objects covered by both sources).
+    pub fn overlap_size(&self, a: SourceId, b: SourceId) -> usize {
+        self.overlap(a, b).count()
+    }
+
+    /// Total number of `(source, object)` assertions in this snapshot.
+    pub fn num_assertions(&self) -> usize {
+        self.per_source.iter().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ClaimStore {
+        let mut b = ClaimStoreBuilder::new();
+        b.add("S1", "Suciu", "UW")
+            .add("S1", "Dong", "AT&T")
+            .add("S2", "Suciu", "MSR")
+            .add("S2", "Dong", "Google")
+            .add("S3", "Dong", "UW");
+        b.build()
+    }
+
+    #[test]
+    fn builder_interns_and_counts() {
+        let store = sample_store();
+        assert_eq!(store.num_sources(), 3);
+        assert_eq!(store.num_objects(), 2);
+        assert_eq!(store.num_values(), 4); // UW, AT&T, MSR, Google
+        assert_eq!(store.num_claims(), 5);
+    }
+
+    #[test]
+    fn name_lookups_roundtrip() {
+        let store = sample_store();
+        let s1 = store.source_id("S1").unwrap();
+        assert_eq!(store.source_name(s1), Some("S1"));
+        let dong = store.object_id("Dong").unwrap();
+        assert_eq!(store.object_name(dong), Some("Dong"));
+        let uw = store.value_id(&Value::text("UW")).unwrap();
+        assert_eq!(store.value(uw), Some(&Value::text("UW")));
+        assert_eq!(store.source_id("nope"), None);
+    }
+
+    #[test]
+    fn per_source_and_per_object_indexes() {
+        let store = sample_store();
+        let s2 = store.source_id("S2").unwrap();
+        assert_eq!(store.claims_of_source(s2).count(), 2);
+        let dong = store.object_id("Dong").unwrap();
+        assert_eq!(store.claims_on_object(dong).count(), 3);
+    }
+
+    #[test]
+    fn add_claim_validates_ids_and_probability() {
+        let mut b = ClaimStoreBuilder::new();
+        let s = b.source("S1");
+        let o = b.object("Dong");
+        let v = b.value(&Value::text("UW"));
+        assert!(b.add_claim(Claim::snapshot(s, o, v)).is_ok());
+        assert!(matches!(
+            b.add_claim(Claim::snapshot(SourceId(9), o, v)),
+            Err(ModelError::UnknownId { kind: "source", .. })
+        ));
+        assert!(matches!(
+            b.add_claim(Claim::snapshot(s, ObjectId(9), v)),
+            Err(ModelError::UnknownId { kind: "object", .. })
+        ));
+        assert!(matches!(
+            b.add_claim(Claim::snapshot(s, o, ValueId(9))),
+            Err(ModelError::UnknownId { kind: "value", .. })
+        ));
+        let bad = Claim {
+            probability: 1.5,
+            ..Claim::snapshot(s, o, v)
+        };
+        assert!(matches!(
+            b.add_claim(bad),
+            Err(ModelError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_takes_latest_claim() {
+        let mut b = ClaimStoreBuilder::new();
+        b.add_timed("S1", "Dong", "UW", 2002)
+            .add_timed("S1", "Dong", "Google", 2006)
+            .add_timed("S1", "Dong", "AT&T", 2007);
+        let store = b.build();
+        let snap = store.snapshot();
+        let s1 = store.source_id("S1").unwrap();
+        let dong = store.object_id("Dong").unwrap();
+        let att = store.value_id(&Value::text("AT&T")).unwrap();
+        assert_eq!(snap.value(s1, dong), Some(att));
+    }
+
+    #[test]
+    fn snapshot_untimed_wins_and_upserts() {
+        let mut b = ClaimStoreBuilder::new();
+        b.add_timed("S1", "Dong", "Google", 2006)
+            .add("S1", "Dong", "AT&T") // untimed = current
+            .add("S2", "Dong", "UW")
+            .add("S2", "Dong", "MSR"); // later add wins ties
+        let store = b.build();
+        let snap = store.snapshot();
+        let dong = store.object_id("Dong").unwrap();
+        let s1 = store.source_id("S1").unwrap();
+        let s2 = store.source_id("S2").unwrap();
+        assert_eq!(
+            snap.value(s1, dong),
+            store.value_id(&Value::text("AT&T"))
+        );
+        assert_eq!(snap.value(s2, dong), store.value_id(&Value::text("MSR")));
+    }
+
+    #[test]
+    fn snapshot_at_cutoff() {
+        let mut b = ClaimStoreBuilder::new();
+        b.add_timed("S1", "Dong", "UW", 2002)
+            .add_timed("S1", "Dong", "Google", 2006)
+            .add_timed("S1", "Dong", "AT&T", 2007)
+            .add("S1", "Suciu", "UW"); // untimed, excluded from dated snapshots
+        let store = b.build();
+        let s1 = store.source_id("S1").unwrap();
+        let dong = store.object_id("Dong").unwrap();
+        let suciu = store.object_id("Suciu").unwrap();
+
+        let snap2006 = store.snapshot_at(Some(2006));
+        assert_eq!(
+            snap2006.value(s1, dong),
+            store.value_id(&Value::text("Google"))
+        );
+        assert_eq!(snap2006.value(s1, suciu), None);
+
+        let snap2004 = store.snapshot_at(Some(2004));
+        assert_eq!(snap2004.value(s1, dong), store.value_id(&Value::text("UW")));
+
+        let snap2000 = store.snapshot_at(Some(2000));
+        assert_eq!(snap2000.value(s1, dong), None);
+    }
+
+    #[test]
+    fn absent_value_removes_coverage() {
+        let mut b = ClaimStoreBuilder::new();
+        b.add_timed("S1", "Dong", "UW", 2002);
+        b.add_timed("S1", "Dong", Value::Absent, 2005);
+        let store = b.build();
+        let s1 = store.source_id("S1").unwrap();
+        let dong = store.object_id("Dong").unwrap();
+        assert_eq!(store.snapshot().value(s1, dong), None);
+        assert_eq!(store.snapshot().coverage(s1), 0);
+        // But the 2002 snapshot still has it.
+        assert_eq!(
+            store.snapshot_at(Some(2002)).value(s1, dong),
+            store.value_id(&Value::text("UW"))
+        );
+    }
+
+    #[test]
+    fn snapshot_counts_and_support() {
+        let store = sample_store();
+        let snap = store.snapshot();
+        let dong = store.object_id("Dong").unwrap();
+        let suciu = store.object_id("Suciu").unwrap();
+        assert_eq!(snap.support(dong), 3);
+        assert_eq!(snap.support(suciu), 2);
+        assert_eq!(snap.distinct_values(dong), 3);
+        assert_eq!(snap.num_assertions(), 5);
+        let s1 = store.source_id("S1").unwrap();
+        assert_eq!(snap.coverage(s1), 2);
+    }
+
+    #[test]
+    fn value_counts_sorted_by_support() {
+        let mut b = ClaimStoreBuilder::new();
+        b.add("S1", "o", "UW")
+            .add("S2", "o", "UW")
+            .add("S3", "o", "MSR");
+        let store = b.build();
+        let o = store.object_id("o").unwrap();
+        let counts = store.snapshot().value_counts(o);
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0].1, 2);
+        assert_eq!(store.value(counts[0].0), Some(&Value::text("UW")));
+    }
+
+    #[test]
+    fn overlap_iterates_common_objects() {
+        let store = sample_store();
+        let snap = store.snapshot();
+        let s1 = store.source_id("S1").unwrap();
+        let s2 = store.source_id("S2").unwrap();
+        let s3 = store.source_id("S3").unwrap();
+        assert_eq!(snap.overlap_size(s1, s2), 2);
+        assert_eq!(snap.overlap_size(s1, s3), 1);
+        let mut pairs: Vec<_> = snap.overlap(s1, s2).collect();
+        pairs.sort_by_key(|&(o, _, _)| o);
+        let dong = store.object_id("Dong").unwrap();
+        let (o, va, vb) = pairs.iter().find(|&&(o, _, _)| o == dong).copied().unwrap();
+        assert_eq!(o, dong);
+        assert_eq!(store.value(va), Some(&Value::text("AT&T")));
+        assert_eq!(store.value(vb), Some(&Value::text("Google")));
+    }
+
+    #[test]
+    fn overlap_orientation_is_stable_under_swap() {
+        let store = sample_store();
+        let snap = store.snapshot();
+        let s1 = store.source_id("S1").unwrap();
+        let s2 = store.source_id("S2").unwrap();
+        let ab: Vec<_> = snap.overlap(s1, s2).collect();
+        let ba: Vec<_> = snap.overlap(s2, s1).collect();
+        for (o, va, vb) in ab {
+            assert!(ba.contains(&(o, vb, va)));
+        }
+    }
+
+    #[test]
+    fn from_triples_matches_store_snapshot() {
+        let store = sample_store();
+        let snap = store.snapshot();
+        let triples: Vec<_> = store
+            .claims()
+            .iter()
+            .map(|c| (c.source, c.object, c.value))
+            .collect();
+        let direct =
+            SnapshotView::from_triples(store.num_sources(), store.num_objects(), triples);
+        for s in store.source_ids() {
+            for o in store.object_ids() {
+                assert_eq!(snap.value(s, o), direct.value(s, o));
+            }
+        }
+        assert_eq!(snap.num_assertions(), direct.num_assertions());
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let snap = SnapshotView::from_triples(0, 0, Vec::new());
+        assert_eq!(snap.num_sources(), 0);
+        assert_eq!(snap.num_objects(), 0);
+        assert_eq!(snap.num_assertions(), 0);
+        assert_eq!(snap.value(SourceId(0), ObjectId(0)), None);
+        assert_eq!(snap.assertions_on(ObjectId(3)), &[]);
+    }
+}

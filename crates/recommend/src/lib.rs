@@ -1,0 +1,22 @@
+//! # sailing-recommend
+//!
+//! Source recommendation (Section 4, *Source recommendation*):
+//! "recommendations of such sources can be based on many factors, such as
+//! accuracy, coverage, freshness of provided data, and independence of
+//! opinions". The paper also notes the goal matters: "if our goal is to find
+//! the truth ... we might prefer to ignore dependent sources; if our goal is
+//! to find diverse opinions, we might want to point out some sources that
+//! have dissimilarity-dependence on other sources".
+//!
+//! * [`trust`] — the per-source trust score combining the four factors;
+//! * [`recommend`] — goal-directed ranking (truth-seeking vs
+//!   diversity-seeking).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod recommend;
+pub mod trust;
+
+pub use recommend::{recommend_sources, Goal, Recommendation};
+pub use trust::{trust_scores, TrustScore, TrustWeights};

@@ -1,0 +1,215 @@
+//! Goal-directed source recommendation.
+
+use serde::{Deserialize, Serialize};
+
+use sailing_core::report::{DependenceKind, PairDependence};
+use sailing_model::SourceId;
+
+use crate::trust::{TrustScore, TrustWeights};
+
+/// What the user is after (the paper's "tricky decision").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Goal {
+    /// Find the truth / avoid redundancy: ignore dependent sources.
+    TruthSeeking,
+    /// Find diverse opinions: deliberately surface sources that are
+    /// dissimilarity-dependent on already-recommended ones.
+    DiversitySeeking,
+}
+
+/// One recommended source with its score and rationale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The recommended source.
+    pub source: SourceId,
+    /// The goal-adjusted score it was ranked by.
+    pub score: f64,
+    /// Short human-readable rationale.
+    pub rationale: String,
+}
+
+/// Ranks sources for a goal.
+///
+/// * `TruthSeeking`: trust score with full independence weighting; sources
+///   that copy already-selected ones sink (greedy redundancy removal).
+/// * `DiversitySeeking`: base trust ignores independence, and a bonus is
+///   given to sources *dissimilarity*-dependent on an already-selected
+///   source — they supply the dissenting view.
+pub fn recommend_sources(
+    scores: &[TrustScore],
+    dependences: &[PairDependence],
+    goal: Goal,
+    weights: &TrustWeights,
+    limit: usize,
+) -> Vec<Recommendation> {
+    let n = scores.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut chosen: Vec<Recommendation> = Vec::new();
+
+    let dep_between = |x: usize, y: usize| -> Option<&PairDependence> {
+        dependences.iter().find(|p| {
+            (p.a.index() == x && p.b.index() == y) || (p.a.index() == y && p.b.index() == x)
+        })
+    };
+
+    while chosen.len() < limit && !remaining.is_empty() {
+        let (pos, best, rationale) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let base = match goal {
+                    Goal::TruthSeeking => scores[i].combined(weights),
+                    Goal::DiversitySeeking => {
+                        // Independence is not a virtue for diversity.
+                        let w = TrustWeights {
+                            independence: 0.0,
+                            ..*weights
+                        };
+                        scores[i].combined(&w)
+                    }
+                };
+                let mut score = base;
+                let mut rationale = format!("trust {base:.2}");
+                for picked in &chosen {
+                    if let Some(dep) = dep_between(i, picked.source.index()) {
+                        if dep.probability < 0.5 {
+                            continue;
+                        }
+                        match (goal, dep.kind) {
+                            (Goal::TruthSeeking, _) => {
+                                score *= 1.0 - dep.probability;
+                                rationale = format!(
+                                    "trust {base:.2}, discounted: dependent on already-selected {}",
+                                    picked.source
+                                );
+                            }
+                            (Goal::DiversitySeeking, DependenceKind::Dissimilarity) => {
+                                score += 0.25 * dep.probability;
+                                rationale = format!(
+                                    "trust {base:.2}, boosted: dissenting view of {}",
+                                    picked.source
+                                );
+                            }
+                            (Goal::DiversitySeeking, DependenceKind::Similarity) => {
+                                score *= 1.0 - dep.probability;
+                                rationale = format!(
+                                    "trust {base:.2}, discounted: copy of {}",
+                                    picked.source
+                                );
+                            }
+                        }
+                    }
+                }
+                (pos, score, rationale)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+            .expect("remaining non-empty");
+        let source = SourceId::from_index(remaining.remove(pos));
+        chosen.push(Recommendation {
+            source,
+            score: best,
+            rationale,
+        });
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_core::report::Direction;
+
+    fn score(acc: f64) -> TrustScore {
+        TrustScore {
+            accuracy: acc,
+            coverage: 1.0,
+            freshness: 1.0,
+            independence: 1.0,
+        }
+    }
+
+    fn dep(a: u32, b: u32, kind: DependenceKind, p: f64) -> PairDependence {
+        PairDependence {
+            a: SourceId(a),
+            b: SourceId(b),
+            probability: p,
+            prob_a_on_b: 0.9,
+            kind,
+            direction: Direction::AOnB,
+            overlap: 10,
+            diagnostic: 0.0,
+        }
+    }
+
+    #[test]
+    fn truth_seeking_skips_copies() {
+        // Source 1 copies source 0; source 2 independent but less accurate.
+        let scores = vec![score(0.95), score(0.94), score(0.8)];
+        let deps = vec![dep(1, 0, DependenceKind::Similarity, 0.95)];
+        let recs = recommend_sources(&scores, &deps, Goal::TruthSeeking, &TrustWeights::default(), 2);
+        assert_eq!(recs[0].source, SourceId(0));
+        assert_eq!(
+            recs[1].source,
+            SourceId(2),
+            "the copy must be skipped in favour of the independent source: {recs:?}"
+        );
+        assert!(recs[1].score > 0.0);
+    }
+
+    #[test]
+    fn diversity_seeking_boosts_dissenters() {
+        // Source 1 dissents from source 0; source 2 independent, slightly
+        // more trustworthy than 1.
+        let scores = vec![score(0.95), score(0.7), score(0.75)];
+        let deps = vec![dep(1, 0, DependenceKind::Dissimilarity, 0.9)];
+        let recs = recommend_sources(
+            &scores,
+            &deps,
+            Goal::DiversitySeeking,
+            &TrustWeights::default(),
+            2,
+        );
+        assert_eq!(recs[0].source, SourceId(0));
+        assert_eq!(
+            recs[1].source,
+            SourceId(1),
+            "the dissenting source should be surfaced for diversity: {recs:?}"
+        );
+        assert!(recs[1].rationale.contains("dissenting"));
+    }
+
+    #[test]
+    fn diversity_seeking_still_skips_plain_copies() {
+        let scores = vec![score(0.95), score(0.94), score(0.7)];
+        let deps = vec![dep(1, 0, DependenceKind::Similarity, 0.95)];
+        let recs = recommend_sources(
+            &scores,
+            &deps,
+            Goal::DiversitySeeking,
+            &TrustWeights::default(),
+            2,
+        );
+        assert_eq!(recs[1].source, SourceId(2));
+    }
+
+    #[test]
+    fn limit_and_empty_inputs() {
+        let recs = recommend_sources(&[], &[], Goal::TruthSeeking, &TrustWeights::default(), 3);
+        assert!(recs.is_empty());
+        let scores = vec![score(0.9), score(0.8)];
+        let recs =
+            recommend_sources(&scores, &[], Goal::TruthSeeking, &TrustWeights::default(), 10);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].source, SourceId(0));
+    }
+
+    #[test]
+    fn weak_dependences_are_ignored() {
+        let scores = vec![score(0.95), score(0.94)];
+        let deps = vec![dep(1, 0, DependenceKind::Similarity, 0.3)];
+        let recs =
+            recommend_sources(&scores, &deps, Goal::TruthSeeking, &TrustWeights::default(), 2);
+        // Below the 0.5 bar the dependence does not discount.
+        assert!((recs[1].score - scores[1].combined(&TrustWeights::default())).abs() < 1e-9);
+    }
+}

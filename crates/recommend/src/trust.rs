@@ -1,0 +1,202 @@
+//! Per-source trust scoring.
+
+use serde::{Deserialize, Serialize};
+
+use sailing_core::truth::DependenceMatrix;
+use sailing_model::{History, SnapshotView, SourceId, Timestamp};
+
+/// The four trust factors of one source, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustScore {
+    /// Estimated accuracy (from the detection pipeline).
+    pub accuracy: f64,
+    /// Coverage relative to the best-covering source.
+    pub coverage: f64,
+    /// Freshness: how promptly the source publishes relative to the fastest
+    /// source (1.0 when temporal data is unavailable).
+    pub freshness: f64,
+    /// Independence: probability the source is not a copy of anyone.
+    pub independence: f64,
+}
+
+/// Relative weights for combining the factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustWeights {
+    /// Weight of the accuracy factor.
+    pub accuracy: f64,
+    /// Weight of the coverage factor.
+    pub coverage: f64,
+    /// Weight of the freshness factor.
+    pub freshness: f64,
+    /// Weight of the independence factor.
+    pub independence: f64,
+}
+
+impl Default for TrustWeights {
+    fn default() -> Self {
+        Self {
+            accuracy: 0.4,
+            coverage: 0.2,
+            freshness: 0.1,
+            independence: 0.3,
+        }
+    }
+}
+
+impl TrustScore {
+    /// Weighted combination of the four factors.
+    pub fn combined(&self, weights: &TrustWeights) -> f64 {
+        let total = weights.accuracy + weights.coverage + weights.freshness + weights.independence;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (weights.accuracy * self.accuracy
+            + weights.coverage * self.coverage
+            + weights.freshness * self.freshness
+            + weights.independence * self.independence)
+            / total
+    }
+}
+
+/// Mean publication delay of each source against the earliest publisher of
+/// each `(object, value)` update, inverted into a `[0, 1]` freshness score.
+fn freshness_scores(history: &History) -> Vec<f64> {
+    let n = history.num_sources();
+    let mut delays: Vec<(f64, usize)> = vec![(0.0, 0); n];
+    // Earliest assertion of each (object, value) across sources.
+    let mut earliest: std::collections::HashMap<(u32, u32), Timestamp> =
+        std::collections::HashMap::new();
+    for (s, o, t, v) in history.all_updates() {
+        let _ = s;
+        let e = earliest.entry((o.0, v.0)).or_insert(t);
+        if t < *e {
+            *e = t;
+        }
+    }
+    for (s, o, t, v) in history.all_updates() {
+        let e = earliest[&(o.0, v.0)];
+        delays[s.index()].0 += (t - e) as f64;
+        delays[s.index()].1 += 1;
+    }
+    let mean: Vec<f64> = delays
+        .iter()
+        .map(|&(sum, k)| if k == 0 { 0.0 } else { sum / k as f64 })
+        .collect();
+    let max = mean.iter().copied().fold(0.0f64, f64::max);
+    mean.iter()
+        .map(|&d| if max <= 0.0 { 1.0 } else { 1.0 - d / max })
+        .collect()
+}
+
+/// Computes every source's [`TrustScore`].
+///
+/// `history` is optional: snapshot-only corpora get freshness 1.0.
+pub fn trust_scores(
+    snapshot: &SnapshotView,
+    accuracies: &[f64],
+    deps: &DependenceMatrix,
+    history: Option<&History>,
+) -> Vec<TrustScore> {
+    let n = snapshot.num_sources();
+    let max_coverage = (0..n)
+        .map(|s| snapshot.coverage(SourceId::from_index(s)))
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+    let freshness = history.map(freshness_scores);
+    (0..n)
+        .map(|idx| {
+            let s = SourceId::from_index(idx);
+            let mut independence = 1.0f64;
+            for j in 0..n {
+                if j != idx {
+                    independence *= 1.0 - deps.dep_on(s, SourceId::from_index(j));
+                }
+            }
+            TrustScore {
+                accuracy: accuracies.get(idx).copied().unwrap_or(0.5),
+                coverage: snapshot.coverage(s) as f64 / max_coverage,
+                freshness: freshness
+                    .as_ref()
+                    .and_then(|f| f.get(idx).copied())
+                    .unwrap_or(1.0),
+                independence: independence.clamp(0.0, 1.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_core::AccuCopy;
+    use sailing_model::fixtures;
+
+    #[test]
+    fn combined_is_weighted_mean() {
+        let score = TrustScore {
+            accuracy: 1.0,
+            coverage: 0.0,
+            freshness: 0.0,
+            independence: 0.0,
+        };
+        let w = TrustWeights::default();
+        assert!((score.combined(&w) - 0.4).abs() < 1e-12);
+        let zero = TrustWeights {
+            accuracy: 0.0,
+            coverage: 0.0,
+            freshness: 0.0,
+            independence: 0.0,
+        };
+        assert_eq!(score.combined(&zero), 0.0);
+    }
+
+    #[test]
+    fn table1_trust_ranks_s1_above_the_copiers() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let result = AccuCopy::with_defaults().run(&snap);
+        let deps = result.dependence_matrix();
+        let scores = trust_scores(&snap, &result.accuracies, &deps, None);
+        let w = TrustWeights::default();
+        let s1 = store.source_id("S1").unwrap();
+        let s4 = store.source_id("S4").unwrap();
+        assert!(
+            scores[s1.index()].combined(&w) > scores[s4.index()].combined(&w),
+            "S1 must out-trust the copier S4"
+        );
+        assert!(scores[s1.index()].independence > scores[s4.index()].independence);
+        for s in &scores {
+            for f in [s.accuracy, s.coverage, s.freshness, s.independence] {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn freshness_penalises_laggards() {
+        let (store, history, _) = fixtures::table3();
+        let snap = history.latest_snapshot();
+        let scores = trust_scores(
+            &snap,
+            &[0.9, 0.8, 0.7],
+            &DependenceMatrix::new(),
+            Some(&history),
+        );
+        let s1 = store.source_id("S1").unwrap();
+        let s3 = store.source_id("S3").unwrap();
+        assert!(
+            scores[s1.index()].freshness > scores[s3.index()].freshness,
+            "the up-to-date source must be fresher than the lazy copier: {:?}",
+            scores
+        );
+    }
+
+    #[test]
+    fn snapshot_only_defaults_freshness() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let scores = trust_scores(&snap, &[0.8; 5], &DependenceMatrix::new(), None);
+        assert!(scores.iter().all(|s| s.freshness == 1.0));
+    }
+}

@@ -1,0 +1,58 @@
+//! # sailing
+//!
+//! A Rust reproduction of *Sailing the Information Ocean with Awareness of
+//! Currents: Discovery and Application of Source Dependence* (Berti-Équille,
+//! Das Sarma, Dong, Marian, Srivastava — CIDR 2009).
+//!
+//! The Web makes it as easy to spread false information as true information,
+//! and naive majority voting over conflicting sources is defeated the moment
+//! sources copy from each other. This workspace implements the paper's
+//! programme end to end:
+//!
+//! * [`model`] — the structured-source data model (claims, snapshots,
+//!   temporal update traces, ground truths);
+//! * [`core`] — **dependence discovery**: Bayesian snapshot copy detection,
+//!   dissimilarity-dependence detection on opinions, temporal (update-trace)
+//!   dependence with lazy-copier lag estimation, and the iterative
+//!   truth ↔ accuracy ↔ dependence pipeline;
+//! * [`linkage`] — record linkage: string metrics, author-list parsing,
+//!   representation clustering, wrong-value vs alternative-representation
+//!   classification;
+//! * [`fusion`] — dependence-aware data fusion and probabilistic-database
+//!   output;
+//! * [`query`] — online query answering with dependence-aware source
+//!   ordering and top-k early termination;
+//! * [`recommend`] — source recommendation from accuracy, coverage,
+//!   freshness and independence;
+//! * [`datagen`] — seeded synthetic worlds, including the AbeBooks-like
+//!   corpus of the paper's Example 4.1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sailing::model::fixtures;
+//! use sailing::core::AccuCopy;
+//!
+//! // Table 1 of the paper: five sources, two of them copying a third.
+//! let (store, truth) = fixtures::table1();
+//! let snapshot = store.snapshot();
+//!
+//! // Naive voting follows the copiers...
+//! let naive = sailing::core::vote::naive_vote(&snapshot);
+//! assert_eq!(truth.decision_precision(&naive), Some(0.4));
+//!
+//! // ...dependence-aware fusion does not.
+//! let result = AccuCopy::with_defaults().run(&snapshot);
+//! assert_eq!(truth.decision_precision(&result.decisions()), Some(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sailing_core as core;
+pub use sailing_datagen as datagen;
+pub use sailing_fusion as fusion;
+pub use sailing_linkage as linkage;
+pub use sailing_model as model;
+pub use sailing_query as query;
+pub use sailing_recommend as recommend;

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests reproducing the paper's worked examples
+//! end to end (Tables 1–3, Examples 2.1, 2.2, 3.1, 3.2).
+
+use sailing::core::dissim::{detect_all as dissim_detect, DissimParams, RatingView};
+use sailing::core::params::TemporalParams;
+use sailing::core::report::DependenceKind;
+use sailing::core::temporal::{detect_all as temporal_detect, gather_evidence};
+use sailing::core::vote::naive_vote;
+use sailing::core::AccuCopy;
+use sailing::fusion::{fuse, FusionStrategy};
+use sailing::model::fixtures;
+use sailing::model::{SourceId, TruthClass};
+
+/// Example 2.1 first half: with independent sources only, naive voting gets
+/// the first four researchers and ties on Dong.
+#[test]
+fn example_2_1_independent_sources() {
+    let (store, truth) = fixtures::table1_independent_only();
+    let decisions = naive_vote(&store.snapshot());
+    for name in ["Suciu", "Halevy", "Balazinska", "Dalvi"] {
+        let o = store.object_id(name).unwrap();
+        assert!(truth.is_true(o, decisions[&o]), "{name}");
+    }
+    let dong = store.object_id("Dong").unwrap();
+    assert_eq!(store.snapshot().distinct_values(dong), 3, "three-way tie");
+}
+
+/// Example 2.1 second half: with the copiers present, naive voting "makes
+/// wrong decisions for three out of five researchers".
+#[test]
+fn example_2_1_with_copiers_naive_fails_three_of_five() {
+    let (store, truth) = fixtures::table1();
+    let decisions = naive_vote(&store.snapshot());
+    let wrong = fixtures::RESEARCHERS
+        .iter()
+        .filter(|name| {
+            let o = store.object_id(name).unwrap();
+            !truth.is_true(o, decisions[&o])
+        })
+        .count();
+    assert_eq!(wrong, 3);
+}
+
+/// Example 3.1: the dependence-aware pipeline ignores the copied values and
+/// recovers every affiliation; the copy cluster is flagged, the two
+/// independent sources are not.
+#[test]
+fn example_3_1_dependence_aware_fusion() {
+    let (store, truth) = fixtures::table1();
+    let snapshot = store.snapshot();
+    let result = AccuCopy::with_defaults().run(&snapshot);
+    assert_eq!(truth.decision_precision(&result.decisions()), Some(1.0));
+
+    let flagged: Vec<(String, String)> = result
+        .dependent_pairs(0.5)
+        .iter()
+        .map(|p| {
+            (
+                store.source_name(p.a).unwrap().to_string(),
+                store.source_name(p.b).unwrap().to_string(),
+            )
+        })
+        .collect();
+    for pair in [("S3", "S4"), ("S3", "S5"), ("S4", "S5")] {
+        assert!(
+            flagged.contains(&(pair.0.to_string(), pair.1.to_string())),
+            "{pair:?} must be flagged; got {flagged:?}"
+        );
+    }
+    assert!(
+        !flagged.contains(&("S1".to_string(), "S2".to_string())),
+        "S1-S2 share only true values"
+    );
+}
+
+/// All three fusion strategies in one ladder on Table 1.
+#[test]
+fn fusion_strategy_ladder_on_table1() {
+    let (store, truth) = fixtures::table1();
+    let snapshot = store.snapshot();
+    let p = |s: &FusionStrategy| {
+        truth
+            .decision_precision(&fuse(&snapshot, s).decisions)
+            .unwrap()
+    };
+    let naive = p(&FusionStrategy::NaiveVote);
+    let aware = p(&FusionStrategy::dependence_aware());
+    assert!((naive - 0.4).abs() < 1e-9);
+    assert_eq!(aware, 1.0);
+    assert!(aware > naive);
+}
+
+/// Example 2.2 / Table 2: the reviewer pair (R1, R4) is the top-ranked
+/// dissimilarity pair.
+#[test]
+fn example_2_2_dissimilarity_detection() {
+    let store = fixtures::table2();
+    let view = RatingView::from_store(&store, 2);
+    let deps = dissim_detect(&view, &DissimParams::default());
+    let top = deps
+        .iter()
+        .max_by(|a, b| a.probability.partial_cmp(&b.probability).unwrap())
+        .unwrap();
+    let r1 = store.source_id("R1").unwrap();
+    let r4 = store.source_id("R4").unwrap();
+    assert_eq!((top.a, top.b), (r1, r4));
+    assert_eq!(top.kind, DependenceKind::Dissimilarity);
+}
+
+/// Example 3.2 / Table 3: S3 is a lazy copier of S1 (lag ≈ 1 year); S2 is
+/// independent; S2's stale values are outdated-true rather than false.
+#[test]
+fn example_3_2_temporal_inference() {
+    let (store, history, truth) = fixtures::table3();
+    let params = TemporalParams::default();
+    let deps = temporal_detect(&history, &params);
+    let s = |n: &str| store.source_id(n).unwrap();
+    let prob = |a: SourceId, b: SourceId| {
+        deps.iter()
+            .find(|p| (p.a, p.b) == if a < b { (a, b) } else { (b, a) })
+            .unwrap()
+            .probability
+    };
+    assert!(prob(s("S1"), s("S3")) > prob(s("S1"), s("S2")));
+    assert!(prob(s("S1"), s("S3")) > prob(s("S2"), s("S3")));
+
+    let ev = gather_evidence(&history, s("S1"), s("S3"), &params);
+    assert_eq!(ev.median_lag_b_after_a(), Some(1), "lazy by about a year");
+
+    // Outdated-true, not false.
+    let dong = store.object_id("Dong").unwrap();
+    let v = history.value_at(s("S2"), dong, 2007).unwrap();
+    assert_eq!(truth.classify(dong, v, 2007), Some(TruthClass::OutdatedTrue));
+}
+
+/// The facade's quickstart doc example, as a test.
+#[test]
+fn quickstart_flow() {
+    let (store, truth) = fixtures::table1();
+    let snapshot = store.snapshot();
+    let naive = naive_vote(&snapshot);
+    assert_eq!(truth.decision_precision(&naive), Some(0.4));
+    let result = AccuCopy::with_defaults().run(&snapshot);
+    assert_eq!(truth.decision_precision(&result.decisions()), Some(1.0));
+}

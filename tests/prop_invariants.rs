@@ -1,0 +1,178 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use sailing::core::dissim::{DissimParams, RatingView};
+use sailing::core::truth::{naive_probabilities, weighted_vote, DependenceMatrix};
+use sailing::core::{copy, AccuCopy, DetectionParams};
+use sailing::linkage::{jaro_winkler, levenshtein, normalize, parse_author_list};
+use sailing::model::{ClaimStoreBuilder, ObjectId, SnapshotView, SourceId, UpdateTrace, ValueId};
+
+/// Arbitrary small snapshot: up to 8 sources × 12 objects × 4 values.
+fn snapshot_strategy() -> impl Strategy<Value = SnapshotView> {
+    proptest::collection::vec((0u32..8, 0u32..12, 0u32..4), 1..120).prop_map(|triples| {
+        SnapshotView::from_triples(
+            8,
+            12,
+            triples
+                .into_iter()
+                .map(|(s, o, v)| (SourceId(s), ObjectId(o), ValueId(o * 4 + v))),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn value_probabilities_are_valid(snapshot in snapshot_strategy(), acc in 0.05f64..0.95) {
+        let params = DetectionParams::default();
+        let accs = vec![acc; snapshot.num_sources()];
+        let probs = weighted_vote(&snapshot, &accs, &DependenceMatrix::new(), &params);
+        for o in probs.objects() {
+            let d = probs.distribution(o);
+            let total: f64 = d.iter().map(|&(_, p)| p).sum();
+            prop_assert!(total <= 1.0 + 1e-9, "mass {} at {:?}", total, o);
+            prop_assert!(d.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
+            prop_assert!(d.windows(2).all(|w| w[0].1 >= w[1].1), "sorted desc");
+        }
+    }
+
+    #[test]
+    fn copy_posteriors_are_probabilities(snapshot in snapshot_strategy()) {
+        let params = DetectionParams { min_overlap: 1, ..DetectionParams::default() };
+        let probs = naive_probabilities(&snapshot);
+        let accs = vec![0.7; snapshot.num_sources()];
+        for a in 0..snapshot.num_sources() {
+            for b in (a + 1)..snapshot.num_sources() {
+                if let Some(dep) = copy::detect_pair(
+                    &snapshot, SourceId(a as u32), SourceId(b as u32), &probs, &accs, &params,
+                ) {
+                    prop_assert!((0.0..=1.0).contains(&dep.probability));
+                    prop_assert!((0.0..=1.0).contains(&dep.prob_a_on_b));
+                    prop_assert!(dep.a < dep.b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copy_detection_is_orientation_stable(snapshot in snapshot_strategy()) {
+        let params = DetectionParams { min_overlap: 1, ..DetectionParams::default() };
+        let probs = naive_probabilities(&snapshot);
+        let accs = vec![0.7; snapshot.num_sources()];
+        for a in 0..snapshot.num_sources().min(4) {
+            for b in (a + 1)..snapshot.num_sources().min(4) {
+                let ab = copy::detect_pair(&snapshot, SourceId(a as u32), SourceId(b as u32), &probs, &accs, &params);
+                let ba = copy::detect_pair(&snapshot, SourceId(b as u32), SourceId(a as u32), &probs, &accs, &params);
+                match (ab, ba) {
+                    (Some(x), Some(y)) => {
+                        prop_assert!((x.probability - y.probability).abs() < 1e-9);
+                        prop_assert!((x.prob_a_on_b - y.prob_a_on_b).abs() < 1e-9);
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(false, "asymmetric overlap gating"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_always_terminates_with_valid_state(snapshot in snapshot_strategy()) {
+        let result = AccuCopy::with_defaults().run(&snapshot);
+        prop_assert!(result.iterations <= DetectionParams::default().max_iterations);
+        for &a in &result.accuracies {
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+        for dep in &result.dependences {
+            prop_assert!((0.0..=1.0).contains(&dep.probability));
+        }
+        // Decisions only pick asserted values.
+        for (o, v) in result.decisions() {
+            let asserted = snapshot.assertions_on(o).iter().any(|&(_, av)| av == v);
+            prop_assert!(asserted, "decision must be an asserted value");
+        }
+    }
+
+    #[test]
+    fn source_relabeling_permutes_results(seed in 0u64..500) {
+        // Renaming sources must not change what is detected, only labels.
+        let mut b1 = ClaimStoreBuilder::new();
+        let mut b2 = ClaimStoreBuilder::new();
+        let objects = ["o1", "o2", "o3", "o4", "o5"];
+        for (i, o) in objects.iter().enumerate() {
+            let v = format!("v{}", (seed as usize + i) % 3);
+            b1.add("A", o, v.as_str()).add("B", o, v.as_str()).add("C", o, "other");
+            // Same data, sources added in reverse order.
+            b2.add("C", o, "other").add("B", o, v.as_str()).add("A", o, v.as_str());
+        }
+        let r1 = AccuCopy::with_defaults().run(&b1.build().snapshot());
+        let r2 = AccuCopy::with_defaults().run(&b2.build().snapshot());
+        // A↔B dependence must be identical regardless of labelling order.
+        let p1 = r1.dependences.iter().map(|d| d.probability).fold(0.0, f64::max);
+        let p2 = r2.dependences.iter().map(|d| d.probability).fold(0.0, f64::max);
+        prop_assert!((p1 - p2).abs() < 1e-6, "{p1} vs {p2}");
+    }
+
+    #[test]
+    fn update_trace_invariants(pairs in proptest::collection::vec((0i64..100, 0u32..5), 0..40)) {
+        let trace = UpdateTrace::from_pairs(pairs.into_iter().map(|(t, v)| (t, ValueId(v))));
+        let updates = trace.updates();
+        prop_assert!(updates.windows(2).all(|w| w[0].0 < w[1].0), "strictly increasing times");
+        prop_assert!(updates.windows(2).all(|w| w[0].1 != w[1].1), "no consecutive duplicates");
+        if let Some((t, v)) = trace.latest() {
+            prop_assert_eq!(trace.value_at(t), Some(v));
+            prop_assert_eq!(trace.value_at(i64::MAX), Some(v));
+        }
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn jaro_winkler_bounded_and_reflexive(a in "[a-zA-Z ]{0,16}", b in "[a-zA-Z ]{0,16}") {
+        let s = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        prop_assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((s - jaro_winkler(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_is_idempotent(s in "\\PC{0,24}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn author_list_match_score_symmetric_and_bounded(
+        a in "[A-Z][a-z]{1,8} [A-Z][a-z]{1,8}(; [A-Z][a-z]{1,8} [A-Z][a-z]{1,8}){0,2}",
+        b in "[A-Z][a-z]{1,8} [A-Z][a-z]{1,8}(; [A-Z][a-z]{1,8} [A-Z][a-z]{1,8}){0,2}",
+    ) {
+        let la = parse_author_list(&a);
+        let lb = parse_author_list(&b);
+        let sab = la.match_score(&lb);
+        let sba = lb.match_score(&la);
+        prop_assert!((sab - sba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&sab));
+        prop_assert!(la.match_score(&la) > 0.99);
+    }
+
+    #[test]
+    fn dissim_posteriors_are_probabilities(
+        ratings in proptest::collection::vec((0u32..5, 0u32..15, 0u8..3), 10..80)
+    ) {
+        let view = RatingView::from_triples(
+            5, 15, 2,
+            ratings.into_iter().map(|(s, o, r)| (SourceId(s), ObjectId(o), r)),
+        );
+        for dep in sailing::core::dissim::detect_all(&view, &DissimParams::default()) {
+            prop_assert!((0.0..=1.0).contains(&dep.probability));
+            prop_assert!((0.0..=1.0).contains(&dep.prob_a_on_b));
+        }
+    }
+}
