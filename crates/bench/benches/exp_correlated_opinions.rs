@@ -9,9 +9,7 @@ use sailing_datagen::ratings::{RaterBehavior, RatingWorld, RatingWorldConfig};
 /// A world of honest raters who all follow item popularity to a varying
 /// degree — zero real dependence, lots of agreement.
 fn follower_world(noise: f64, seed: u64) -> RatingWorld {
-    let raters = (0..10)
-        .map(|_| RaterBehavior::Follower { noise })
-        .collect();
+    let raters = (0..10).map(|_| RaterBehavior::Follower { noise }).collect();
     RatingWorld::generate(&RatingWorldConfig {
         num_items: 250,
         scale_max: 2,

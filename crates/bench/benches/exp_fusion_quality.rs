@@ -52,7 +52,7 @@ fn main() {
             .iter()
             .enumerate()
             {
-                let outcome = fuse(&w.snapshot, strategy);
+                let outcome = fuse(&w.snapshot, strategy).expect("valid strategy params");
                 scores[i] += w.truth.decision_precision(&outcome.decisions).unwrap();
             }
         }

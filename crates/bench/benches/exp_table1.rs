@@ -8,7 +8,10 @@ use sailing_fusion::{fuse, FusionStrategy};
 use sailing_model::fixtures;
 
 fn main() {
-    banner("E1", "Table 1 — researcher affiliations (Examples 2.1 & 3.1)");
+    banner(
+        "E1",
+        "Table 1 — researcher affiliations (Examples 2.1 & 3.1)",
+    );
     let (store, truth) = fixtures::table1();
     let snapshot = store.snapshot();
 
@@ -19,7 +22,12 @@ fn main() {
         let mut cells = vec![researcher.to_string()];
         for s in fixtures::AFFILIATION_SOURCES {
             let sid = store.source_id(s).unwrap();
-            cells.push(store.value(snapshot.value(sid, o).unwrap()).unwrap().to_string());
+            cells.push(
+                store
+                    .value(snapshot.value(sid, o).unwrap())
+                    .unwrap()
+                    .to_string(),
+            );
         }
         cells.push(store.value(truth.value(o).unwrap()).unwrap().to_string());
         println!("{}", row(&cells));
@@ -29,10 +37,14 @@ fn main() {
     let (indep_store, indep_truth) = fixtures::table1_independent_only();
     let naive_indep = naive_vote(&indep_store.snapshot());
     let naive_full = naive_vote(&snapshot);
-    println!("\nNaive voting, S1..S3 only : {:.0}% correct (Dong tied 3-way)",
-        indep_truth.decision_precision(&naive_indep).unwrap() * 100.0);
-    println!("Naive voting, S1..S5      : {:.0}% correct (wrong on 3 of 5)",
-        truth.decision_precision(&naive_full).unwrap() * 100.0);
+    println!(
+        "\nNaive voting, S1..S3 only : {:.0}% correct (Dong tied 3-way)",
+        indep_truth.decision_precision(&naive_indep).unwrap() * 100.0
+    );
+    println!(
+        "Naive voting, S1..S5      : {:.0}% correct (wrong on 3 of 5)",
+        truth.decision_precision(&naive_full).unwrap() * 100.0
+    );
 
     // Strategy ladder.
     println!();
@@ -42,12 +54,15 @@ fn main() {
         FusionStrategy::AccuracyVote,
         FusionStrategy::dependence_aware(),
     ] {
-        let outcome = fuse(&snapshot, &strategy);
+        let outcome = fuse(&snapshot, &strategy).expect("valid strategy params");
         println!(
             "{}",
             row(&[
                 outcome.strategy.clone(),
-                format!("{:.2}", truth.decision_precision(&outcome.decisions).unwrap()),
+                format!(
+                    "{:.2}",
+                    truth.decision_precision(&outcome.decisions).unwrap()
+                ),
             ])
         );
     }
@@ -69,7 +84,10 @@ fn main() {
                 .map(|d| d.probability)
                 .unwrap_or(0.0);
             let verdict = if p >= 0.5 { "dependent" } else { "independent" };
-            println!("{}", row(&[format!("{a}-{b}"), format!("{p:.3}"), verdict.to_string()]));
+            println!(
+                "{}",
+                row(&[format!("{a}-{b}"), format!("{p:.3}"), verdict.to_string()])
+            );
         }
     }
     println!("\nEstimated accuracies:");

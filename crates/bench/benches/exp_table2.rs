@@ -31,7 +31,7 @@ fn main() {
 
     println!("\nPairwise dependence posteriors (3 movies — soft, ranking matters):");
     let mut deps = detect_all(&view, &DissimParams::default());
-    deps.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
+    deps.sort_by(|a, b| b.probability.total_cmp(&a.probability));
     header(&["pair", "p(dependent)", "kind"]);
     for dep in &deps {
         println!(
@@ -78,8 +78,14 @@ fn main() {
         "{}",
         row(&[
             "MSE vs unbiased".to_string(),
-            format!("{:.4}", RatingAggregate::mse_against(&agg.naive_mean, &unbiased)),
-            format!("{:.4}", RatingAggregate::mse_against(&agg.aware_mean, &unbiased)),
+            format!(
+                "{:.4}",
+                RatingAggregate::mse_against(&agg.naive_mean, &unbiased)
+            ),
+            format!(
+                "{:.4}",
+                RatingAggregate::mse_against(&agg.aware_mean, &unbiased)
+            ),
         ])
     );
     println!("high-confidence dissimilarity pairs: {dissim_pairs}");

@@ -24,7 +24,10 @@ pub fn row(cells: &[String]) -> String {
 
 /// Prints a header + separator.
 pub fn header(cells: &[&str]) {
-    println!("{}", row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     println!("{}", "-".repeat(cells.len() * 14));
 }
 

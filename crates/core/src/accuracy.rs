@@ -32,8 +32,7 @@ pub fn estimate_accuracies(
                 total += probs.prob(o, v);
                 count += 1;
             }
-            let smoothed =
-                (total + PSEUDO * params.initial_accuracy) / (count as f64 + PSEUDO);
+            let smoothed = (total + PSEUDO * params.initial_accuracy) / (count as f64 + PSEUDO);
             params.clamp_accuracy(smoothed)
         })
         .collect()
@@ -90,11 +89,15 @@ mod tests {
 
     #[test]
     fn source_without_assertions_gets_prior() {
-        let snap = sailing_model::SnapshotView::from_triples(2, 1, vec![(
-            SourceId(0),
-            sailing_model::ObjectId(0),
-            sailing_model::ValueId(0),
-        )]);
+        let snap = sailing_model::SnapshotView::from_triples(
+            2,
+            1,
+            vec![(
+                SourceId(0),
+                sailing_model::ObjectId(0),
+                sailing_model::ValueId(0),
+            )],
+        );
         let params = DetectionParams::default();
         let accs = vec![0.8, 0.8];
         let probs = weighted_vote(&snap, &accs, &DependenceMatrix::new(), &params);

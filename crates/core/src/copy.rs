@@ -235,7 +235,10 @@ mod tests {
             dep.probability,
             indep.probability
         );
-        assert!(dep.probability > 0.15, "above the hard-damping bar: {dep:?}");
+        assert!(
+            dep.probability > 0.15,
+            "above the hard-damping bar: {dep:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Pluggable truth-discovery strategies.
+//!
+//! The paper's programme is one loop — *determine true values ↔ compute
+//! source accuracy ↔ discover dependence* — instantiated at three rungs of
+//! the experiment ladder: naive voting, accuracy-weighted voting (ACCU),
+//! and the full dependence-aware pipeline (ACCU-COPY). [`TruthDiscovery`]
+//! makes the rung a first-class object: fusion, the online-query planner,
+//! the recommender, and the `sailing` facade all consume `dyn
+//! TruthDiscovery` instead of re-matching a strategy enum, so new
+//! strategies (e.g. a future sharded or incremental pipeline) plug in
+//! without touching the downstream crates.
+
+use sailing_model::{SailingError, SnapshotView};
+
+use crate::params::DetectionParams;
+use crate::pipeline::{AccuCopy, PipelineResult};
+use crate::truth::naive_probabilities;
+
+/// A truth-discovery strategy: everything that can turn a snapshot of
+/// conflicting claims into per-object value beliefs (and, for the
+/// dependence-aware rungs, source accuracies and pairwise dependences).
+///
+/// Implementations must be deterministic for a given snapshot so cached
+/// [`PipelineResult`]s can be reused across fusion, query planning, and
+/// recommendation.
+pub trait TruthDiscovery: Send + Sync {
+    /// Short display name used in experiment tables and reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the strategy over a snapshot.
+    fn discover(&self, snapshot: &SnapshotView) -> PipelineResult;
+
+    /// `true` when the strategy estimates per-source accuracies.
+    fn estimates_accuracies(&self) -> bool {
+        true
+    }
+
+    /// `true` when the strategy detects source dependences.
+    fn detects_dependence(&self) -> bool {
+        true
+    }
+
+    /// The detection parameters the strategy runs with, when it has any.
+    ///
+    /// Consumers that vote downstream of discovery (fusion damping, online
+    /// sessions) should prefer these over their own defaults so the whole
+    /// loop uses one parameter set; `None` means the strategy is
+    /// parameter-free (e.g. naive voting).
+    fn detection_params(&self) -> Option<&DetectionParams> {
+        None
+    }
+}
+
+/// Majority voting — the paper's inadequate baseline (Section 1).
+///
+/// Produces naive vote shares as "probabilities", no accuracy estimates,
+/// and no dependences.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveVote;
+
+impl NaiveVote {
+    /// Creates the naive-voting strategy.
+    pub fn new() -> Self {
+        NaiveVote
+    }
+}
+
+impl TruthDiscovery for NaiveVote {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn discover(&self, snapshot: &SnapshotView) -> PipelineResult {
+        PipelineResult {
+            probabilities: naive_probabilities(snapshot),
+            accuracies: Vec::new(),
+            dependences: Vec::new(),
+            iterations: 1,
+            converged: true,
+        }
+    }
+
+    fn estimates_accuracies(&self) -> bool {
+        false
+    }
+
+    fn detects_dependence(&self) -> bool {
+        false
+    }
+}
+
+/// Accuracy-weighted voting without dependence awareness — the ACCU
+/// baseline used throughout the experiments.
+#[derive(Debug, Clone)]
+pub struct Accu {
+    pipeline: AccuCopy,
+}
+
+impl Accu {
+    /// Creates the ACCU baseline with default parameters.
+    pub fn with_defaults() -> Self {
+        Self {
+            pipeline: AccuCopy::baseline(),
+        }
+    }
+
+    /// Creates the ACCU baseline from explicit parameters (copy detection
+    /// is forced off).
+    pub fn new(params: DetectionParams) -> Result<Self, SailingError> {
+        let params = DetectionParams {
+            enable_copy_detection: false,
+            ..params
+        };
+        Ok(Self {
+            pipeline: AccuCopy::new(params)?,
+        })
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &DetectionParams {
+        self.pipeline.params()
+    }
+}
+
+impl Default for Accu {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl TruthDiscovery for Accu {
+    fn name(&self) -> &'static str {
+        "accu"
+    }
+
+    fn discover(&self, snapshot: &SnapshotView) -> PipelineResult {
+        self.pipeline.run(snapshot)
+    }
+
+    fn detects_dependence(&self) -> bool {
+        false
+    }
+
+    fn detection_params(&self) -> Option<&DetectionParams> {
+        Some(self.pipeline.params())
+    }
+}
+
+impl TruthDiscovery for AccuCopy {
+    fn name(&self) -> &'static str {
+        if self.params().enable_copy_detection {
+            "accu-copy"
+        } else {
+            "accu"
+        }
+    }
+
+    fn discover(&self, snapshot: &SnapshotView) -> PipelineResult {
+        self.run(snapshot)
+    }
+
+    fn detects_dependence(&self) -> bool {
+        self.params().enable_copy_detection
+    }
+
+    fn detection_params(&self) -> Option<&DetectionParams> {
+        Some(self.params())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_model::fixtures;
+
+    fn strategies() -> Vec<Box<dyn TruthDiscovery>> {
+        vec![
+            Box::new(NaiveVote::new()),
+            Box::new(Accu::with_defaults()),
+            Box::new(AccuCopy::with_defaults()),
+        ]
+    }
+
+    #[test]
+    fn names_and_capabilities() {
+        let s = strategies();
+        assert_eq!(s[0].name(), "naive");
+        assert_eq!(s[1].name(), "accu");
+        assert_eq!(s[2].name(), "accu-copy");
+        assert!(!s[0].estimates_accuracies());
+        assert!(s[1].estimates_accuracies());
+        assert!(!s[1].detects_dependence());
+        assert!(s[2].detects_dependence());
+    }
+
+    #[test]
+    fn table1_ladder_through_the_trait() {
+        // The paper's headline, driven entirely through trait objects.
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let mut precisions = Vec::new();
+        for s in strategies() {
+            let result = s.discover(&snap);
+            precisions.push(truth.decision_precision(&result.decisions()).unwrap());
+        }
+        assert!(
+            (precisions[0] - 0.4).abs() < 1e-9,
+            "naive follows the copiers"
+        );
+        assert_eq!(precisions[2], 1.0, "accu-copy recovers all truths");
+        assert!(precisions[2] >= precisions[1]);
+    }
+
+    #[test]
+    fn naive_matches_naive_vote() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let via_trait = NaiveVote::new().discover(&snap).decisions();
+        let direct = crate::vote::naive_vote(&snap);
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn accu_forces_copy_detection_off() {
+        let accu = Accu::new(DetectionParams::default()).unwrap();
+        assert!(!accu.params().enable_copy_detection);
+        assert!(Accu::new(DetectionParams {
+            copy_rate: 7.0,
+            ..DetectionParams::default()
+        })
+        .is_err());
+        let (store, _) = fixtures::table1();
+        let result = Accu::default().discover(&store.snapshot());
+        assert!(result.dependences.is_empty());
+    }
+
+    #[test]
+    fn accu_copy_name_tracks_params() {
+        assert_eq!(TruthDiscovery::name(&AccuCopy::baseline()), "accu");
+        assert_eq!(
+            TruthDiscovery::name(&AccuCopy::with_defaults()),
+            "accu-copy"
+        );
+    }
+}

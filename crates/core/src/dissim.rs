@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use sailing_model::{ClaimStore, ObjectId, SourceId, Value};
+use sailing_model::{ClaimStore, ObjectId, SailingError, SourceId, Value};
 
 use crate::report::{DependenceKind, Direction, PairDependence};
 
@@ -56,21 +56,21 @@ impl Default for DissimParams {
 
 impl DissimParams {
     /// Validates parameter consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SailingError> {
         if !(0.0..=1.0).contains(&self.prior_dependence) {
-            return Err(format!(
-                "prior_dependence = {} outside [0, 1]",
-                self.prior_dependence
+            return Err(SailingError::param_outside_unit(
+                "prior_dependence",
+                self.prior_dependence,
             ));
         }
         if !(0.0..=1.0).contains(&self.dependence_rate) {
-            return Err(format!(
-                "dependence_rate = {} outside [0, 1]",
-                self.dependence_rate
+            return Err(SailingError::param_outside_unit(
+                "dependence_rate",
+                self.dependence_rate,
             ));
         }
         if self.smoothing <= 0.0 {
-            return Err("smoothing must be positive".into());
+            return Err(SailingError::param("smoothing", "must be positive"));
         }
         Ok(())
     }
@@ -318,7 +318,12 @@ pub fn detect_pair(
 
         logs[0] += pa_ra.ln() + pb_rb.ln();
         let mimic = |hit: bool, base: f64| {
-            (if hit { c + (1.0 - c) * base } else { (1.0 - c) * base }).max(1e-12)
+            (if hit {
+                c + (1.0 - c) * base
+            } else {
+                (1.0 - c) * base
+            })
+            .max(1e-12)
         };
         // sim: dependent repeats the other's rating.
         logs[1] += pb_rb.ln() + mimic(ra == rb, pa_ra).ln();
@@ -419,7 +424,10 @@ mod tests {
         let pianist = store.object_id("The Pianist").unwrap();
         assert_eq!(view.rating(r1, pianist), Some(2));
         assert_eq!(view.ratings_on(pianist).len(), 4);
-        assert_eq!(view.shared_items(r1, store.source_id("R4").unwrap()).len(), 3);
+        assert_eq!(
+            view.shared_items(r1, store.source_id("R4").unwrap()).len(),
+            3
+        );
         assert!((view.item_mean(pianist).unwrap() - 0.75).abs() < 1e-12);
     }
 
@@ -598,8 +606,6 @@ mod tests {
         let deps = detect_all(&view, &DissimParams::default());
         assert_eq!(deps.len(), 6); // C(4,2)
         assert!(deps.iter().all(|p| p.a < p.b));
-        assert!(deps
-            .iter()
-            .all(|p| (0.0..=1.0).contains(&p.probability)));
+        assert!(deps.iter().all(|p| (0.0..=1.0).contains(&p.probability)));
     }
 }

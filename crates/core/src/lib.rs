@@ -33,13 +33,17 @@
 //!   dependence*, run to fixpoint;
 //! * [`pairs`] — scalable candidate-pair enumeration with shared-object
 //!   pruning and optional parallelism (the "huge number of data sources"
-//!   challenge).
+//!   challenge);
+//! * [`discovery`] — the [`TruthDiscovery`] strategy trait making the
+//!   naive / ACCU / ACCU-COPY ladder pluggable objects consumed by fusion,
+//!   query answering, recommendation, and the `sailing` facade.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accuracy;
 pub mod copy;
+pub mod discovery;
 pub mod dissim;
 pub mod pairs;
 pub mod params;
@@ -50,6 +54,8 @@ pub mod temporal;
 pub mod truth;
 pub mod vote;
 
+pub use discovery::{Accu, NaiveVote, TruthDiscovery};
 pub use params::{DetectionParams, TemporalParams};
 pub use pipeline::{AccuCopy, PipelineResult};
 pub use report::{DependenceKind, Direction, PairDependence, SourceReport};
+pub use sailing_model::{SailingError, SailingResult};

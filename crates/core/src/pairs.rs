@@ -73,11 +73,11 @@ pub fn detect_all(
 
     let chunk = pairs.len().div_ceil(threads);
     let mut results: Vec<Vec<PairDependence>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = pairs
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     slice
                         .iter()
                         .filter_map(|&(a, b, _)| {
@@ -90,8 +90,7 @@ pub fn detect_all(
         for h in handles {
             results.push(h.join().expect("detection worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     let mut out: Vec<PairDependence> = results.into_iter().flatten().collect();
     out.sort_by_key(|p| (p.a, p.b));
     out

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use sailing_model::SailingError;
+
 /// Parameters of snapshot dependence detection and the joint pipeline.
 ///
 /// Defaults follow the conventions of the authors' Bayesian copy-detection
@@ -85,14 +87,14 @@ impl DetectionParams {
         a.clamp(self.accuracy_floor, self.accuracy_ceiling)
     }
 
-    /// Validates parameter consistency; returns a description of the first
-    /// violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
-        fn prob(name: &str, p: f64) -> Result<(), String> {
+    /// Validates parameter consistency; reports the first violated
+    /// constraint as a typed [`SailingError::InvalidParameter`].
+    pub fn validate(&self) -> Result<(), SailingError> {
+        fn prob(name: &'static str, p: f64) -> Result<(), SailingError> {
             if (0.0..=1.0).contains(&p) {
                 Ok(())
             } else {
-                Err(format!("{name} = {p} outside [0, 1]"))
+                Err(SailingError::param_outside_unit(name, p))
             }
         }
         prob("prior_dependence", self.prior_dependence)?;
@@ -103,22 +105,28 @@ impl DetectionParams {
         prob("accuracy_floor", self.accuracy_floor)?;
         prob("accuracy_ceiling", self.accuracy_ceiling)?;
         if self.accuracy_floor >= self.accuracy_ceiling {
-            return Err(format!(
-                "accuracy_floor {} must be below accuracy_ceiling {}",
-                self.accuracy_floor, self.accuracy_ceiling
+            return Err(SailingError::param(
+                "accuracy_floor",
+                format!(
+                    "{} must be below accuracy_ceiling {}",
+                    self.accuracy_floor, self.accuracy_ceiling
+                ),
             ));
         }
         if self.n_false_values == 0 {
-            return Err("n_false_values must be at least 1".into());
+            return Err(SailingError::param("n_false_values", "must be at least 1"));
         }
         if self.max_iterations == 0 {
-            return Err("max_iterations must be at least 1".into());
+            return Err(SailingError::param("max_iterations", "must be at least 1"));
         }
         if self.threads == 0 {
-            return Err("threads must be at least 1".into());
+            return Err(SailingError::param("threads", "must be at least 1"));
         }
         if self.convergence_epsilon <= 0.0 {
-            return Err("convergence_epsilon must be positive".into());
+            return Err(SailingError::param(
+                "convergence_epsilon",
+                "must be positive",
+            ));
         }
         Ok(())
     }
@@ -155,21 +163,24 @@ impl Default for TemporalParams {
 
 impl TemporalParams {
     /// Validates parameter consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SailingError> {
         if !(0.0..=1.0).contains(&self.prior_dependence) {
-            return Err(format!(
-                "prior_dependence = {} outside [0, 1]",
-                self.prior_dependence
+            return Err(SailingError::param_outside_unit(
+                "prior_dependence",
+                self.prior_dependence,
             ));
         }
         if !(0.0..=1.0).contains(&self.copy_rate) {
-            return Err(format!("copy_rate = {} outside [0, 1]", self.copy_rate));
+            return Err(SailingError::param_outside_unit(
+                "copy_rate",
+                self.copy_rate,
+            ));
         }
         if self.max_lag < 0 {
-            return Err("max_lag must be non-negative".into());
+            return Err(SailingError::param("max_lag", "must be non-negative"));
         }
         if self.rarity_smoothing <= 0.0 {
-            return Err("rarity_smoothing must be positive".into());
+            return Err(SailingError::param("rarity_smoothing", "must be positive"));
         }
         Ok(())
     }

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use sailing_model::{ObjectId, SnapshotView, SourceId, ValueId};
+use sailing_model::{ObjectId, SailingError, SnapshotView, SourceId, ValueId};
 
 use crate::accuracy::{estimate_accuracies, max_delta};
 use crate::pairs::detect_all;
@@ -56,7 +56,9 @@ impl PipelineResult {
             .iter()
             .filter(|p| p.is_dependent(threshold))
             .collect();
-        out.sort_by(|x, y| y.probability.partial_cmp(&x.probability).unwrap());
+        // `total_cmp` keeps the sort NaN-safe: a detector emitting a NaN
+        // posterior must not panic the reporting path.
+        out.sort_by(|x, y| y.probability.total_cmp(&x.probability));
         out
     }
 
@@ -68,7 +70,17 @@ impl PipelineResult {
     /// Per-source summary: accuracy, coverage, copier probability and mean
     /// vote independence.
     pub fn source_reports(&self, snapshot: &SnapshotView) -> Vec<SourceReport> {
-        let matrix = self.dependence_matrix();
+        self.source_reports_with(snapshot, &self.dependence_matrix())
+    }
+
+    /// Like [`PipelineResult::source_reports`], reusing an
+    /// already-materialised dependence matrix instead of rebuilding it —
+    /// the path the `sailing` facade's cached analysis takes.
+    pub fn source_reports_with(
+        &self,
+        snapshot: &SnapshotView,
+        matrix: &DependenceMatrix,
+    ) -> Vec<SourceReport> {
         (0..snapshot.num_sources())
             .map(|idx| {
                 let s = SourceId::from_index(idx);
@@ -96,7 +108,7 @@ impl PipelineResult {
 
 impl AccuCopy {
     /// Creates a pipeline after validating the parameters.
-    pub fn new(params: DetectionParams) -> Result<Self, String> {
+    pub fn new(params: DetectionParams) -> Result<Self, SailingError> {
         params.validate()?;
         Ok(Self { params })
     }
@@ -287,7 +299,9 @@ mod tests {
         let result = AccuCopy::with_defaults().run(&snap);
         let pairs = result.dependent_pairs(0.8);
         assert!(!pairs.is_empty());
-        assert!(pairs.windows(2).all(|w| w[0].probability >= w[1].probability));
+        assert!(pairs
+            .windows(2)
+            .all(|w| w[0].probability >= w[1].probability));
         assert!(pairs.iter().all(|p| p.probability >= 0.8));
     }
 

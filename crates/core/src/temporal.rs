@@ -108,11 +108,7 @@ impl UpdateRarity {
     /// Smoothed probability that an arbitrary source covering `object` would
     /// independently assert `value` at some point.
     pub fn frequency(&self, object: ObjectId, value: ValueId) -> f64 {
-        let k = self
-            .asserters
-            .get(&(object, value))
-            .copied()
-            .unwrap_or(0) as f64;
+        let k = self.asserters.get(&(object, value)).copied().unwrap_or(0) as f64;
         let n = self.coverers.get(&object).copied().unwrap_or(0) as f64;
         // Exclude the asserting source itself from both counts: we ask how
         // likely *another* source is to make the same update.

@@ -138,7 +138,11 @@ pub fn vote_weight(accuracy: f64, n_false: usize, params: &DetectionParams) -> f
 /// Effective number of false values for an object: the configured floor or
 /// the observed value diversity, whichever is larger.
 #[inline]
-pub fn effective_n_false(snapshot: &SnapshotView, object: ObjectId, params: &DetectionParams) -> usize {
+pub fn effective_n_false(
+    snapshot: &SnapshotView,
+    object: ObjectId,
+    params: &DetectionParams,
+) -> usize {
     params
         .n_false_values
         .max(snapshot.distinct_values(object).saturating_sub(1))
@@ -182,7 +186,7 @@ pub fn weighted_vote(
             ordered.sort_by(|&x, &y| {
                 let ax = accuracies.get(x.index()).copied().unwrap_or(0.5);
                 let ay = accuracies.get(y.index()).copied().unwrap_or(0.5);
-                ay.partial_cmp(&ax).unwrap().then(x.cmp(&y))
+                ay.total_cmp(&ax).then(x.cmp(&y))
             });
             let mut score = 0.0;
             for (i, &s) in ordered.iter().enumerate() {
@@ -224,7 +228,7 @@ pub fn weighted_vote(
             .into_iter()
             .map(|(v, s)| (v, (s - max_score).exp() / z))
             .collect();
-        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        probs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         dist.insert(object, probs);
     }
     ValueProbabilities { dist }

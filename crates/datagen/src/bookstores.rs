@@ -155,25 +155,45 @@ pub struct BookCorpus {
 }
 
 const FIRST_NAMES: [&str; 28] = [
-    "James", "Mary", "Wei", "Elena", "Rajesh", "Anna", "David", "Laura", "Kenji", "Sara",
-    "Peter", "Nadia", "Hugo", "Ines", "Omar", "Julia", "Marco", "Priya", "Ivan", "Grace",
-    "Tomas", "Aisha", "Felix", "Noor", "Diego", "Hannah", "Louis", "Mei",
+    "James", "Mary", "Wei", "Elena", "Rajesh", "Anna", "David", "Laura", "Kenji", "Sara", "Peter",
+    "Nadia", "Hugo", "Ines", "Omar", "Julia", "Marco", "Priya", "Ivan", "Grace", "Tomas", "Aisha",
+    "Felix", "Noor", "Diego", "Hannah", "Louis", "Mei",
 ];
 const LAST_NAMES: [&str; 32] = [
-    "Ullman", "Widom", "Garcia", "Chen", "Kumar", "Rossi", "Novak", "Schmidt", "Tanaka",
-    "Okafor", "Johnson", "Martin", "Silva", "Petrov", "Haddad", "Larsen", "Moreau", "Berg",
-    "Costa", "Fischer", "Nakamura", "Olsen", "Patel", "Quinn", "Rivera", "Sato", "Tran",
-    "Vargas", "Weiss", "Xu", "Yilmaz", "Zhang",
+    "Ullman", "Widom", "Garcia", "Chen", "Kumar", "Rossi", "Novak", "Schmidt", "Tanaka", "Okafor",
+    "Johnson", "Martin", "Silva", "Petrov", "Haddad", "Larsen", "Moreau", "Berg", "Costa",
+    "Fischer", "Nakamura", "Olsen", "Patel", "Quinn", "Rivera", "Sato", "Tran", "Vargas", "Weiss",
+    "Xu", "Yilmaz", "Zhang",
 ];
 const TOPICS: [&str; 18] = [
-    "Java", "Databases", "Compilers", "Networks", "Algorithms", "Operating Systems",
-    "Machine Learning", "Cryptography", "Distributed Systems", "Graphics", "C++",
-    "Python", "Information Retrieval", "Software Engineering", "Data Mining",
-    "Computer Architecture", "Theory of Computation", "Web Programming",
+    "Java",
+    "Databases",
+    "Compilers",
+    "Networks",
+    "Algorithms",
+    "Operating Systems",
+    "Machine Learning",
+    "Cryptography",
+    "Distributed Systems",
+    "Graphics",
+    "C++",
+    "Python",
+    "Information Retrieval",
+    "Software Engineering",
+    "Data Mining",
+    "Computer Architecture",
+    "Theory of Computation",
+    "Web Programming",
 ];
 const PUBLISHERS: [&str; 8] = [
-    "Prentice Hall", "Addison-Wesley", "O'Reilly", "Morgan Kaufmann", "Springer",
-    "MIT Press", "Wiley", "McGraw-Hill",
+    "Prentice Hall",
+    "Addison-Wesley",
+    "O'Reilly",
+    "Morgan Kaufmann",
+    "Springer",
+    "MIT Press",
+    "Wiley",
+    "McGraw-Hill",
 ];
 
 fn gen_book(rng: &mut Rng, idx: usize) -> Book {
@@ -275,7 +295,11 @@ fn corrupt_authors(rng: &mut Rng, authors: &[String]) -> Vec<String> {
             let mut chars: Vec<char> = out[i].chars().collect();
             if let Some(pos) = (1..chars.len()).nth(rng.gen_range(0..chars.len().max(2) - 1)) {
                 let c = chars[pos];
-                chars[pos] = if c == 'z' { 'y' } else { ((c as u8) + 1) as char };
+                chars[pos] = if c == 'z' {
+                    'y'
+                } else {
+                    ((c as u8) + 1) as char
+                };
             }
             out[i] = chars.into_iter().collect();
         }
@@ -295,7 +319,9 @@ impl BookCorpus {
     /// Generates the corpus.
     pub fn generate(config: &BookCorpusConfig) -> Self {
         let mut rng = crate::rng(config.seed);
-        let books: Vec<Book> = (0..config.num_books).map(|i| gen_book(&mut rng, i)).collect();
+        let books: Vec<Book> = (0..config.num_books)
+            .map(|i| gen_book(&mut rng, i))
+            .collect();
         let store_names: Vec<String> = (0..config.num_stores)
             .map(|i| format!("store{i:04}"))
             .collect();
@@ -542,14 +568,14 @@ impl BookCorpus {
         book_ids.sort_unstable();
         for b in book_ids {
             let idxs = &per_book[&b];
-            let mut raws: Vec<&str> =
-                idxs.iter().map(|&i| self.listings[i].authors_raw.as_str()).collect();
+            let mut raws: Vec<&str> = idxs
+                .iter()
+                .map(|&i| self.listings[i].authors_raw.as_str())
+                .collect();
             raws.sort_unstable();
             raws.dedup();
             let parsed: Vec<AuthorList> = raws.iter().map(|r| parse_author_list(r)).collect();
-            let clusters = sailing_linkage::cluster_values(&parsed, 0.85, |x, y| {
-                x.match_score(y)
-            });
+            let clusters = sailing_linkage::cluster_values(&parsed, 0.85, |x, y| x.match_score(y));
             // Most frequent raw string per cluster is the canonical form.
             let mut canon_of: HashMap<&str, String> = HashMap::new();
             for cluster in &clusters {
@@ -721,10 +747,7 @@ mod tests {
         for l in &corpus.listings {
             if l.is_correct {
                 let object = store
-                    .object_id(&format!(
-                        "book{:04}:{}",
-                        l.book, corpus.books[l.book].title
-                    ))
+                    .object_id(&format!("book{:04}:{}", l.book, corpus.books[l.book].title))
                     .unwrap();
                 let v = store.value_id(&Value::text(&l.authors_raw)).unwrap();
                 decisions.entry(object).or_insert(v);
@@ -743,6 +766,9 @@ mod tests {
             .copied()
             .fold(f64::INFINITY, f64::min);
         let hi = corpus.store_accuracy.iter().copied().fold(0.0, f64::max);
-        assert!(lo >= 0.0 && hi <= 0.92 + 1e-9, "accuracy range [{lo}, {hi}]");
+        assert!(
+            lo >= 0.0 && hi <= 0.92 + 1e-9,
+            "accuracy range [{lo}, {hi}]"
+        );
     }
 }

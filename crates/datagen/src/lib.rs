@@ -26,7 +26,7 @@ pub mod world;
 pub mod zipf;
 
 pub use bookstores::{BookCorpus, BookCorpusConfig};
-pub use ratings::{RatingWorld, RatingWorldConfig, RaterBehavior};
+pub use ratings::{RaterBehavior, RatingWorld, RatingWorldConfig};
 pub use temporal::{TemporalWorld, TemporalWorldConfig};
 pub use world::{SnapshotWorld, SourceBehavior, WorldConfig};
 pub use zipf::Zipf;

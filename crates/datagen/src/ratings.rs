@@ -11,7 +11,7 @@ use rand::Rng as _;
 use serde::{Deserialize, Serialize};
 
 use sailing_core::dissim::RatingView;
-use sailing_model::{ObjectId, SourceId};
+use sailing_model::{ObjectId, SailingError, SourceId};
 
 use crate::Rng;
 
@@ -48,7 +48,10 @@ pub enum RaterBehavior {
 impl RaterBehavior {
     /// `true` for the two dependent behaviours.
     pub fn is_dependent(&self) -> bool {
-        matches!(self, RaterBehavior::Copier { .. } | RaterBehavior::Inverter { .. })
+        matches!(
+            self,
+            RaterBehavior::Copier { .. } | RaterBehavior::Inverter { .. }
+        )
     }
 
     /// The target rater index for dependent behaviours.
@@ -77,27 +80,28 @@ pub struct RatingWorldConfig {
 
 impl RatingWorldConfig {
     /// Checks structural validity.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SailingError> {
+        let err = |reason: String| SailingError::config("RatingWorldConfig", reason);
         if self.num_items == 0 || self.scale_max == 0 {
-            return Err("degenerate rating world".into());
+            return Err(err("degenerate rating world".into()));
         }
         if !(0.0..=1.0).contains(&self.coverage) || self.coverage == 0.0 {
-            return Err("coverage must be in (0, 1]".into());
+            return Err(err("coverage must be in (0, 1]".into()));
         }
         for (i, r) in self.raters.iter().enumerate() {
             match r {
                 RaterBehavior::Follower { noise } => {
                     if !(0.0..=1.0).contains(noise) {
-                        return Err(format!("rater {i}: noise out of range"));
+                        return Err(err(format!("rater {i}: noise out of range")));
                     }
                 }
                 RaterBehavior::Maverick => {}
                 RaterBehavior::Copier { of, rate } | RaterBehavior::Inverter { of, rate } => {
                     if *of >= i {
-                        return Err(format!("rater {i}: must reference an earlier rater"));
+                        return Err(err(format!("rater {i}: must reference an earlier rater")));
                     }
                     if !(0.0..=1.0).contains(rate) {
-                        return Err(format!("rater {i}: rate out of range"));
+                        return Err(err(format!("rater {i}: rate out of range")));
                     }
                 }
             }
@@ -248,8 +252,10 @@ mod tests {
         for s in 0..w1.view.num_sources() {
             for o in 0..w1.view.num_objects() {
                 assert_eq!(
-                    w1.view.rating(SourceId::from_index(s), ObjectId::from_index(o)),
-                    w2.view.rating(SourceId::from_index(s), ObjectId::from_index(o))
+                    w1.view
+                        .rating(SourceId::from_index(s), ObjectId::from_index(o)),
+                    w2.view
+                        .rating(SourceId::from_index(s), ObjectId::from_index(o))
                 );
             }
         }

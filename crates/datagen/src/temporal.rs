@@ -10,8 +10,7 @@
 use rand::Rng as _;
 use serde::{Deserialize, Serialize};
 
-use sailing_model::{History, ObjectId, SourceId, TemporalTruth, ValueId};
-
+use sailing_model::{History, ObjectId, SailingError, SourceId, TemporalTruth, ValueId};
 
 /// Behaviour of a temporal source.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,12 +61,13 @@ pub struct TemporalWorldConfig {
 
 impl TemporalWorldConfig {
     /// Checks structural validity.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SailingError> {
+        let err = |reason: String| SailingError::config("TemporalWorldConfig", reason);
         if self.num_objects == 0 || self.horizon <= 0 || self.domain_size < 2 {
-            return Err("degenerate world dimensions".into());
+            return Err(err("degenerate world dimensions".into()));
         }
         if self.changes_per_object < 1.0 {
-            return Err("changes_per_object must be at least 1".into());
+            return Err(err("changes_per_object must be at least 1".into()));
         }
         for (i, s) in self.sources.iter().enumerate() {
             match s {
@@ -78,10 +78,10 @@ impl TemporalWorldConfig {
                     miss_rate,
                 } => {
                     if !(0.0..=1.0).contains(accuracy) || !(0.0..=1.0).contains(miss_rate) {
-                        return Err(format!("source {i}: probability out of range"));
+                        return Err(err(format!("source {i}: probability out of range")));
                     }
                     if min_delay < &0 || max_delay < min_delay {
-                        return Err(format!("source {i}: bad delay range"));
+                        return Err(err(format!("source {i}: bad delay range")));
                     }
                 }
                 TemporalBehavior::Copier {
@@ -90,10 +90,12 @@ impl TemporalWorldConfig {
                     copy_rate,
                 } => {
                     if *original >= i {
-                        return Err(format!("source {i}: copier must reference earlier source"));
+                        return Err(err(format!(
+                            "source {i}: copier must reference earlier source"
+                        )));
                     }
                     if *lag < 0 || !(0.0..=1.0).contains(copy_rate) {
-                        return Err(format!("source {i}: bad lag/copy_rate"));
+                        return Err(err(format!("source {i}: bad lag/copy_rate")));
                     }
                 }
             }
@@ -131,8 +133,7 @@ impl TemporalWorld {
         let mut truth_changes: Vec<Vec<(i64, ValueId)>> = Vec::with_capacity(config.num_objects);
         for o in 0..config.num_objects {
             let extra = (config.changes_per_object - 1.0).max(0.0);
-            let n_extra = extra.floor() as usize
-                + usize::from(rng.gen::<f64>() < extra.fract());
+            let n_extra = extra.floor() as usize + usize::from(rng.gen::<f64>() < extra.fract());
             let mut times: Vec<i64> = (0..n_extra)
                 .map(|_| rng.gen_range(1..config.horizon))
                 .collect();
@@ -191,8 +192,7 @@ impl TemporalWorld {
                     lag,
                     copy_rate,
                 } => {
-                    planted_pairs
-                        .push((SourceId::from_index(i), SourceId::from_index(*original)));
+                    planted_pairs.push((SourceId::from_index(i), SourceId::from_index(*original)));
                     let source_traces: Vec<(ObjectId, Vec<(i64, ValueId)>)> = history
                         .traces_of(SourceId::from_index(*original))
                         .into_iter()
@@ -223,8 +223,7 @@ impl TemporalWorld {
     /// planted pairs.
     pub fn pair_detection_quality(&self, detected: &[(SourceId, SourceId)]) -> (f64, f64) {
         let canon = |&(a, b): &(SourceId, SourceId)| if a < b { (a, b) } else { (b, a) };
-        let planted: std::collections::HashSet<_> =
-            self.planted_pairs.iter().map(canon).collect();
+        let planted: std::collections::HashSet<_> = self.planted_pairs.iter().map(canon).collect();
         let detected: std::collections::HashSet<_> = detected.iter().map(canon).collect();
         let hits = detected.intersection(&planted).count();
         let precision = if detected.is_empty() {

@@ -11,8 +11,7 @@ use rand::seq::SliceRandom;
 use rand::Rng as _;
 use serde::{Deserialize, Serialize};
 
-use sailing_model::{GroundTruth, ObjectId, SnapshotView, SourceId, ValueId};
-
+use sailing_model::{GroundTruth, ObjectId, SailingError, SnapshotView, SourceId, ValueId};
 
 /// How a synthetic source produces its values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,21 +113,24 @@ impl WorldConfig {
     }
 
     /// Checks structural validity (copier references, ranges).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SailingError> {
+        let err = |reason: String| SailingError::config("WorldConfig", reason);
         if self.num_objects == 0 {
-            return Err("num_objects must be positive".into());
+            return Err(err("num_objects must be positive".into()));
         }
         if self.domain_size < 2 {
-            return Err("domain_size must be at least 2".into());
+            return Err(err("domain_size must be at least 2".into()));
         }
         for (i, s) in self.sources.iter().enumerate() {
             match s {
                 SourceBehavior::Independent { accuracy, coverage } => {
                     if !(0.0..=1.0).contains(accuracy) {
-                        return Err(format!("source {i}: accuracy {accuracy} outside [0,1]"));
+                        return Err(err(format!(
+                            "source {i}: accuracy {accuracy} outside [0,1]"
+                        )));
                     }
                     if *coverage == 0 || *coverage > self.num_objects {
-                        return Err(format!("source {i}: coverage {coverage} out of range"));
+                        return Err(err(format!("source {i}: coverage {coverage} out of range")));
                     }
                 }
                 SourceBehavior::Copier {
@@ -139,9 +141,9 @@ impl WorldConfig {
                     ..
                 } => {
                     if *original >= i {
-                        return Err(format!(
+                        return Err(err(format!(
                             "source {i}: copier must reference an earlier source, got {original}"
-                        ));
+                        )));
                     }
                     for (name, p) in [
                         ("copy_fraction", copy_fraction),
@@ -149,7 +151,7 @@ impl WorldConfig {
                         ("own_accuracy", own_accuracy),
                     ] {
                         if !(0.0..=1.0).contains(p) {
-                            return Err(format!("source {i}: {name} {p} outside [0,1]"));
+                            return Err(err(format!("source {i}: {name} {p} outside [0,1]")));
                         }
                     }
                 }
@@ -219,8 +221,7 @@ impl SnapshotWorld {
                     own_accuracy,
                     own_coverage,
                 } => {
-                    planted_pairs
-                        .push((SourceId::from_index(i), SourceId::from_index(*original)));
+                    planted_pairs.push((SourceId::from_index(i), SourceId::from_index(*original)));
                     let source_assertions = assertions[*original].clone();
                     let mut mine: Vec<(ObjectId, ValueId)> = Vec::new();
                     let mut covered = vec![false; num_objects];
@@ -237,8 +238,7 @@ impl SnapshotWorld {
                         mine.push((o, v));
                     }
                     // Own (independent) additional coverage.
-                    let mut free: Vec<usize> =
-                        (0..num_objects).filter(|&o| !covered[o]).collect();
+                    let mut free: Vec<usize> = (0..num_objects).filter(|&o| !covered[o]).collect();
                     free.shuffle(&mut rng);
                     free.truncate(*own_coverage);
                     for o in free {
@@ -296,13 +296,9 @@ impl SnapshotWorld {
 
     /// Scores a detected pair list against the planted pairs: returns
     /// `(precision, recall)` treating pairs as unordered.
-    pub fn pair_detection_quality(
-        &self,
-        detected: &[(SourceId, SourceId)],
-    ) -> (f64, f64) {
+    pub fn pair_detection_quality(&self, detected: &[(SourceId, SourceId)]) -> (f64, f64) {
         let canon = |&(a, b): &(SourceId, SourceId)| if a < b { (a, b) } else { (b, a) };
-        let planted: std::collections::HashSet<_> =
-            self.planted_pairs.iter().map(canon).collect();
+        let planted: std::collections::HashSet<_> = self.planted_pairs.iter().map(canon).collect();
         let detected: std::collections::HashSet<_> = detected.iter().map(canon).collect();
         let hits = detected.intersection(&planted).count();
         let precision = if detected.is_empty() {
@@ -353,10 +349,7 @@ mod tests {
             seed: 1,
         };
         let w = SnapshotWorld::generate(&config);
-        let acc = w
-            .truth
-            .accuracy_of(&w.snapshot, SourceId(0))
-            .unwrap();
+        let acc = w.truth.accuracy_of(&w.snapshot, SourceId(0)).unwrap();
         assert!((acc - 0.7).abs() < 0.05, "empirical accuracy {acc}");
     }
 
@@ -412,7 +405,10 @@ mod tests {
         };
         let w = SnapshotWorld::generate(&config);
         let copier_cov = w.snapshot.coverage(SourceId(1));
-        assert!(copier_cov > 120 && copier_cov <= 220, "coverage {copier_cov}");
+        assert!(
+            copier_cov > 120 && copier_cov <= 220,
+            "coverage {copier_cov}"
+        );
         // Some private, some shared.
         let shared = w.snapshot.overlap_size(SourceId(0), SourceId(1));
         assert!(shared > 50);

@@ -23,4 +23,5 @@ pub mod strategy;
 
 pub use probdb::ProbabilisticDatabase;
 pub use ratings::{aggregate_ratings, RatingAggregate};
-pub use strategy::{fuse, FusionOutcome, FusionStrategy};
+pub use sailing_core::SailingError;
+pub use strategy::{fuse, fuse_with, FusionOutcome, FusionStrategy};

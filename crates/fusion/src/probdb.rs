@@ -92,7 +92,9 @@ impl ProbabilisticDatabase {
 /// `P = 1 − Π (1 − pᵢ)` (the disjoint-probability rule the paper says
 /// current systems use).
 pub fn combine_independent(probs: &[f64]) -> f64 {
-    1.0 - probs.iter().fold(1.0, |acc, &p| acc * (1.0 - p.clamp(0.0, 1.0)))
+    1.0 - probs
+        .iter()
+        .fold(1.0, |acc, &p| acc * (1.0 - p.clamp(0.0, 1.0)))
 }
 
 /// Combines per-source answer probabilities **aware of dependence**: a
@@ -105,7 +107,7 @@ pub fn combine_dependence_aware(
     copy_rate: f64,
 ) -> f64 {
     let mut ordered: Vec<(SourceId, f64)> = probs.to_vec();
-    ordered.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ordered.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut not_answer = 1.0;
     for (i, &(s, p)) in ordered.iter().enumerate() {
         let mut independence = 1.0;

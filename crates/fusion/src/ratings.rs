@@ -98,10 +98,7 @@ pub fn aggregate_ratings(view: &RatingView, params: &DissimParams) -> RatingAggr
         }
         let naive = ratings.iter().map(|&(_, r)| r as f64).sum::<f64>() / ratings.len() as f64;
         naive_mean.push(Some(naive));
-        let wsum: f64 = ratings
-            .iter()
-            .map(|&(s, _)| rater_weights[s.index()])
-            .sum();
+        let wsum: f64 = ratings.iter().map(|&(s, _)| rater_weights[s.index()]).sum();
         if wsum < 1e-9 {
             aware_mean.push(Some(naive));
         } else {

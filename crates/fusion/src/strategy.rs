@@ -1,11 +1,19 @@
 //! Conflict-resolution strategies.
+//!
+//! [`FusionStrategy`] names the rungs of the paper's experiment ladder and
+//! resolves each to a pluggable [`TruthDiscovery`] object from
+//! `sailing-core`; [`fuse`] is a thin driver over that trait rather than a
+//! re-implementation per strategy.
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use sailing_core::truth::ValueProbabilities;
-use sailing_core::{AccuCopy, DetectionParams, PairDependence};
+use sailing_core::{
+    Accu, AccuCopy, DetectionParams, NaiveVote, PairDependence, PipelineResult, SailingError,
+    TruthDiscovery,
+};
 use sailing_model::{ObjectId, SnapshotView, ValueId};
 
 /// Which fusion algorithm to run.
@@ -33,6 +41,16 @@ impl FusionStrategy {
             FusionStrategy::DependenceAware(_) => "accu-copy",
         }
     }
+
+    /// Resolves the named strategy to a pluggable [`TruthDiscovery`]
+    /// object, validating any embedded parameters.
+    pub fn discovery(&self) -> Result<Box<dyn TruthDiscovery>, SailingError> {
+        Ok(match self {
+            FusionStrategy::NaiveVote => Box::new(NaiveVote::new()),
+            FusionStrategy::AccuracyVote => Box::new(Accu::with_defaults()),
+            FusionStrategy::DependenceAware(params) => Box::new(AccuCopy::new(params.clone())?),
+        })
+    }
 }
 
 /// What fusion produced.
@@ -40,8 +58,9 @@ impl FusionStrategy {
 pub struct FusionOutcome {
     /// Hard decision per object.
     pub decisions: HashMap<ObjectId, ValueId>,
-    /// Posterior value distributions (empty for naive voting, which has no
-    /// calibrated probabilities — use [`crate::ProbabilisticDatabase`] for shares).
+    /// Posterior value distributions (naive voting reports raw vote shares
+    /// rather than calibrated probabilities — use
+    /// [`crate::ProbabilisticDatabase`] for downstream probability math).
     pub probabilities: ValueProbabilities,
     /// Estimated source accuracies (empty for naive voting).
     pub accuracies: Vec<f64>,
@@ -51,38 +70,37 @@ pub struct FusionOutcome {
     pub strategy: String,
 }
 
-/// Runs a fusion strategy over a snapshot.
-pub fn fuse(snapshot: &SnapshotView, strategy: &FusionStrategy) -> FusionOutcome {
-    match strategy {
-        FusionStrategy::NaiveVote => FusionOutcome {
-            decisions: sailing_core::vote::naive_vote(snapshot),
-            probabilities: ValueProbabilities::default(),
-            accuracies: Vec::new(),
-            dependences: Vec::new(),
-            strategy: strategy.name().to_string(),
-        },
-        FusionStrategy::AccuracyVote => {
-            let result = AccuCopy::baseline().run(snapshot);
-            FusionOutcome {
-                decisions: result.decisions(),
-                probabilities: result.probabilities,
-                accuracies: result.accuracies,
-                dependences: Vec::new(),
-                strategy: strategy.name().to_string(),
-            }
-        }
-        FusionStrategy::DependenceAware(params) => {
-            let pipeline = AccuCopy::new(params.clone()).expect("invalid fusion params");
-            let result = pipeline.run(snapshot);
-            FusionOutcome {
-                decisions: result.decisions(),
-                probabilities: result.probabilities,
-                accuracies: result.accuracies,
-                dependences: result.dependences,
-                strategy: strategy.name().to_string(),
-            }
+impl FusionOutcome {
+    /// Packages a discovery result under a strategy name. This is how the
+    /// `sailing` facade derives a fusion outcome from its cached analysis
+    /// without re-running the pipeline.
+    pub fn from_result(result: PipelineResult, strategy: &str) -> Self {
+        FusionOutcome {
+            decisions: result.decisions(),
+            probabilities: result.probabilities,
+            accuracies: result.accuracies,
+            dependences: result.dependences,
+            strategy: strategy.to_string(),
         }
     }
+}
+
+/// Runs a fusion strategy over a snapshot.
+///
+/// # Errors
+/// Returns [`SailingError::InvalidParameter`] when the strategy embeds
+/// invalid detection parameters.
+pub fn fuse(
+    snapshot: &SnapshotView,
+    strategy: &FusionStrategy,
+) -> Result<FusionOutcome, SailingError> {
+    let discovery = strategy.discovery()?;
+    Ok(fuse_with(snapshot, discovery.as_ref()))
+}
+
+/// Runs fusion with an explicit (possibly custom) discovery strategy.
+pub fn fuse_with(snapshot: &SnapshotView, discovery: &dyn TruthDiscovery) -> FusionOutcome {
+    FusionOutcome::from_result(discovery.discover(snapshot), discovery.name())
 }
 
 #[cfg(test)]
@@ -102,8 +120,8 @@ mod tests {
         // The paper's headline: naive < dependence-aware on Table 1.
         let (store, truth) = fixtures::table1();
         let snap = store.snapshot();
-        let naive = fuse(&snap, &FusionStrategy::NaiveVote);
-        let aware = fuse(&snap, &FusionStrategy::dependence_aware());
+        let naive = fuse(&snap, &FusionStrategy::NaiveVote).unwrap();
+        let aware = fuse(&snap, &FusionStrategy::dependence_aware()).unwrap();
         let p_naive = truth.decision_precision(&naive.decisions).unwrap();
         let p_aware = truth.decision_precision(&aware.decisions).unwrap();
         assert!((p_naive - 0.4).abs() < 1e-9);
@@ -115,16 +133,41 @@ mod tests {
     #[test]
     fn accu_reports_accuracies_but_no_dependences() {
         let (store, _) = fixtures::table1();
-        let outcome = fuse(&store.snapshot(), &FusionStrategy::AccuracyVote);
+        let outcome = fuse(&store.snapshot(), &FusionStrategy::AccuracyVote).unwrap();
         assert_eq!(outcome.accuracies.len(), 5);
         assert!(outcome.dependences.is_empty());
         assert_eq!(outcome.decisions.len(), 5);
     }
 
     #[test]
+    fn invalid_params_surface_as_typed_errors() {
+        let (store, _) = fixtures::table1();
+        let bad = FusionStrategy::DependenceAware(DetectionParams {
+            copy_rate: 2.0,
+            ..DetectionParams::default()
+        });
+        let err = fuse(&store.snapshot(), &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            SailingError::InvalidParameter {
+                param: "copy_rate",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fuse_with_accepts_custom_strategies() {
+        let (store, truth) = fixtures::table1();
+        let outcome = fuse_with(&store.snapshot(), &AccuCopy::with_defaults());
+        assert_eq!(outcome.strategy, "accu-copy");
+        assert_eq!(truth.decision_precision(&outcome.decisions), Some(1.0));
+    }
+
+    #[test]
     fn outcome_serializes() {
         let (store, _) = fixtures::table1();
-        let outcome = fuse(&store.snapshot(), &FusionStrategy::dependence_aware());
+        let outcome = fuse(&store.snapshot(), &FusionStrategy::dependence_aware()).unwrap();
         let json = serde_json::to_string(&outcome).unwrap();
         let back: FusionOutcome = serde_json::from_str(&json).unwrap();
         assert_eq!(back.decisions.len(), outcome.decisions.len());

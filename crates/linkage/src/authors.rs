@@ -30,8 +30,10 @@ impl AuthorName {
         }
         if let Some((last, first)) = raw.split_once(',') {
             let surname = normalize(last);
-            let given: Vec<String> =
-                normalize(first).split_whitespace().map(str::to_string).collect();
+            let given: Vec<String> = normalize(first)
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
             if surname.is_empty() {
                 return None;
             }

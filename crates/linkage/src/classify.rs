@@ -112,15 +112,23 @@ fn tokens_compatible(
     // Different counts: the shorter must be a subsequence of compatible
     // tokens of the longer (dropped middle names are fine, the *last* token
     // — usually the surname — must still match).
-    let (short, long) = if ta.len() < tb.len() { (ta, tb) } else { (tb, ta) };
-    if !token_variant(short.last().unwrap(), long.last().unwrap(), params, is_alias) {
+    let (short, long) = if ta.len() < tb.len() {
+        (ta, tb)
+    } else {
+        (tb, ta)
+    };
+    if !token_variant(
+        short.last().unwrap(),
+        long.last().unwrap(),
+        params,
+        is_alias,
+    ) {
         return false;
     }
     let mut it = long.iter();
-    short[..short.len() - 1].iter().all(|x| {
-        it.by_ref()
-            .any(|y| token_variant(x, y, params, is_alias))
-    })
+    short[..short.len() - 1]
+        .iter()
+        .all(|x| it.by_ref().any(|y| token_variant(x, y, params, is_alias)))
 }
 
 fn token_variant(
@@ -156,8 +164,14 @@ mod tests {
 
     #[test]
     fn formatting_variants_are_same() {
-        assert_eq!(classify("AT&T Research", "at&t research"), ValueRelation::SameRepresentation);
-        assert_eq!(classify("  Xin  Dong ", "xin dong"), ValueRelation::SameRepresentation);
+        assert_eq!(
+            classify("AT&T Research", "at&t research"),
+            ValueRelation::SameRepresentation
+        );
+        assert_eq!(
+            classify("  Xin  Dong ", "xin dong"),
+            ValueRelation::SameRepresentation
+        );
     }
 
     #[test]
@@ -184,13 +198,19 @@ mod tests {
     fn the_papers_xing_dong_is_wrong() {
         // "Xing Dong" is a wrong value, not a representation of "Xin Dong":
         // short tokens get no typo tolerance.
-        assert_eq!(classify("Xin Dong", "Xing Dong"), ValueRelation::DifferentValue);
+        assert_eq!(
+            classify("Xin Dong", "Xing Dong"),
+            ValueRelation::DifferentValue
+        );
     }
 
     #[test]
     fn the_papers_luna_dong_needs_alias_evidence() {
         // Pure string distance cannot see that "Luna" aliases "Xin"...
-        assert_eq!(classify("Xin Dong", "Luna Dong"), ValueRelation::DifferentValue);
+        assert_eq!(
+            classify("Xin Dong", "Luna Dong"),
+            ValueRelation::DifferentValue
+        );
         // ...but alias evidence (e.g. learned from co-occurrence) can.
         let alias = |a: &str, b: &str| (a, b) == ("xin", "luna") || (a, b) == ("luna", "xin");
         assert_eq!(
@@ -209,7 +229,10 @@ mod tests {
 
     #[test]
     fn unrelated_values_differ() {
-        assert_eq!(classify("Google", "Microsoft Research"), ValueRelation::DifferentValue);
+        assert_eq!(
+            classify("Google", "Microsoft Research"),
+            ValueRelation::DifferentValue
+        );
         assert_eq!(classify("UW", "UWisc"), ValueRelation::DifferentValue);
     }
 
@@ -219,7 +242,10 @@ mod tests {
             classify("Hector Garcia-Molina", "H. Garcia-Molina"),
             ValueRelation::AlternativeRepresentation
         );
-        assert_eq!(classify("Jeffrey Ullman", "Jeffrey Naughton"), ValueRelation::DifferentValue);
+        assert_eq!(
+            classify("Jeffrey Ullman", "Jeffrey Naughton"),
+            ValueRelation::DifferentValue
+        );
     }
 
     #[test]

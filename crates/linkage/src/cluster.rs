@@ -120,9 +120,15 @@ where
             *cluster
                 .iter()
                 .max_by(|&&i, &&j| {
-                    let si: f64 = cluster.iter().map(|&k| similarity(&values[i], &values[k])).sum();
-                    let sj: f64 = cluster.iter().map(|&k| similarity(&values[j], &values[k])).sum();
-                    si.partial_cmp(&sj).unwrap().then(j.cmp(&i))
+                    let si: f64 = cluster
+                        .iter()
+                        .map(|&k| similarity(&values[i], &values[k]))
+                        .sum();
+                    let sj: f64 = cluster
+                        .iter()
+                        .map(|&k| similarity(&values[j], &values[k]))
+                        .sum();
+                    si.total_cmp(&sj).then(j.cmp(&i))
                 })
                 .unwrap()
         })

@@ -89,7 +89,10 @@ mod tests {
     fn lowercases_and_collapses() {
         assert_eq!(normalize("  Joshua   BLOCH  "), "joshua bloch");
         assert_eq!(normalize("AT&T Labs--Research"), "at t labs research");
-        assert_eq!(normalize("Effective Java, 2nd Ed."), "effective java 2nd ed");
+        assert_eq!(
+            normalize("Effective Java, 2nd Ed."),
+            "effective java 2nd ed"
+        );
     }
 
     #[test]

@@ -96,9 +96,18 @@ mod tests {
     #[test]
     fn with_probability_clamps() {
         let (s, o, v) = ids();
-        assert_eq!(Claim::snapshot(s, o, v).with_probability(0.4).probability, 0.4);
-        assert_eq!(Claim::snapshot(s, o, v).with_probability(1.7).probability, 1.0);
-        assert_eq!(Claim::snapshot(s, o, v).with_probability(-0.2).probability, 0.0);
+        assert_eq!(
+            Claim::snapshot(s, o, v).with_probability(0.4).probability,
+            0.4
+        );
+        assert_eq!(
+            Claim::snapshot(s, o, v).with_probability(1.7).probability,
+            1.0
+        );
+        assert_eq!(
+            Claim::snapshot(s, o, v).with_probability(-0.2).probability,
+            0.0
+        );
     }
 
     #[test]

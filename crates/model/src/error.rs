@@ -1,10 +1,17 @@
-//! Error type for model construction and lookup.
+//! The workspace-wide error type.
+//!
+//! Every fallible constructor and validator in the workspace — model
+//! construction and lookup, detection/fusion parameter validation, datagen
+//! configuration — reports a [`SailingError`] so callers can match on the
+//! failure instead of parsing strings. The error flows unchanged through
+//! `sailing-core`, `sailing-fusion`, `sailing-query`, `sailing-recommend`,
+//! and the `sailing` facade, which all re-export it.
 
 use std::fmt;
 
-/// Errors raised while building or querying the model.
+/// Errors raised anywhere in the sailing workspace.
 #[derive(Debug, Clone, PartialEq)]
-pub enum ModelError {
+pub enum SailingError {
     /// A name was used before being interned in the corresponding catalog.
     UnknownName {
         /// Which catalog the lookup targeted ("source", "object", "value").
@@ -30,26 +37,79 @@ pub enum ModelError {
         /// Human-readable context for the failed operation.
         context: &'static str,
     },
+    /// A detection/fusion parameter violated its documented constraint.
+    InvalidParameter {
+        /// The parameter's field name (e.g. `copy_rate`).
+        param: &'static str,
+        /// Why the supplied value is rejected.
+        reason: String,
+    },
+    /// A generator or engine configuration is structurally invalid.
+    InvalidConfig {
+        /// What was being configured (e.g. `WorldConfig`).
+        context: &'static str,
+        /// Why the configuration is rejected.
+        reason: String,
+    },
 }
 
-impl fmt::Display for ModelError {
+impl SailingError {
+    /// Convenience constructor for an out-of-`[0, 1]` parameter.
+    pub fn param_outside_unit(param: &'static str, value: f64) -> Self {
+        SailingError::InvalidParameter {
+            param,
+            reason: format!("{value} outside [0, 1]"),
+        }
+    }
+
+    /// Convenience constructor for [`SailingError::InvalidParameter`].
+    pub fn param(param: &'static str, reason: impl Into<String>) -> Self {
+        SailingError::InvalidParameter {
+            param,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SailingError::InvalidConfig`].
+    pub fn config(context: &'static str, reason: impl Into<String>) -> Self {
+        SailingError::InvalidConfig {
+            context,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SailingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::UnknownName { kind, name } => {
+            SailingError::UnknownName { kind, name } => {
                 write!(f, "unknown {kind} name: {name:?}")
             }
-            ModelError::UnknownId { kind, id } => write!(f, "unknown {kind} id: {id}"),
-            ModelError::InvalidProbability(p) => {
+            SailingError::UnknownId { kind, id } => write!(f, "unknown {kind} id: {id}"),
+            SailingError::InvalidProbability(p) => {
                 write!(f, "probability {p} outside [0, 1]")
             }
-            ModelError::MissingTemporalInfo { context } => {
+            SailingError::MissingTemporalInfo { context } => {
                 write!(f, "temporal information required but missing: {context}")
+            }
+            SailingError::InvalidParameter { param, reason } => {
+                write!(f, "invalid parameter {param}: {reason}")
+            }
+            SailingError::InvalidConfig { context, reason } => {
+                write!(f, "invalid {context}: {reason}")
             }
         }
     }
 }
 
-impl std::error::Error for ModelError {}
+impl std::error::Error for SailingError {}
+
+/// Workspace-standard result alias.
+pub type SailingResult<T> = Result<T, SailingError>;
+
+/// Historical name of the model-layer error, kept as an alias through the
+/// typed-error migration.
+pub type ModelError = SailingError;
 
 #[cfg(test)]
 mod tests {
@@ -57,25 +117,46 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ModelError::UnknownName {
+        let e = SailingError::UnknownName {
             kind: "source",
             name: "S9".into(),
         };
         assert!(e.to_string().contains("source"));
         assert!(e.to_string().contains("S9"));
 
-        assert!(ModelError::UnknownId { kind: "object", id: 7 }
+        assert!(SailingError::UnknownId {
+            kind: "object",
+            id: 7
+        }
+        .to_string()
+        .contains('7'));
+        assert!(SailingError::InvalidProbability(1.5)
             .to_string()
-            .contains('7'));
-        assert!(ModelError::InvalidProbability(1.5).to_string().contains("1.5"));
-        assert!(ModelError::MissingTemporalInfo { context: "history" }
+            .contains("1.5"));
+        assert!(SailingError::MissingTemporalInfo { context: "history" }
             .to_string()
             .contains("history"));
+        assert!(SailingError::param_outside_unit("copy_rate", 2.0)
+            .to_string()
+            .contains("copy_rate"));
+        assert!(SailingError::config("WorldConfig", "no sources")
+            .to_string()
+            .contains("WorldConfig"));
     }
 
     #[test]
     fn is_std_error() {
         fn assert_err<E: std::error::Error>(_: &E) {}
-        assert_err(&ModelError::InvalidProbability(2.0));
+        assert_err(&SailingError::InvalidProbability(2.0));
+    }
+
+    #[test]
+    fn model_error_alias_matches() {
+        // The legacy alias stays pattern-matchable.
+        let e: ModelError = SailingError::UnknownId {
+            kind: "value",
+            id: 3,
+        };
+        assert!(matches!(e, ModelError::UnknownId { kind: "value", .. }));
     }
 }

@@ -137,7 +137,11 @@ pub fn table3() -> (ClaimStore, History, TemporalTruth) {
         ("Dalvi", "S1", &[(2002, "UW"), (2007, "Yahoo!")]),
         ("Dalvi", "S2", &[(2007, "Yahoo!")]),
         ("Dalvi", "S3", &[(2003, "UW")]),
-        ("Dong", "S1", &[(2002, "UW"), (2006, "Google"), (2007, "AT&T")]),
+        (
+            "Dong",
+            "S1",
+            &[(2002, "UW"), (2006, "Google"), (2007, "AT&T")],
+        ),
         ("Dong", "S2", &[(2001, "UW"), (2006, "Google")]),
         ("Dong", "S3", &[(2003, "UW")]),
     ];
@@ -200,14 +204,8 @@ mod tests {
         let s3 = store.source_id("S3").unwrap();
         let s4 = store.source_id("S4").unwrap();
         let s5 = store.source_id("S5").unwrap();
-        let same_34 = snap
-            .overlap(s3, s4)
-            .filter(|&(_, a, b)| a == b)
-            .count();
-        let same_35 = snap
-            .overlap(s3, s5)
-            .filter(|&(_, a, b)| a == b)
-            .count();
+        let same_34 = snap.overlap(s3, s4).filter(|&(_, a, b)| a == b).count();
+        let same_35 = snap.overlap(s3, s5).filter(|&(_, a, b)| a == b).count();
         assert_eq!(same_34, 5);
         assert_eq!(same_35, 4);
     }
@@ -265,11 +263,17 @@ mod tests {
         // At 2007, S2's latest value for Dong is Google — outdated-true.
         let dong = store.object_id("Dong").unwrap();
         let v = history.value_at(s2, dong, 2007).unwrap();
-        assert_eq!(truth.classify(dong, v, 2007), Some(TruthClass::OutdatedTrue));
+        assert_eq!(
+            truth.classify(dong, v, 2007),
+            Some(TruthClass::OutdatedTrue)
+        );
         // And for Halevy it is Google — currently true.
         let halevy = store.object_id("Halevy").unwrap();
         let v = history.value_at(s2, halevy, 2007).unwrap();
-        assert_eq!(truth.classify(halevy, v, 2007), Some(TruthClass::CurrentTrue));
+        assert_eq!(
+            truth.classify(halevy, v, 2007),
+            Some(TruthClass::CurrentTrue)
+        );
     }
 
     #[test]

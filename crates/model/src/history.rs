@@ -126,11 +126,13 @@ impl History {
     /// are ignored (they carry no temporal information).
     pub fn from_store(store: &ClaimStore) -> Self {
         let mut h = Self::new(store.num_sources(), store.num_objects());
-        let mut grouped: HashMap<(SourceId, ObjectId), Vec<(Timestamp, ValueId)>> =
-            HashMap::new();
+        let mut grouped: HashMap<(SourceId, ObjectId), Vec<(Timestamp, ValueId)>> = HashMap::new();
         for c in store.claims() {
             if let Some(t) = c.time {
-                grouped.entry((c.source, c.object)).or_default().push((t, c.value));
+                grouped
+                    .entry((c.source, c.object))
+                    .or_default()
+                    .push((t, c.value));
             }
         }
         let mut grouped: Vec<_> = grouped.into_iter().collect();

@@ -40,7 +40,7 @@ pub mod value;
 pub mod world;
 
 pub use claim::{Claim, Timestamp};
-pub use error::ModelError;
+pub use error::{ModelError, SailingError, SailingResult};
 pub use history::{History, UpdateTrace};
 pub use ids::{Catalog, ObjectId, SourceId};
 pub use store::{ClaimStore, ClaimStoreBuilder, SnapshotView};

@@ -264,8 +264,7 @@ impl ClaimStore {
 
         let num_sources = self.sources.len();
         let num_objects = self.objects.len();
-        let mut per_source: Vec<HashMap<ObjectId, ValueId>> =
-            vec![HashMap::new(); num_sources];
+        let mut per_source: Vec<HashMap<ObjectId, ValueId>> = vec![HashMap::new(); num_sources];
         let mut per_object: Vec<Vec<(SourceId, ValueId)>> = vec![Vec::new(); num_objects];
         let mut entries: Vec<_> = latest.into_iter().collect();
         // Deterministic order regardless of hash-map iteration.
@@ -521,10 +520,7 @@ mod tests {
         let dong = store.object_id("Dong").unwrap();
         let s1 = store.source_id("S1").unwrap();
         let s2 = store.source_id("S2").unwrap();
-        assert_eq!(
-            snap.value(s1, dong),
-            store.value_id(&Value::text("AT&T"))
-        );
+        assert_eq!(snap.value(s1, dong), store.value_id(&Value::text("AT&T")));
         assert_eq!(snap.value(s2, dong), store.value_id(&Value::text("MSR")));
     }
 
@@ -639,8 +635,7 @@ mod tests {
             .iter()
             .map(|c| (c.source, c.object, c.value))
             .collect();
-        let direct =
-            SnapshotView::from_triples(store.num_sources(), store.num_objects(), triples);
+        let direct = SnapshotView::from_triples(store.num_sources(), store.num_objects(), triples);
         for s in store.source_ids() {
             for o in store.object_ids() {
                 assert_eq!(snap.value(s, o), direct.value(s, o));

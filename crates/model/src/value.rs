@@ -165,10 +165,7 @@ mod tests {
         assert_eq!(Value::text("UW").to_string(), "UW");
         assert_eq!(Value::Int(-5).to_string(), "-5");
         assert_eq!(Value::Rating(1).to_string(), "#1");
-        assert_eq!(
-            Value::list_of_texts(["A", "B"]).to_string(),
-            "[A, B]"
-        );
+        assert_eq!(Value::list_of_texts(["A", "B"]).to_string(), "[A, B]");
         assert_eq!(Value::Absent.to_string(), "⊥");
     }
 

@@ -133,9 +133,7 @@ impl TemporalTruth {
     }
 
     /// Builds from `(object, time, value)` triples.
-    pub fn from_triples(
-        triples: impl IntoIterator<Item = (ObjectId, Timestamp, ValueId)>,
-    ) -> Self {
+    pub fn from_triples(triples: impl IntoIterator<Item = (ObjectId, Timestamp, ValueId)>) -> Self {
         let mut grouped: HashMap<ObjectId, Vec<(Timestamp, ValueId)>> = HashMap::new();
         for (o, t, v) in triples {
             grouped.entry(o).or_default().push((t, v));
@@ -244,13 +242,23 @@ mod tests {
     #[test]
     fn accuracy_of_source() {
         let mut b = ClaimStoreBuilder::new();
-        b.add("S1", "a", "x").add("S1", "b", "y").add("S1", "c", "z");
+        b.add("S1", "a", "x")
+            .add("S1", "b", "y")
+            .add("S1", "c", "z");
         let store = b.build();
         let snap = store.snapshot();
         let s1 = store.source_id("S1").unwrap();
         let gt = GroundTruth::from_pairs([
-            (store.object_id("a").unwrap(), store.value_id(&Value::text("x")).unwrap()),
-            (store.object_id("b").unwrap(), store.value_id(&Value::text("WRONG")).unwrap_or(ValueId(999))),
+            (
+                store.object_id("a").unwrap(),
+                store.value_id(&Value::text("x")).unwrap(),
+            ),
+            (
+                store.object_id("b").unwrap(),
+                store
+                    .value_id(&Value::text("WRONG"))
+                    .unwrap_or(ValueId(999)),
+            ),
         ]);
         // a correct, b wrong, c not evaluable → 1/2
         let acc = gt.accuracy_of(&snap, s1).unwrap();
@@ -275,18 +283,14 @@ mod tests {
         let mut decisions = HashMap::new();
         decisions.insert(o(0), v(1)); // right
         decisions.insert(o(1), v(9)); // wrong
-        // o(2) missing → wrong
+                                      // o(2) missing → wrong
         assert!((gt.decision_precision(&decisions).unwrap() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(GroundTruth::new().decision_precision(&decisions), None);
     }
 
     fn dong_truth() -> TemporalTruth {
         // Dong: UW from 2002, Google from 2006, AT&T from 2007 (v0, v1, v2).
-        TemporalTruth::from_triples([
-            (o(0), 2002, v(0)),
-            (o(0), 2006, v(1)),
-            (o(0), 2007, v(2)),
-        ])
+        TemporalTruth::from_triples([(o(0), 2002, v(0)), (o(0), 2006, v(1)), (o(0), 2007, v(2))])
     }
 
     #[test]
@@ -294,8 +298,14 @@ mod tests {
         let tt = dong_truth();
         // As of 2007: AT&T current, Google/UW outdated, MSR never true.
         assert_eq!(tt.classify(o(0), v(2), 2007), Some(TruthClass::CurrentTrue));
-        assert_eq!(tt.classify(o(0), v(1), 2007), Some(TruthClass::OutdatedTrue));
-        assert_eq!(tt.classify(o(0), v(0), 2007), Some(TruthClass::OutdatedTrue));
+        assert_eq!(
+            tt.classify(o(0), v(1), 2007),
+            Some(TruthClass::OutdatedTrue)
+        );
+        assert_eq!(
+            tt.classify(o(0), v(0), 2007),
+            Some(TruthClass::OutdatedTrue)
+        );
         assert_eq!(tt.classify(o(0), v(9), 2007), Some(TruthClass::False));
         // As of 2006: Google current, AT&T "from the future" counts as false.
         assert_eq!(tt.classify(o(0), v(1), 2006), Some(TruthClass::CurrentTrue));

@@ -130,8 +130,7 @@ mod tests {
         let snap = store.snapshot();
         let (accs, deps) = pilot(&snap);
         let order = order_sources(&snap, &accs, &deps, &OrderingPolicy::ByAccuracy);
-        let mut session =
-            OnlineSession::new(&snap, accs, deps, DetectionParams::default());
+        let mut session = OnlineSession::new(&snap, accs, deps, DetectionParams::default());
         let steps = session.run_order(&order);
         assert_eq!(steps.len(), 5);
         for w in steps.windows(2) {
@@ -197,12 +196,7 @@ mod tests {
         let (store, _) = fixtures::table1();
         let snap = store.snapshot();
         let params = DetectionParams::default();
-        let mut session = OnlineSession::new(
-            &snap,
-            vec![0.8; 5],
-            DependenceMatrix::new(),
-            params,
-        );
+        let mut session = OnlineSession::new(&snap, vec![0.8; 5], DependenceMatrix::new(), params);
         let s2 = store.source_id("S2").unwrap();
         let step = session.probe(s2);
         // Only S2's values can be answers.

@@ -68,7 +68,7 @@ pub fn order_sources(
             order.sort_by(|&x, &y| {
                 let ax = accuracies.get(x.index()).copied().unwrap_or(0.5);
                 let ay = accuracies.get(y.index()).copied().unwrap_or(0.5);
-                ay.partial_cmp(&ax).unwrap().then(x.cmp(&y))
+                ay.total_cmp(&ax).then(x.cmp(&y))
             });
             order
         }
@@ -82,13 +82,11 @@ pub fn order_sources(
                     .map(|(i, &s)| {
                         let acc = accuracies.get(s.index()).copied().unwrap_or(0.5);
                         let cov = snapshot.coverage(s) as f64;
-                        let independence: f64 = chosen
-                            .iter()
-                            .map(|&p| 1.0 - deps.dependent(s, p))
-                            .product();
+                        let independence: f64 =
+                            chosen.iter().map(|&p| 1.0 - deps.dependent(s, p)).product();
                         (i, acc * cov.max(1.0) * independence)
                     })
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
                     .expect("remaining non-empty");
                 chosen.push(remaining.remove(best_idx));
             }
@@ -132,9 +130,24 @@ mod tests {
     #[test]
     fn random_is_seed_deterministic() {
         let (snap, accs) = setup();
-        let a = order_sources(&snap, &accs, &DependenceMatrix::new(), &OrderingPolicy::Random(3));
-        let b = order_sources(&snap, &accs, &DependenceMatrix::new(), &OrderingPolicy::Random(3));
-        let c = order_sources(&snap, &accs, &DependenceMatrix::new(), &OrderingPolicy::Random(4));
+        let a = order_sources(
+            &snap,
+            &accs,
+            &DependenceMatrix::new(),
+            &OrderingPolicy::Random(3),
+        );
+        let b = order_sources(
+            &snap,
+            &accs,
+            &DependenceMatrix::new(),
+            &OrderingPolicy::Random(3),
+        );
+        let c = order_sources(
+            &snap,
+            &accs,
+            &DependenceMatrix::new(),
+            &OrderingPolicy::Random(4),
+        );
         assert_eq!(a, b);
         assert!(a != c || a.len() <= 1);
     }
@@ -175,11 +188,7 @@ mod tests {
             .iter()
             .position(|s| s.index() >= 2)
             .expect("cluster member present");
-        let independents_done = order
-            .iter()
-            .take(3)
-            .filter(|s| s.index() < 2)
-            .count();
+        let independents_done = order.iter().take(3).filter(|s| s.index() < 2).count();
         assert_eq!(
             independents_done, 2,
             "both independents within first three probes: {order:?} (first cluster at {first_cluster})"
@@ -190,7 +199,9 @@ mod tests {
     #[test]
     fn by_coverage_orders_by_size() {
         let mut b = sailing_model::ClaimStoreBuilder::new();
-        b.add("big", "o1", "v").add("big", "o2", "v").add("big", "o3", "v");
+        b.add("big", "o1", "v")
+            .add("big", "o2", "v")
+            .add("big", "o3", "v");
         b.add("small", "o1", "v");
         let store = b.build();
         let snap = store.snapshot();
@@ -208,6 +219,9 @@ mod tests {
         assert_eq!(OrderingPolicy::Random(0).name(), "random");
         assert_eq!(OrderingPolicy::ByCoverage.name(), "coverage");
         assert_eq!(OrderingPolicy::ByAccuracy.name(), "accuracy");
-        assert_eq!(OrderingPolicy::GreedyIndependent.name(), "greedy-independent");
+        assert_eq!(
+            OrderingPolicy::GreedyIndependent.name(),
+            "greedy-independent"
+        );
     }
 }

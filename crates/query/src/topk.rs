@@ -57,7 +57,7 @@ where
             break;
         }
         let mut ranked: Vec<(ValueId, f64)> = support.iter().map(|(&v, &s)| (v, s)).collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         if ranked.len() >= k {
             let kth_lower = ranked[k - 1].1;
             let challenger_upper = ranked
@@ -77,7 +77,7 @@ where
     }
 
     let mut ranked: Vec<(ValueId, f64)> = support.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked.truncate(k);
     TopKResult {
         top: ranked,
@@ -114,7 +114,7 @@ where
             break;
         }
         let mut ranked: Vec<(ValueId, f64)> = support.iter().map(|(&v, &s)| (v, s)).collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         if ranked.len() >= k {
             let kth_lower = ranked[k - 1].1;
             let challenger_upper = ranked
@@ -134,7 +134,7 @@ where
     }
 
     let mut ranked: Vec<(ValueId, f64)> = support.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked.truncate(k);
     TopKResult {
         top: ranked,
@@ -216,9 +216,7 @@ mod tests {
     #[test]
     fn no_early_stop_on_tight_race() {
         let order: Vec<SourceId> = (0..4).map(SourceId::from_index).collect();
-        let result = top_k_with_early_stop(&order, 1, 1.0, |s| {
-            vec![(ValueId(s.0 % 2), 1.0)]
-        });
+        let result = top_k_with_early_stop(&order, 1, 1.0, |s| vec![(ValueId(s.0 % 2), 1.0)]);
         assert!(!result.early_stopped);
         assert_eq!(result.probed, 4);
     }
@@ -241,7 +239,9 @@ mod tests {
         let weights = vec![3.0, 2.0, 0.1, 0.1, 0.1];
         let halevy = store.object_id("Halevy").unwrap();
         let result = top_k_values_for_object(&snap, halevy, &order, &weights, 1);
-        let google = store.value_id(&sailing_model::Value::text("Google")).unwrap();
+        let google = store
+            .value_id(&sailing_model::Value::text("Google"))
+            .unwrap();
         assert_eq!(result.top[0].0, google);
     }
 

@@ -102,7 +102,7 @@ pub fn recommend_sources(
                 }
                 (pos, score, rationale)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
             .expect("remaining non-empty");
         let source = SourceId::from_index(remaining.remove(pos));
         chosen.push(Recommendation {
@@ -146,7 +146,13 @@ mod tests {
         // Source 1 copies source 0; source 2 independent but less accurate.
         let scores = vec![score(0.95), score(0.94), score(0.8)];
         let deps = vec![dep(1, 0, DependenceKind::Similarity, 0.95)];
-        let recs = recommend_sources(&scores, &deps, Goal::TruthSeeking, &TrustWeights::default(), 2);
+        let recs = recommend_sources(
+            &scores,
+            &deps,
+            Goal::TruthSeeking,
+            &TrustWeights::default(),
+            2,
+        );
         assert_eq!(recs[0].source, SourceId(0));
         assert_eq!(
             recs[1].source,
@@ -197,8 +203,13 @@ mod tests {
         let recs = recommend_sources(&[], &[], Goal::TruthSeeking, &TrustWeights::default(), 3);
         assert!(recs.is_empty());
         let scores = vec![score(0.9), score(0.8)];
-        let recs =
-            recommend_sources(&scores, &[], Goal::TruthSeeking, &TrustWeights::default(), 10);
+        let recs = recommend_sources(
+            &scores,
+            &[],
+            Goal::TruthSeeking,
+            &TrustWeights::default(),
+            10,
+        );
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].source, SourceId(0));
     }
@@ -207,8 +218,13 @@ mod tests {
     fn weak_dependences_are_ignored() {
         let scores = vec![score(0.95), score(0.94)];
         let deps = vec![dep(1, 0, DependenceKind::Similarity, 0.3)];
-        let recs =
-            recommend_sources(&scores, &deps, Goal::TruthSeeking, &TrustWeights::default(), 2);
+        let recs = recommend_sources(
+            &scores,
+            &deps,
+            Goal::TruthSeeking,
+            &TrustWeights::default(),
+            2,
+        );
         // Below the 0.5 bar the dependence does not discount.
         assert!((recs[1].score - scores[1].combined(&TrustWeights::default())).abs() < 1e-9);
     }

@@ -2,23 +2,26 @@
 //! hundreds of bookstores, some of which copy each other.
 //!
 //! Pipeline: generate the corpus → record linkage (cluster alternative
-//! author-list representations) → dependence detection → fusion, comparing
-//! naive voting, accuracy-weighted voting and dependence-aware fusion,
-//! plus an online query answering demo for "who wrote book X?".
+//! author-list representations) → one `SailingEngine` analysis → fusion
+//! ladder, copy-detection scoring, and online query answering, all derived
+//! from the same cached analysis.
 //!
 //! Run with `cargo run --release --example bookstore_fusion`.
 
-use sailing::core::{AccuCopy, DetectionParams};
+use sailing::core::{Accu, NaiveVote};
 use sailing::datagen::bookstores::{BookCorpus, BookCorpusConfig};
-use sailing::fusion::{fuse, FusionStrategy};
-use sailing::query::{order_sources, OnlineSession, OrderingPolicy};
+use sailing::engine::SailingEngine;
+use sailing::query::OrderingPolicy;
 
-fn main() {
+fn main() -> Result<(), sailing::SailingError> {
     let config = BookCorpusConfig::small(42);
     let corpus = BookCorpus::generate(&config);
     let stats = corpus.stats();
     println!("== Synthetic AbeBooks-like corpus (1/8 scale) ==");
-    println!("  stores: {}, books: {}, listings: {}", stats.stores, stats.books, stats.listings);
+    println!(
+        "  stores: {}, books: {}, listings: {}",
+        stats.stores, stats.books, stats.listings
+    );
     println!(
         "  author variants per book: {}–{} (mean {:.1})",
         stats.author_variants.0, stats.author_variants.2, stats.author_variants.1
@@ -42,20 +45,34 @@ fn main() {
     );
 
     let snapshot = linked.snapshot();
+
+    // The strategy ladder: three engines, one code path.
     println!("\n== Fusion quality (fraction of books with correct authors) ==");
-    for strategy in [
-        FusionStrategy::NaiveVote,
-        FusionStrategy::AccuracyVote,
-        FusionStrategy::dependence_aware(),
-    ] {
-        let outcome = fuse(&snapshot, &strategy);
+    let engines = [
+        SailingEngine::builder()
+            .strategy(NaiveVote::new())
+            .build()?,
+        SailingEngine::builder()
+            .strategy(Accu::with_defaults())
+            .build()?,
+        SailingEngine::builder().threads(2).build()?,
+    ];
+    for engine in &engines[..2] {
+        let outcome = engine.analyze(&snapshot).fuse();
         let score = corpus.score_decisions(&linked, &outcome.decisions);
         println!("  {:<10} {:.3}", outcome.strategy, score);
     }
+    // The dependence-aware analysis is computed once and reused below.
+    let analysis = engines[2].analyze(&snapshot);
+    let outcome = analysis.fuse();
+    println!(
+        "  {:<10} {:.3}",
+        outcome.strategy,
+        corpus.score_decisions(&linked, &outcome.decisions)
+    );
 
     // Dependence detection quality against the planted copier clusters.
-    let result = AccuCopy::with_defaults().run(&snapshot);
-    let detected: Vec<_> = result
+    let detected: Vec<_> = analysis
         .dependent_pairs(0.7)
         .iter()
         .map(|p| (p.a, p.b))
@@ -79,27 +96,27 @@ fn main() {
         hits as f64 / planted.len().max(1) as f64,
     );
 
-    // Online query answering: answer quality as sources are probed.
+    // Online query answering: answer quality as sources are probed — the
+    // session comes pre-seeded from the analysis, no manual plumbing.
     println!("\n== Online answering: correct books after k probes ==");
-    let deps = result.dependence_matrix();
     for policy in [
         OrderingPolicy::Random(1),
         OrderingPolicy::ByCoverage,
         OrderingPolicy::GreedyIndependent,
     ] {
-        let order = order_sources(&snapshot, &result.accuracies, &deps, &policy);
-        let mut session = OnlineSession::new(
-            &snapshot,
-            result.accuracies.clone(),
-            deps.clone(),
-            DetectionParams::default(),
-        );
+        let order = analysis.visit_order(&policy);
+        let mut session = analysis.online_session();
         let steps = session.run_order(&order[..20.min(order.len())]);
         let quality: Vec<String> = [5usize, 10, 20]
             .iter()
             .filter_map(|&k| steps.get(k - 1))
             .map(|s| format!("{:.2}", corpus.score_decisions(&linked, &s.decisions)))
             .collect();
-        println!("  {:<20} after 5/10/20 probes: {}", policy.name(), quality.join(" / "));
+        println!(
+            "  {:<20} after 5/10/20 probes: {}",
+            policy.name(),
+            quality.join(" / ")
+        );
     }
+    Ok(())
 }

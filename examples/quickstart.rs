@@ -1,16 +1,20 @@
-//! Quickstart: the paper's Table 1 end to end.
+//! Quickstart: the paper's Table 1 end to end through the `SailingEngine`.
 //!
 //! Reproduces Example 2.1 / 3.1: naive voting is defeated by the copiers
-//! `S4`, `S5` of `S3`; dependence-aware fusion detects the copy cluster,
-//! discounts it, and recovers every researcher's true affiliation.
+//! `S4`, `S5` of `S3`; the engine's dependence-aware analysis detects the
+//! copy cluster, discounts it, and recovers every researcher's true
+//! affiliation — then the same cached analysis answers queries online and
+//! recommends sources.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use sailing::core::vote::naive_vote;
-use sailing::core::AccuCopy;
+use sailing::engine::SailingEngine;
 use sailing::model::fixtures;
+use sailing::query::OrderingPolicy;
+use sailing::recommend::Goal;
 
-fn main() {
+fn main() -> Result<(), sailing::SailingError> {
     let (store, truth) = fixtures::table1();
     let snapshot = store.snapshot();
 
@@ -37,29 +41,42 @@ fn main() {
         let o = store.object_id(researcher).unwrap();
         let v = naive[&o];
         let ok = if truth.is_true(o, v) { "✓" } else { "✗" };
-        println!("  {researcher:<12} → {:<8} {ok}", store.value(v).unwrap().to_string());
+        println!(
+            "  {researcher:<12} → {:<8} {ok}",
+            store.value(v).unwrap().to_string()
+        );
     }
     println!(
         "  precision: {:.0}%",
         truth.decision_precision(&naive).unwrap() * 100.0
     );
 
-    println!("\n== Dependence-aware fusion (AccuCopy) ==");
-    let result = AccuCopy::with_defaults().run(&snapshot);
+    // One engine, one analysis; everything below derives from it.
+    let engine = SailingEngine::builder().build()?;
+    let analysis = engine.analyze(&snapshot);
+
+    println!(
+        "\n== Dependence-aware analysis ({}) ==",
+        analysis.strategy_name()
+    );
+    let decisions = analysis.decisions();
     for researcher in fixtures::RESEARCHERS {
         let o = store.object_id(researcher).unwrap();
-        let v = result.decisions()[&o];
+        let v = decisions[&o];
         let ok = if truth.is_true(o, v) { "✓" } else { "✗" };
-        println!("  {researcher:<12} → {:<8} {ok}", store.value(v).unwrap().to_string());
+        println!(
+            "  {researcher:<12} → {:<8} {ok}",
+            store.value(v).unwrap().to_string()
+        );
     }
     println!(
         "  precision: {:.0}%  ({} iterations)",
-        truth.decision_precision(&result.decisions()).unwrap() * 100.0,
-        result.iterations
+        truth.decision_precision(&decisions).unwrap() * 100.0,
+        analysis.result().iterations
     );
 
     println!("\n== Detected dependences (posterior ≥ 0.5) ==");
-    for dep in result.dependent_pairs(0.5) {
+    for dep in analysis.dependent_pairs(0.5) {
         println!(
             "  {} ~ {}  p = {:.3}  (overlap {})",
             store.source_name(dep.a).unwrap(),
@@ -69,9 +86,36 @@ fn main() {
         );
     }
 
-    println!("\n== Estimated source accuracies ==");
-    for s in fixtures::AFFILIATION_SOURCES {
-        let sid = store.source_id(s).unwrap();
-        println!("  {s}: {:.2}", result.accuracies[sid.index()]);
+    println!("\n== Source reports ==");
+    for report in analysis.source_reports() {
+        println!(
+            "  {}: accuracy {:.2}, copier probability {:.2}",
+            store.source_name(report.source).unwrap(),
+            report.accuracy,
+            report.copier_probability
+        );
     }
+
+    println!("\n== Online answering: greedy-independent probes ==");
+    let order = analysis.visit_order(&OrderingPolicy::GreedyIndependent);
+    let mut session = analysis.online_session();
+    for step in session.run_order(&order) {
+        println!(
+            "  after probing {:<3} ({} sources): precision {:.0}%",
+            store.source_name(step.source).unwrap(),
+            step.probed,
+            truth.decision_precision(&step.decisions).unwrap() * 100.0
+        );
+    }
+
+    println!("\n== Truth-seeking recommendations ==");
+    for rec in analysis.recommend(Goal::TruthSeeking, 2) {
+        println!(
+            "  {} (score {:.2}) — {}",
+            store.source_name(rec.source).unwrap(),
+            rec.score,
+            rec.rationale
+        );
+    }
+    Ok(())
 }

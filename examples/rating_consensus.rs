@@ -27,13 +27,16 @@ fn main() {
         for r in fixtures::REVIEWERS {
             let sid = store.source_id(r).unwrap();
             let rating = view.rating(sid, o).unwrap();
-            print!("{:<9}", fixtures::rating::label(&sailing::model::Value::Rating(rating)));
+            print!(
+                "{:<9}",
+                fixtures::rating::label(&sailing::model::Value::Rating(rating))
+            );
         }
         println!();
     }
     println!("\nPairwise dependence posteriors (3 movies only — soft but ranked):");
     let mut deps = detect_all(&view, &DissimParams::default());
-    deps.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
+    deps.sort_by(|a, b| b.probability.total_cmp(&a.probability));
     for dep in &deps {
         println!(
             "  {} ~ {}  p = {:.3}  kind = {:?}",
@@ -89,7 +92,10 @@ fn main() {
         let recs = recommend_sources(&scores, &agg.dependences, goal, &TrustWeights::default(), 4);
         println!("  {goal:?}:");
         for rec in recs {
-            println!("    rater {:<2} score {:.2} — {}", rec.source.0, rec.score, rec.rationale);
+            println!(
+                "    rater {:<2} score {:.2} — {}",
+                rec.source.0, rec.score, rec.rationale
+            );
         }
     }
 

@@ -6,8 +6,10 @@
 use sailing::core::params::TemporalParams;
 use sailing::core::temporal::{consensus_truth, detect_all, gather_evidence, precedence_contrast};
 use sailing::datagen::temporal::{table3_style, TemporalWorld};
+use sailing::engine::SailingEngine;
 use sailing::model::fixtures;
 use sailing::model::TruthClass;
+use sailing::recommend::Goal;
 
 fn main() {
     // --- The paper's exact Table 3 ---
@@ -87,7 +89,10 @@ fn main() {
             .iter()
             .find(|p| (p.a.0, p.b.0) == (0, 2))
             .expect("pair S1-S3 present");
-        println!("  {lag:<6} {:<12.3} {:<12}", pair.probability, pair.diagnostic);
+        println!(
+            "  {lag:<6} {:<12.3} {:<12}",
+            pair.probability, pair.diagnostic
+        );
     }
 
     // Direction via temporal intuition 3 on the generated world.
@@ -104,5 +109,30 @@ fn main() {
             "\nCopier's accuracy on values it publishes earlier vs later than the original: {earlier:.2} vs {later:.2}"
         );
         println!("(accurate only in what it publishes second — the copying signature)");
+    }
+
+    // --- Freshness-aware recommendation through the engine facade ---
+    // Attaching the update history lets trust scoring see that S3 (the lazy
+    // copier) publishes late, on top of its detected dependence on S1.
+    let snapshot = history.latest_snapshot();
+    let engine = SailingEngine::with_defaults();
+    let analysis = engine.analyze_with_history(&snapshot, &history);
+    println!("\n== Freshness-aware trust (engine analysis of Table 3's snapshot) ==");
+    for (i, score) in analysis.trust_scores().iter().enumerate() {
+        println!(
+            "  {}: freshness {:.2}, independence {:.2}",
+            store
+                .source_name(sailing::model::SourceId::from_index(i))
+                .unwrap(),
+            score.freshness,
+            score.independence
+        );
+    }
+    if let Some(rec) = analysis.recommend(Goal::TruthSeeking, 1).first() {
+        println!(
+            "  top truth-seeking recommendation: {} — {}",
+            store.source_name(rec.source).unwrap(),
+            rec.rationale
+        );
     }
 }

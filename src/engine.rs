@@ -1,0 +1,582 @@
+//! The unified engine: one pipeline run, every downstream application.
+//!
+//! The paper's programme is a single loop — *determine true values ↔
+//! compute source accuracy ↔ discover dependence* — whose converged output
+//! feeds every application in Section 4: data fusion, online query
+//! answering, and source recommendation. Before this facade existed each
+//! downstream crate re-orchestrated that loop by hand ("pilot pipeline
+//! runs" feeding raw accuracy vectors and dependence matrices around);
+//! [`SailingEngine`] runs it **once per snapshot** and hands back a cached
+//! [`Analysis`] from which everything else derives:
+//!
+//! ```
+//! use sailing::engine::SailingEngine;
+//! use sailing::model::fixtures;
+//! use sailing::query::OrderingPolicy;
+//! use sailing::recommend::Goal;
+//!
+//! let (store, truth) = fixtures::table1();
+//! let snapshot = store.snapshot();
+//! let engine = SailingEngine::builder().threads(2).build()?;
+//! let analysis = engine.analyze(&snapshot);
+//!
+//! // Fusion, online answering, and recommendation all reuse the same
+//! // converged accuracies and dependence matrix — no plumbing.
+//! assert_eq!(truth.decision_precision(&analysis.decisions()), Some(1.0));
+//! let fused = analysis.fuse();
+//! let mut session = analysis.online_session();
+//! let order = analysis.visit_order(&OrderingPolicy::GreedyIndependent);
+//! let steps = session.run_order(&order);
+//! let recs = analysis.recommend(Goal::TruthSeeking, 3);
+//! assert_eq!(fused.decisions, steps.last().unwrap().decisions);
+//! assert_eq!(recs.len(), 3);
+//! # Ok::<(), sailing::error::SailingError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use sailing_core::truth::{DependenceMatrix, ValueProbabilities};
+use sailing_core::{
+    AccuCopy, DetectionParams, PairDependence, PipelineResult, SourceReport, TruthDiscovery,
+};
+use sailing_fusion::{FusionOutcome, ProbabilisticDatabase};
+use sailing_model::{History, ObjectId, SailingError, SnapshotView, SourceId, ValueId};
+use sailing_query::topk::{top_k_values_for_object, TopKResult};
+use sailing_query::{order_sources, OnlineSession, OrderingPolicy};
+use sailing_recommend::{
+    recommend_sources, trust_scores, Goal, Recommendation, TrustScore, TrustWeights,
+};
+
+/// Builder for [`SailingEngine`]; start from [`SailingEngine::builder`].
+pub struct SailingEngineBuilder {
+    params: Option<DetectionParams>,
+    threads: Option<usize>,
+    strategy: Option<Arc<dyn TruthDiscovery>>,
+    trust_weights: TrustWeights,
+}
+
+impl SailingEngineBuilder {
+    fn new() -> Self {
+        Self {
+            params: None,
+            threads: None,
+            strategy: None,
+            trust_weights: TrustWeights::default(),
+        }
+    }
+
+    /// Sets the detection parameters used by the default strategy and by
+    /// downstream voting (online sessions, fusion damping).
+    #[must_use]
+    pub fn params(mut self, params: DetectionParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Installs a custom truth-discovery strategy (defaults to ACCU-COPY
+    /// with the configured parameters).
+    #[must_use]
+    pub fn strategy(mut self, strategy: impl TruthDiscovery + 'static) -> Self {
+        self.strategy = Some(Arc::new(strategy));
+        self
+    }
+
+    /// Shorthand for setting the pairwise-detection worker thread count.
+    /// Applied on `build()`, so it composes with [`Self::params`] in
+    /// either call order.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the trust-factor weights used by [`Analysis::recommend`].
+    #[must_use]
+    pub fn trust_weights(mut self, weights: TrustWeights) -> Self {
+        self.trust_weights = weights;
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    ///
+    /// # Errors
+    /// Returns [`SailingError::InvalidParameter`] when the detection
+    /// parameters violate their documented constraints.
+    pub fn build(self) -> Result<SailingEngine, SailingError> {
+        let mut params = self.params.clone().unwrap_or_default();
+        if let Some(threads) = self.threads {
+            params.threads = threads;
+        }
+        params.validate()?;
+        let strategy: Arc<dyn TruthDiscovery> = match self.strategy {
+            Some(s) => {
+                // A strategy carrying its own detection parameters (e.g. a
+                // hand-built `AccuCopy`) is the source of truth for the
+                // whole loop: discovery runs inside the strategy object, so
+                // builder-level `params()`/`threads()` could never reach it.
+                // Accepting both silently would let the overrides appear to
+                // take effect while discovery ignores them — reject the
+                // conflict instead.
+                if let Some(sp) = s.detection_params() {
+                    if self.params.is_some() || self.threads.is_some() {
+                        return Err(SailingError::config(
+                            "SailingEngineBuilder",
+                            "the installed strategy carries its own DetectionParams; \
+                             configure params/threads on the strategy instead of the builder",
+                        ));
+                    }
+                    params = sp.clone();
+                    params.validate()?;
+                }
+                s
+            }
+            None => Arc::new(AccuCopy::new(params.clone())?),
+        };
+        Ok(SailingEngine {
+            params,
+            strategy,
+            trust_weights: self.trust_weights,
+        })
+    }
+}
+
+/// The top-level entry point of the workspace.
+///
+/// An engine is a validated configuration (detection parameters, a
+/// pluggable [`TruthDiscovery`] strategy, trust weights). It is cheap to
+/// clone and safe to share across threads; each [`SailingEngine::analyze`]
+/// call runs the discovery loop once and returns a cached [`Analysis`].
+#[derive(Clone)]
+pub struct SailingEngine {
+    params: DetectionParams,
+    strategy: Arc<dyn TruthDiscovery>,
+    trust_weights: TrustWeights,
+}
+
+impl SailingEngine {
+    /// Starts configuring an engine.
+    pub fn builder() -> SailingEngineBuilder {
+        SailingEngineBuilder::new()
+    }
+
+    /// An engine with default parameters and the ACCU-COPY strategy.
+    pub fn with_defaults() -> Self {
+        Self::builder()
+            .build()
+            .expect("default engine parameters are valid")
+    }
+
+    /// The detection parameters in force.
+    pub fn params(&self) -> &DetectionParams {
+        &self.params
+    }
+
+    /// The name of the installed strategy.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Runs the truth ↔ accuracy ↔ dependence loop once over `snapshot`
+    /// and caches everything downstream consumers need.
+    pub fn analyze<'a>(&self, snapshot: &'a SnapshotView) -> Analysis<'a> {
+        self.analyze_inner(snapshot, None)
+    }
+
+    /// Like [`SailingEngine::analyze`], additionally attaching update
+    /// traces so freshness-aware recommendation has temporal signal.
+    pub fn analyze_with_history<'a>(
+        &self,
+        snapshot: &'a SnapshotView,
+        history: &'a History,
+    ) -> Analysis<'a> {
+        self.analyze_inner(snapshot, Some(history))
+    }
+
+    fn analyze_inner<'a>(
+        &self,
+        snapshot: &'a SnapshotView,
+        history: Option<&'a History>,
+    ) -> Analysis<'a> {
+        let result = self.strategy.discover(snapshot);
+        let matrix = result.dependence_matrix();
+        Analysis {
+            snapshot,
+            history,
+            result,
+            matrix,
+            params: self.params.clone(),
+            trust_weights: self.trust_weights,
+            strategy_name: self.strategy.name(),
+            reports: OnceLock::new(),
+            trust: OnceLock::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SailingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SailingEngine")
+            .field("strategy", &self.strategy.name())
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+/// Everything the engine learned about one snapshot, computed once.
+///
+/// All accessors are cheap: the pipeline ran during
+/// [`SailingEngine::analyze`], and the dependence matrix is prebuilt. The
+/// handle borrows the snapshot so online sessions can probe it without
+/// copying the data.
+#[derive(Debug, Clone)]
+pub struct Analysis<'a> {
+    snapshot: &'a SnapshotView,
+    history: Option<&'a History>,
+    result: PipelineResult,
+    matrix: DependenceMatrix,
+    params: DetectionParams,
+    trust_weights: TrustWeights,
+    strategy_name: &'static str,
+    /// Lazily-computed per-source reports; `OnceLock` keeps repeated
+    /// `source_reports()` / `top_k()` calls from redoing the O(sources²)
+    /// summary work.
+    reports: OnceLock<Vec<SourceReport>>,
+    /// Lazily-computed trust scores, for the same reason: `recommend()`
+    /// may be called once per goal/limit against one analysis.
+    trust: OnceLock<Vec<TrustScore>>,
+}
+
+impl<'a> Analysis<'a> {
+    /// The analyzed snapshot.
+    pub fn snapshot(&self) -> &'a SnapshotView {
+        self.snapshot
+    }
+
+    /// The strategy that produced this analysis.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy_name
+    }
+
+    /// The raw pipeline result (probabilities, accuracies, dependences).
+    pub fn result(&self) -> &PipelineResult {
+        &self.result
+    }
+
+    /// Posterior value distributions per object.
+    pub fn probabilities(&self) -> &ValueProbabilities {
+        &self.result.probabilities
+    }
+
+    /// Converged per-source accuracies (empty for accuracy-blind
+    /// strategies such as naive voting).
+    pub fn accuracies(&self) -> &[f64] {
+        &self.result.accuracies
+    }
+
+    /// Detected pairwise dependences.
+    pub fn dependences(&self) -> &[PairDependence] {
+        &self.result.dependences
+    }
+
+    /// Pairs whose dependence posterior crosses `threshold`, most probable
+    /// first.
+    pub fn dependent_pairs(&self, threshold: f64) -> Vec<&PairDependence> {
+        self.result.dependent_pairs(threshold)
+    }
+
+    /// The cached dependence matrix implied by the detected pairs.
+    pub fn dependence_matrix(&self) -> &DependenceMatrix {
+        &self.matrix
+    }
+
+    /// Hard truth decisions: most probable value per object.
+    pub fn decisions(&self) -> HashMap<ObjectId, ValueId> {
+        self.result.decisions()
+    }
+
+    /// Whether the discovery loop reached its fixpoint.
+    pub fn converged(&self) -> bool {
+        self.result.converged
+    }
+
+    /// Per-source summary: accuracy, coverage, copier probability, mean
+    /// vote independence. Computed once per analysis from the cached
+    /// dependence matrix, then memoised.
+    pub fn source_reports(&self) -> &[SourceReport] {
+        self.reports
+            .get_or_init(|| self.result.source_reports_with(self.snapshot, &self.matrix))
+    }
+
+    /// The fusion outcome implied by this analysis — equivalent to running
+    /// `sailing_fusion::fuse` with the engine's strategy, but reusing the
+    /// already-converged pipeline instead of re-running it.
+    pub fn fuse(&self) -> FusionOutcome {
+        FusionOutcome::from_result(self.result.clone(), self.strategy_name)
+    }
+
+    /// The probabilistic-database view of the fused value distributions.
+    pub fn probabilistic_database(&self) -> ProbabilisticDatabase {
+        ProbabilisticDatabase::from_probabilities(&self.result.probabilities)
+    }
+
+    /// An online answering session pre-seeded with the converged
+    /// accuracies and dependence matrix — the caller never assembles
+    /// either by hand.
+    pub fn online_session(&self) -> OnlineSession<'a> {
+        OnlineSession::new(
+            self.snapshot,
+            self.result.accuracies.clone(),
+            self.matrix.clone(),
+            self.params.clone(),
+        )
+    }
+
+    /// The complete source-visit order a policy produces under this
+    /// analysis's accuracies and dependences.
+    pub fn visit_order(&self, policy: &OrderingPolicy) -> Vec<SourceId> {
+        order_sources(self.snapshot, &self.result.accuracies, &self.matrix, policy)
+    }
+
+    /// Dependence-aware top-k answering for one object: each source's
+    /// support is weighted by its accuracy times its vote independence.
+    pub fn top_k(&self, object: ObjectId, k: usize, policy: &OrderingPolicy) -> TopKResult {
+        let order = self.visit_order(policy);
+        let weights: Vec<f64> = self
+            .source_reports()
+            .iter()
+            .map(|r| r.accuracy * r.mean_independence)
+            .collect();
+        top_k_values_for_object(self.snapshot, object, &order, &weights, k)
+    }
+
+    /// Per-source trust scores (accuracy, coverage, freshness,
+    /// independence); freshness uses the attached history when present.
+    /// Computed once per analysis, then memoised.
+    pub fn trust_scores(&self) -> &[TrustScore] {
+        self.trust.get_or_init(|| {
+            trust_scores(
+                self.snapshot,
+                &self.result.accuracies,
+                &self.matrix,
+                self.history,
+            )
+        })
+    }
+
+    /// Goal-directed source recommendations derived from the cached trust
+    /// scores and dependences.
+    pub fn recommend(&self, goal: Goal, limit: usize) -> Vec<Recommendation> {
+        recommend_sources(
+            self.trust_scores(),
+            &self.result.dependences,
+            goal,
+            &self.trust_weights,
+            limit,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_core::{Accu, NaiveVote};
+    use sailing_fusion::{fuse, FusionStrategy};
+    use sailing_model::fixtures;
+
+    #[test]
+    fn builder_validates_params() {
+        let err = SailingEngine::builder()
+            .params(DetectionParams {
+                copy_rate: 2.0,
+                ..DetectionParams::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SailingError::InvalidParameter {
+                param: "copy_rate",
+                ..
+            }
+        ));
+        assert!(SailingEngine::builder().threads(0).build().is_err());
+    }
+
+    #[test]
+    fn analysis_matches_direct_pipeline_on_table1() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let engine = SailingEngine::with_defaults();
+        let analysis = engine.analyze(&snap);
+
+        let direct = AccuCopy::with_defaults().run(&snap);
+        assert_eq!(analysis.decisions(), direct.decisions());
+        // Hash-map iteration order varies between runs, so float summation
+        // can differ by an ULP; the estimates must agree to high precision.
+        assert_eq!(analysis.accuracies().len(), direct.accuracies.len());
+        for (a, d) in analysis.accuracies().iter().zip(&direct.accuracies) {
+            assert!((a - d).abs() < 1e-9);
+        }
+        assert_eq!(analysis.dependences().len(), direct.dependences.len());
+        assert_eq!(truth.decision_precision(&analysis.decisions()), Some(1.0));
+        assert!(analysis.converged());
+        assert_eq!(analysis.strategy_name(), "accu-copy");
+    }
+
+    #[test]
+    fn fuse_matches_fusion_crate_without_rerun() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let analysis = SailingEngine::with_defaults().analyze(&snap);
+        let via_engine = analysis.fuse();
+        let via_crate = fuse(&snap, &FusionStrategy::dependence_aware()).unwrap();
+        assert_eq!(via_engine.decisions, via_crate.decisions);
+        assert_eq!(via_engine.strategy, via_crate.strategy);
+    }
+
+    #[test]
+    fn online_session_is_auto_seeded() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let analysis = SailingEngine::with_defaults().analyze(&snap);
+        let order = analysis.visit_order(&OrderingPolicy::GreedyIndependent);
+        let mut session = analysis.online_session();
+        let steps = session.run_order(&order);
+        assert_eq!(steps.len(), 5);
+        // The greedy order front-loads the independents; after two probes
+        // the answers are already fully correct (paper's Example 4.1 idea).
+        assert_eq!(truth.decision_precision(&steps[1].decisions), Some(1.0));
+    }
+
+    #[test]
+    fn recommendations_avoid_the_copier_cluster() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let analysis = SailingEngine::with_defaults().analyze(&snap);
+        let recs = analysis.recommend(Goal::TruthSeeking, 2);
+        assert_eq!(recs.len(), 2);
+        let s = |n: &str| store.source_id(n).unwrap();
+        let picked: Vec<SourceId> = recs.iter().map(|r| r.source).collect();
+        assert!(picked.contains(&s("S1")), "{picked:?}");
+        // No two recommended sources may be a confident dependent pair.
+        for (i, x) in picked.iter().enumerate() {
+            for y in &picked[i + 1..] {
+                assert!(analysis.dependence_matrix().dependent(*x, *y) < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn pluggable_strategies_change_the_analysis() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let naive = SailingEngine::builder()
+            .strategy(NaiveVote::new())
+            .build()
+            .unwrap();
+        let accu = SailingEngine::builder()
+            .strategy(Accu::with_defaults())
+            .build()
+            .unwrap();
+        let p_naive = truth
+            .decision_precision(&naive.analyze(&snap).decisions())
+            .unwrap();
+        let p_accu = truth
+            .decision_precision(&accu.analyze(&snap).decisions())
+            .unwrap();
+        assert!((p_naive - 0.4).abs() < 1e-9);
+        assert!(p_accu >= p_naive);
+        assert_eq!(naive.strategy_name(), "naive");
+        assert!(naive.analyze(&snap).dependences().is_empty());
+    }
+
+    #[test]
+    fn top_k_answers_through_the_facade() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let analysis = SailingEngine::with_defaults().analyze(&snap);
+        let halevy = store.object_id("Halevy").unwrap();
+        let result = analysis.top_k(halevy, 1, &OrderingPolicy::ByAccuracy);
+        assert_eq!(result.top.len(), 1);
+        assert_eq!(Some(result.top[0].0), truth.value(halevy));
+    }
+
+    #[test]
+    fn engine_is_shareable_and_debuggable() {
+        let engine = SailingEngine::with_defaults();
+        let clone = engine.clone();
+        let handle = std::thread::spawn(move || {
+            let (store, _) = fixtures::table1();
+            clone.analyze(&store.snapshot()).decisions().len()
+        });
+        assert_eq!(handle.join().unwrap(), 5);
+        assert!(format!("{engine:?}").contains("accu-copy"));
+    }
+
+    #[test]
+    fn builder_threads_composes_with_params_in_any_order() {
+        // `threads()` must survive a later wholesale `params()` call.
+        let engine = SailingEngine::builder()
+            .threads(8)
+            .params(DetectionParams::default())
+            .build()
+            .unwrap();
+        assert_eq!(engine.params().threads, 8);
+        let engine = SailingEngine::builder()
+            .params(DetectionParams::default())
+            .threads(8)
+            .build()
+            .unwrap();
+        assert_eq!(engine.params().threads, 8);
+    }
+
+    #[test]
+    fn custom_strategy_params_drive_downstream_voting() {
+        // A strategy carrying its own parameters must also govern the
+        // online-session voting path, keeping the facade invariant that a
+        // fully-probed session equals the fused decisions.
+        let params = DetectionParams {
+            n_false_values: 50,
+            copy_rate: 0.6,
+            ..DetectionParams::default()
+        };
+        let engine = SailingEngine::builder()
+            .strategy(AccuCopy::new(params.clone()).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(engine.params().n_false_values, 50);
+
+        // Builder-level overrides cannot reach inside a param-carrying
+        // strategy, so combining them is a typed configuration error
+        // rather than a silent no-op.
+        let err = SailingEngine::builder()
+            .strategy(AccuCopy::new(params.clone()).unwrap())
+            .threads(8)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SailingError::InvalidConfig { .. }));
+
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let analysis = engine.analyze(&snap);
+        let order = analysis.visit_order(&OrderingPolicy::ByAccuracy);
+        let mut session = analysis.online_session();
+        let steps = session.run_order(&order);
+        assert_eq!(
+            steps.last().unwrap().decisions,
+            analysis.fuse().decisions,
+            "fully-probed session must match fused decisions under custom params"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_analysis_is_sane() {
+        let snap = SnapshotView::from_triples(0, 0, Vec::new());
+        let analysis = SailingEngine::with_defaults().analyze(&snap);
+        assert!(analysis.decisions().is_empty());
+        assert!(analysis.recommend(Goal::DiversitySeeking, 3).is_empty());
+        assert!(analysis.source_reports().is_empty());
+        assert!(analysis.online_session().current_decisions().is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! The workspace error type, re-exported at the facade.
+//!
+//! Every fallible API in the workspace — engine construction, parameter
+//! validation, model building, generator configuration — reports the same
+//! [`SailingError`], so a service embedding the engine matches on one enum
+//! end to end instead of parsing strings.
+
+pub use sailing_model::{SailingError, SailingResult};
+
+/// Facade-standard result alias.
+pub type Result<T> = std::result::Result<T, SailingError>;

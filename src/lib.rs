@@ -7,13 +7,20 @@
 //! The Web makes it as easy to spread false information as true information,
 //! and naive majority voting over conflicting sources is defeated the moment
 //! sources copy from each other. This workspace implements the paper's
-//! programme end to end:
+//! programme end to end behind one facade:
 //!
+//! * [`engine`] — **the entry point**: [`SailingEngine`] runs the iterative
+//!   *truth ↔ accuracy ↔ dependence* loop once per snapshot and hands back
+//!   a cached [`Analysis`] feeding fusion, online query answering, and
+//!   source recommendation;
+//! * [`error`] — the single typed [`SailingError`] every fallible API in
+//!   the workspace reports;
 //! * [`model`] — the structured-source data model (claims, snapshots,
 //!   temporal update traces, ground truths);
 //! * [`core`] — **dependence discovery**: Bayesian snapshot copy detection,
 //!   dissimilarity-dependence detection on opinions, temporal (update-trace)
-//!   dependence with lazy-copier lag estimation, and the iterative
+//!   dependence with lazy-copier lag estimation, pluggable
+//!   [`TruthDiscovery`](core::TruthDiscovery) strategies, and the iterative
 //!   truth ↔ accuracy ↔ dependence pipeline;
 //! * [`linkage`] — record linkage: string metrics, author-list parsing,
 //!   representation clustering, wrong-value vs alternative-representation
@@ -29,9 +36,14 @@
 //!
 //! ## Quickstart
 //!
+//! Build an engine once, analyze a snapshot once, and derive every
+//! downstream application from the cached [`Analysis`]:
+//!
 //! ```
+//! use sailing::engine::SailingEngine;
 //! use sailing::model::fixtures;
-//! use sailing::core::AccuCopy;
+//! use sailing::query::OrderingPolicy;
+//! use sailing::recommend::Goal;
 //!
 //! // Table 1 of the paper: five sources, two of them copying a third.
 //! let (store, truth) = fixtures::table1();
@@ -41,13 +53,37 @@
 //! let naive = sailing::core::vote::naive_vote(&snapshot);
 //! assert_eq!(truth.decision_precision(&naive), Some(0.4));
 //!
-//! // ...dependence-aware fusion does not.
-//! let result = AccuCopy::with_defaults().run(&snapshot);
-//! assert_eq!(truth.decision_precision(&result.decisions()), Some(1.0));
+//! // ...the engine's dependence-aware analysis does not.
+//! let engine = SailingEngine::builder().build()?;
+//! let analysis = engine.analyze(&snapshot);
+//! assert_eq!(truth.decision_precision(&analysis.decisions()), Some(1.0));
+//!
+//! // The same analysis powers every Section 4 application:
+//! let fused = analysis.fuse();                 // data fusion
+//! let mut session = analysis.online_session(); // online query answering
+//! let order = analysis.visit_order(&OrderingPolicy::GreedyIndependent);
+//! session.run_order(&order[..2]);              // probe the two independents
+//! let recs = analysis.recommend(Goal::TruthSeeking, 2);
+//!
+//! assert_eq!(fused.strategy, "accu-copy");
+//! assert_eq!(recs.len(), 2);
+//! # Ok::<(), sailing::error::SailingError>(())
 //! ```
+//!
+//! Strategies are pluggable: pass
+//! [`NaiveVote`](core::NaiveVote) / [`Accu`](core::Accu) (or your own
+//! [`TruthDiscovery`](core::TruthDiscovery) implementation) to
+//! [`SailingEngine::builder`] to reproduce the paper's baseline ladder
+//! through one code path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+
+pub use engine::{Analysis, SailingEngine, SailingEngineBuilder};
+pub use error::{SailingError, SailingResult};
 
 pub use sailing_core as core;
 pub use sailing_datagen as datagen;

@@ -9,10 +9,22 @@ use sailing::model::fixtures;
 
 fn copier_world(seed: u64) -> SnapshotWorld {
     let mut sources = vec![
-        SourceBehavior::Independent { accuracy: 0.9, coverage: 150 },
-        SourceBehavior::Independent { accuracy: 0.8, coverage: 150 },
-        SourceBehavior::Independent { accuracy: 0.7, coverage: 150 },
-        SourceBehavior::Independent { accuracy: 0.4, coverage: 150 },
+        SourceBehavior::Independent {
+            accuracy: 0.9,
+            coverage: 150,
+        },
+        SourceBehavior::Independent {
+            accuracy: 0.8,
+            coverage: 150,
+        },
+        SourceBehavior::Independent {
+            accuracy: 0.7,
+            coverage: 150,
+        },
+        SourceBehavior::Independent {
+            accuracy: 0.4,
+            coverage: 150,
+        },
     ];
     for _ in 0..3 {
         sources.push(SourceBehavior::Copier {

@@ -72,8 +72,8 @@ fn fusion_quality_is_high_and_aware_not_worse() {
     let c = corpus();
     let linked = c.author_claim_store(true);
     let snapshot = linked.snapshot();
-    let naive = fuse(&snapshot, &FusionStrategy::NaiveVote);
-    let aware = fuse(&snapshot, &FusionStrategy::dependence_aware());
+    let naive = fuse(&snapshot, &FusionStrategy::NaiveVote).unwrap();
+    let aware = fuse(&snapshot, &FusionStrategy::dependence_aware()).unwrap();
     let s_naive = c.score_decisions(&linked, &naive.decisions);
     let s_aware = c.score_decisions(&linked, &aware.decisions);
     assert!(s_naive > 0.6, "naive {s_naive}");
@@ -153,9 +153,6 @@ fn raw_vs_linked_value_spaces() {
     assert!(linked.num_values() < raw.num_values());
     // Linkage must not change which stores cover which books.
     let s0 = sailing::model::SourceId(0);
-    assert_eq!(
-        raw.snapshot().coverage(s0),
-        linked.snapshot().coverage(s0)
-    );
+    assert_eq!(raw.snapshot().coverage(s0), linked.snapshot().coverage(s0));
     let _ = DependenceMatrix::new();
 }

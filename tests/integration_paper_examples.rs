@@ -80,7 +80,7 @@ fn fusion_strategy_ladder_on_table1() {
     let snapshot = store.snapshot();
     let p = |s: &FusionStrategy| {
         truth
-            .decision_precision(&fuse(&snapshot, s).decisions)
+            .decision_precision(&fuse(&snapshot, s).unwrap().decisions)
             .unwrap()
     };
     let naive = p(&FusionStrategy::NaiveVote);
@@ -130,7 +130,10 @@ fn example_3_2_temporal_inference() {
     // Outdated-true, not false.
     let dong = store.object_id("Dong").unwrap();
     let v = history.value_at(s("S2"), dong, 2007).unwrap();
-    assert_eq!(truth.classify(dong, v, 2007), Some(TruthClass::OutdatedTrue));
+    assert_eq!(
+        truth.classify(dong, v, 2007),
+        Some(TruthClass::OutdatedTrue)
+    );
 }
 
 /// The facade's quickstart doc example, as a test.

@@ -1,178 +1,325 @@
 //! Property-based tests over the core invariants.
+//!
+//! The offline build cannot use `proptest`, so these properties run over a
+//! seeded generator loop: every case derives from the vendored
+//! ChaCha8-based RNG, so failures are exactly reproducible from the case
+//! index printed in the assertion message.
 
-use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::Rng as _;
 
 use sailing::core::dissim::{DissimParams, RatingView};
 use sailing::core::truth::{naive_probabilities, weighted_vote, DependenceMatrix};
 use sailing::core::{copy, AccuCopy, DetectionParams};
+use sailing::datagen::rng;
 use sailing::linkage::{jaro_winkler, levenshtein, normalize, parse_author_list};
 use sailing::model::{ClaimStoreBuilder, ObjectId, SnapshotView, SourceId, UpdateTrace, ValueId};
 
+const CASES: u64 = 64;
+
 /// Arbitrary small snapshot: up to 8 sources × 12 objects × 4 values.
-fn snapshot_strategy() -> impl Strategy<Value = SnapshotView> {
-    proptest::collection::vec((0u32..8, 0u32..12, 0u32..4), 1..120).prop_map(|triples| {
-        SnapshotView::from_triples(
-            8,
-            12,
-            triples
-                .into_iter()
-                .map(|(s, o, v)| (SourceId(s), ObjectId(o), ValueId(o * 4 + v))),
-        )
-    })
+fn random_snapshot(seed: u64) -> SnapshotView {
+    let mut rng = rng(seed);
+    let n_triples = rng.gen_range(1..120usize);
+    let triples: Vec<(SourceId, ObjectId, ValueId)> = (0..n_triples)
+        .map(|_| {
+            let s = rng.gen_range(0..8u32);
+            let o = rng.gen_range(0..12u32);
+            let v = rng.gen_range(0..4u32);
+            (SourceId(s), ObjectId(o), ValueId(o * 4 + v))
+        })
+        .collect();
+    SnapshotView::from_triples(8, 12, triples)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_word(rng: &mut sailing::datagen::Rng, chars: &[char], max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| *chars.choose(rng).unwrap()).collect()
+}
 
-    #[test]
-    fn value_probabilities_are_valid(snapshot in snapshot_strategy(), acc in 0.05f64..0.95) {
+fn lowercase_pool() -> Vec<char> {
+    ('a'..='z').collect()
+}
+
+#[test]
+fn value_probabilities_are_valid() {
+    for case in 0..CASES {
+        let snapshot = random_snapshot(1000 + case);
+        let acc = 0.05 + (case as f64 / CASES as f64) * 0.9;
         let params = DetectionParams::default();
         let accs = vec![acc; snapshot.num_sources()];
         let probs = weighted_vote(&snapshot, &accs, &DependenceMatrix::new(), &params);
         for o in probs.objects() {
             let d = probs.distribution(o);
             let total: f64 = d.iter().map(|&(_, p)| p).sum();
-            prop_assert!(total <= 1.0 + 1e-9, "mass {} at {:?}", total, o);
-            prop_assert!(d.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
-            prop_assert!(d.windows(2).all(|w| w[0].1 >= w[1].1), "sorted desc");
+            assert!(total <= 1.0 + 1e-9, "case {case}: mass {total} at {o:?}");
+            assert!(
+                d.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)),
+                "case {case}"
+            );
+            assert!(
+                d.windows(2).all(|w| w[0].1 >= w[1].1),
+                "case {case}: sorted desc"
+            );
         }
     }
+}
 
-    #[test]
-    fn copy_posteriors_are_probabilities(snapshot in snapshot_strategy()) {
-        let params = DetectionParams { min_overlap: 1, ..DetectionParams::default() };
+#[test]
+fn copy_posteriors_are_probabilities() {
+    for case in 0..CASES {
+        let snapshot = random_snapshot(2000 + case);
+        let params = DetectionParams {
+            min_overlap: 1,
+            ..DetectionParams::default()
+        };
         let probs = naive_probabilities(&snapshot);
         let accs = vec![0.7; snapshot.num_sources()];
         for a in 0..snapshot.num_sources() {
             for b in (a + 1)..snapshot.num_sources() {
                 if let Some(dep) = copy::detect_pair(
-                    &snapshot, SourceId(a as u32), SourceId(b as u32), &probs, &accs, &params,
+                    &snapshot,
+                    SourceId(a as u32),
+                    SourceId(b as u32),
+                    &probs,
+                    &accs,
+                    &params,
                 ) {
-                    prop_assert!((0.0..=1.0).contains(&dep.probability));
-                    prop_assert!((0.0..=1.0).contains(&dep.prob_a_on_b));
-                    prop_assert!(dep.a < dep.b);
+                    assert!((0.0..=1.0).contains(&dep.probability), "case {case}");
+                    assert!((0.0..=1.0).contains(&dep.prob_a_on_b), "case {case}");
+                    assert!(dep.a < dep.b, "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn copy_detection_is_orientation_stable(snapshot in snapshot_strategy()) {
-        let params = DetectionParams { min_overlap: 1, ..DetectionParams::default() };
+#[test]
+fn copy_detection_is_orientation_stable() {
+    for case in 0..CASES {
+        let snapshot = random_snapshot(3000 + case);
+        let params = DetectionParams {
+            min_overlap: 1,
+            ..DetectionParams::default()
+        };
         let probs = naive_probabilities(&snapshot);
         let accs = vec![0.7; snapshot.num_sources()];
         for a in 0..snapshot.num_sources().min(4) {
             for b in (a + 1)..snapshot.num_sources().min(4) {
-                let ab = copy::detect_pair(&snapshot, SourceId(a as u32), SourceId(b as u32), &probs, &accs, &params);
-                let ba = copy::detect_pair(&snapshot, SourceId(b as u32), SourceId(a as u32), &probs, &accs, &params);
+                let ab = copy::detect_pair(
+                    &snapshot,
+                    SourceId(a as u32),
+                    SourceId(b as u32),
+                    &probs,
+                    &accs,
+                    &params,
+                );
+                let ba = copy::detect_pair(
+                    &snapshot,
+                    SourceId(b as u32),
+                    SourceId(a as u32),
+                    &probs,
+                    &accs,
+                    &params,
+                );
                 match (ab, ba) {
                     (Some(x), Some(y)) => {
-                        prop_assert!((x.probability - y.probability).abs() < 1e-9);
-                        prop_assert!((x.prob_a_on_b - y.prob_a_on_b).abs() < 1e-9);
+                        assert!((x.probability - y.probability).abs() < 1e-9, "case {case}");
+                        assert!((x.prob_a_on_b - y.prob_a_on_b).abs() < 1e-9, "case {case}");
                     }
                     (None, None) => {}
-                    _ => prop_assert!(false, "asymmetric overlap gating"),
+                    _ => panic!("case {case}: asymmetric overlap gating"),
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn pipeline_always_terminates_with_valid_state(snapshot in snapshot_strategy()) {
+#[test]
+fn pipeline_always_terminates_with_valid_state() {
+    for case in 0..CASES {
+        let snapshot = random_snapshot(4000 + case);
         let result = AccuCopy::with_defaults().run(&snapshot);
-        prop_assert!(result.iterations <= DetectionParams::default().max_iterations);
+        assert!(
+            result.iterations <= DetectionParams::default().max_iterations,
+            "case {case}"
+        );
         for &a in &result.accuracies {
-            prop_assert!((0.0..=1.0).contains(&a));
+            assert!((0.0..=1.0).contains(&a), "case {case}");
         }
         for dep in &result.dependences {
-            prop_assert!((0.0..=1.0).contains(&dep.probability));
+            assert!((0.0..=1.0).contains(&dep.probability), "case {case}");
         }
         // Decisions only pick asserted values.
         for (o, v) in result.decisions() {
             let asserted = snapshot.assertions_on(o).iter().any(|&(_, av)| av == v);
-            prop_assert!(asserted, "decision must be an asserted value");
+            assert!(asserted, "case {case}: decision must be an asserted value");
         }
     }
+}
 
-    #[test]
-    fn source_relabeling_permutes_results(seed in 0u64..500) {
+#[test]
+fn source_relabeling_permutes_results() {
+    for seed in 0..CASES {
         // Renaming sources must not change what is detected, only labels.
         let mut b1 = ClaimStoreBuilder::new();
         let mut b2 = ClaimStoreBuilder::new();
         let objects = ["o1", "o2", "o3", "o4", "o5"];
         for (i, o) in objects.iter().enumerate() {
             let v = format!("v{}", (seed as usize + i) % 3);
-            b1.add("A", o, v.as_str()).add("B", o, v.as_str()).add("C", o, "other");
+            b1.add("A", o, v.as_str())
+                .add("B", o, v.as_str())
+                .add("C", o, "other");
             // Same data, sources added in reverse order.
-            b2.add("C", o, "other").add("B", o, v.as_str()).add("A", o, v.as_str());
+            b2.add("C", o, "other")
+                .add("B", o, v.as_str())
+                .add("A", o, v.as_str());
         }
         let r1 = AccuCopy::with_defaults().run(&b1.build().snapshot());
         let r2 = AccuCopy::with_defaults().run(&b2.build().snapshot());
         // A↔B dependence must be identical regardless of labelling order.
-        let p1 = r1.dependences.iter().map(|d| d.probability).fold(0.0, f64::max);
-        let p2 = r2.dependences.iter().map(|d| d.probability).fold(0.0, f64::max);
-        prop_assert!((p1 - p2).abs() < 1e-6, "{p1} vs {p2}");
+        let p1 = r1
+            .dependences
+            .iter()
+            .map(|d| d.probability)
+            .fold(0.0, f64::max);
+        let p2 = r2
+            .dependences
+            .iter()
+            .map(|d| d.probability)
+            .fold(0.0, f64::max);
+        assert!((p1 - p2).abs() < 1e-6, "seed {seed}: {p1} vs {p2}");
     }
+}
 
-    #[test]
-    fn update_trace_invariants(pairs in proptest::collection::vec((0i64..100, 0u32..5), 0..40)) {
-        let trace = UpdateTrace::from_pairs(pairs.into_iter().map(|(t, v)| (t, ValueId(v))));
+#[test]
+fn update_trace_invariants() {
+    for case in 0..CASES {
+        let mut r = rng(5000 + case);
+        let n = r.gen_range(0..40usize);
+        let pairs: Vec<(i64, ValueId)> = (0..n)
+            .map(|_| (r.gen_range(0..100i64), ValueId(r.gen_range(0..5u32))))
+            .collect();
+        let trace = UpdateTrace::from_pairs(pairs);
         let updates = trace.updates();
-        prop_assert!(updates.windows(2).all(|w| w[0].0 < w[1].0), "strictly increasing times");
-        prop_assert!(updates.windows(2).all(|w| w[0].1 != w[1].1), "no consecutive duplicates");
+        assert!(
+            updates.windows(2).all(|w| w[0].0 < w[1].0),
+            "case {case}: strictly increasing times"
+        );
+        assert!(
+            updates.windows(2).all(|w| w[0].1 != w[1].1),
+            "case {case}: no consecutive duplicates"
+        );
         if let Some((t, v)) = trace.latest() {
-            prop_assert_eq!(trace.value_at(t), Some(v));
-            prop_assert_eq!(trace.value_at(i64::MAX), Some(v));
+            assert_eq!(trace.value_at(t), Some(v), "case {case}");
+            assert_eq!(trace.value_at(i64::MAX), Some(v), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn levenshtein_is_a_metric(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-        prop_assert_eq!(levenshtein(&a, &a), 0);
+#[test]
+fn levenshtein_is_a_metric() {
+    let pool = lowercase_pool();
+    for case in 0..CASES {
+        let mut r = rng(6000 + case);
+        let a = random_word(&mut r, &pool, 12);
+        let b = random_word(&mut r, &pool, 12);
+        let c = random_word(&mut r, &pool, 12);
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a), "case {case}");
+        assert_eq!(levenshtein(&a, &a), 0, "case {case}");
         // Triangle inequality.
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        assert!(
+            levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c),
+            "case {case}: {a:?} {b:?} {c:?}"
+        );
     }
+}
 
-    #[test]
-    fn jaro_winkler_bounded_and_reflexive(a in "[a-zA-Z ]{0,16}", b in "[a-zA-Z ]{0,16}") {
+#[test]
+fn jaro_winkler_bounded_and_reflexive() {
+    let pool: Vec<char> = ('a'..='z').chain('A'..='Z').chain([' ']).collect();
+    for case in 0..CASES {
+        let mut r = rng(7000 + case);
+        let a = random_word(&mut r, &pool, 16);
+        let b = random_word(&mut r, &pool, 16);
         let s = jaro_winkler(&a, &b);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
-        prop_assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-12);
-        prop_assert!((s - jaro_winkler(&b, &a)).abs() < 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&s), "case {case}");
+        assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-12, "case {case}");
+        assert!((s - jaro_winkler(&b, &a)).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn normalize_is_idempotent(s in "\\PC{0,24}") {
+#[test]
+fn normalize_is_idempotent() {
+    // Printable chars across scripts, punctuation, accents, and whitespace.
+    let pool: Vec<char> = ('a'..='z')
+        .chain('A'..='Z')
+        .chain('0'..='9')
+        .chain([
+            'é', 'Ü', 'ß', 'ç', 'ø', 'Б', '中', '.', ',', ';', '-', '\'', '"', ' ', '\t',
+        ])
+        .collect();
+    for case in 0..CASES {
+        let mut r = rng(8000 + case);
+        let s = random_word(&mut r, &pool, 24);
         let once = normalize(&s);
-        prop_assert_eq!(normalize(&once), once);
+        assert_eq!(normalize(&once), once, "case {case}: input {s:?}");
     }
+}
 
-    #[test]
-    fn author_list_match_score_symmetric_and_bounded(
-        a in "[A-Z][a-z]{1,8} [A-Z][a-z]{1,8}(; [A-Z][a-z]{1,8} [A-Z][a-z]{1,8}){0,2}",
-        b in "[A-Z][a-z]{1,8} [A-Z][a-z]{1,8}(; [A-Z][a-z]{1,8} [A-Z][a-z]{1,8}){0,2}",
-    ) {
+#[test]
+fn author_list_match_score_symmetric_and_bounded() {
+    let first_pool = lowercase_pool();
+    let make_author_list = |r: &mut sailing::datagen::Rng| {
+        let n = r.gen_range(1..=3usize);
+        (0..n)
+            .map(|_| {
+                let cap = |w: String| {
+                    let mut cs = w.chars();
+                    match cs.next() {
+                        Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+                        None => String::new(),
+                    }
+                };
+                let first = cap(format!("{}x", random_word(r, &first_pool, 7)));
+                let last = cap(format!("{}y", random_word(r, &first_pool, 7)));
+                format!("{first} {last}")
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    };
+    for case in 0..CASES {
+        let mut r = rng(9000 + case);
+        let a = make_author_list(&mut r);
+        let b = make_author_list(&mut r);
         let la = parse_author_list(&a);
         let lb = parse_author_list(&b);
         let sab = la.match_score(&lb);
         let sba = lb.match_score(&la);
-        prop_assert!((sab - sba).abs() < 1e-9);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&sab));
-        prop_assert!(la.match_score(&la) > 0.99);
+        assert!((sab - sba).abs() < 1e-9, "case {case}: {a:?} vs {b:?}");
+        assert!((0.0..=1.0 + 1e-9).contains(&sab), "case {case}");
+        assert!(la.match_score(&la) > 0.99, "case {case}: {a:?}");
     }
+}
 
-    #[test]
-    fn dissim_posteriors_are_probabilities(
-        ratings in proptest::collection::vec((0u32..5, 0u32..15, 0u8..3), 10..80)
-    ) {
-        let view = RatingView::from_triples(
-            5, 15, 2,
-            ratings.into_iter().map(|(s, o, r)| (SourceId(s), ObjectId(o), r)),
-        );
+#[test]
+fn dissim_posteriors_are_probabilities() {
+    for case in 0..CASES {
+        let mut r = rng(10_000 + case);
+        let n = r.gen_range(10..80usize);
+        let ratings: Vec<(SourceId, ObjectId, u8)> = (0..n)
+            .map(|_| {
+                (
+                    SourceId(r.gen_range(0..5u32)),
+                    ObjectId(r.gen_range(0..15u32)),
+                    r.gen_range(0..3u32) as u8,
+                )
+            })
+            .collect();
+        let view = RatingView::from_triples(5, 15, 2, ratings);
         for dep in sailing::core::dissim::detect_all(&view, &DissimParams::default()) {
-            prop_assert!((0.0..=1.0).contains(&dep.probability));
-            prop_assert!((0.0..=1.0).contains(&dep.prob_a_on_b));
+            assert!((0.0..=1.0).contains(&dep.probability), "case {case}");
+            assert!((0.0..=1.0).contains(&dep.prob_a_on_b), "case {case}");
         }
     }
 }

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Exposes the subset of the rand 0.8 surface this workspace uses:
+//! [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], [`SeedableRng`],
+//! and [`seq::SliceRandom::shuffle`]. Generators implement [`RngCore`];
+//! the workspace's concrete generator lives in the vendored `rand_chacha`.
+
+/// The raw random-word interface generators implement.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Generators seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded internally).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the "standard" distribution of `T`
+    /// (`[0, 1)` for floats, full range for integers).
+    fn gen<T: distributions::SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T, R: distributions::SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_range(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Standard and range distributions.
+pub mod distributions {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types samplable from the standard distribution.
+    pub trait SampleStandard: Sized {
+        /// Draws one standard sample.
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    impl SampleStandard for f64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl SampleStandard for f32 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl SampleStandard for u32 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl SampleStandard for u64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl SampleStandard for bool {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    /// Types uniformly samplable between two bounds. The blanket
+    /// [`SampleRange`] impls over `Range<T>` / `RangeInclusive<T>` tie the
+    /// output type directly to the range's element type, which is what lets
+    /// integer-literal ranges (`0..4`) infer through default numeric
+    /// fallback exactly like the real rand crate.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform sample in `[lo, hi)`.
+        fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform sample in `[lo, hi]`.
+        fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128;
+                    // Modulo bias is negligible for the spans this
+                    // workspace samples (all far below 2^64).
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+                fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl SampleUniform for f64 {
+        fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            lo + f64::sample_standard(rng) * (hi - lo)
+        }
+        fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            Self::sample_half_open(rng, lo, hi)
+        }
+    }
+
+    /// Ranges that can produce a uniform sample of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_range<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_range<R: RngCore>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_range<R: RngCore>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "cannot sample empty range");
+            T::sample_inclusive(rng, start, end)
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// Uniformly chooses one element, `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+// Re-export like the real crate layout so `rand::Rng` and
+// `rand::distributions::*` both resolve.
+pub use distributions::{SampleRange, SampleStandard, SampleUniform};
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 step: decorrelates the counter.
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let a: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&a));
+            let b: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&b));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+}

@@ -1,0 +1,324 @@
+//! JSON text rendering and parsing for the [`Content`](crate::Content)
+//! data model. Lives here (rather than in `serde_json`) so map-key
+//! round-tripping inside the data model can reuse the parser.
+
+use crate::{Content, Error};
+
+/// Renders content as compact JSON text.
+pub fn write(content: &Content) -> String {
+    let mut out = String::new();
+    write_into(content, &mut out);
+    out
+}
+
+fn write_into(content: &Content, out: &mut String) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(i) => out.push_str(&i.to_string()),
+        Content::U64(u) => out.push_str(&u.to_string()),
+        Content::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float formatting.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_key(k, out);
+                out.push(':');
+                write_into(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// JSON object keys must be strings; scalar keys are stringified and
+/// composite keys are embedded as a JSON string of their own rendering
+/// (the data-model layer re-parses them on the way back in).
+fn write_key(key: &Content, out: &mut String) {
+    match key {
+        Content::Str(s) => write_string(s, out),
+        Content::I64(i) => write_string(&i.to_string(), out),
+        Content::U64(u) => write_string(&u.to_string(), out),
+        Content::Bool(b) => write_string(if *b { "true" } else { "false" }, out),
+        Content::F64(f) => write_string(&format!("{f:?}"), out),
+        composite => write_string(&write(composite), out),
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into content. Map keys come back as [`Content::Str`].
+pub fn parse(text: &str) -> Result<Content, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Content, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Content::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Content::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Content::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Content::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Content::Seq(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Content::Seq(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Content::Map(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error::msg(format!("expected `:` at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                entries.push((Content::Str(key), value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Content::Map(entries));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Content,
+) -> Result<Content, Error> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(Error::msg(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::msg(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                        let mut code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                        *pos += 4;
+                        // Surrogate pair handling for completeness.
+                        if (0xD800..0xDC00).contains(&code) {
+                            if bytes.get(*pos + 1..*pos + 3) == Some(b"\\u") {
+                                let lo_hex = bytes
+                                    .get(*pos + 3..*pos + 7)
+                                    .ok_or_else(|| Error::msg("truncated surrogate pair"))?;
+                                let lo_hex = std::str::from_utf8(lo_hex)
+                                    .map_err(|_| Error::msg("invalid surrogate pair"))?;
+                                let lo = u32::from_str_radix(lo_hex, 16)
+                                    .map_err(|_| Error::msg("invalid surrogate pair"))?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::msg(
+                                        "high surrogate not followed by low surrogate",
+                                    ));
+                                }
+                                code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                *pos += 6;
+                            } else {
+                                return Err(Error::msg("lone surrogate in string"));
+                            }
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::msg("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(Error::msg(format!("invalid escape at byte {pos}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Content, Error> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::msg("invalid number"))?;
+    if text.is_empty() {
+        return Err(Error::msg(format!("expected value at byte {start}")));
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Content::I64(i));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Content::U64(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Content::F64)
+        .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(write(&v), text);
+        }
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(write(&v), r#"{"a":[1,2,{"b":null}],"c":"x"}"#);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""a\"b\\c\nA""#).unwrap();
+        assert_eq!(v, Content::Str("a\"b\\c\nA".to_string()));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs() {
+        // A valid escaped pair decodes; malformed pairs error instead of
+        // panicking (debug-mode subtract overflow) or mis-decoding.
+        assert_eq!(
+            parse(r#""😀""#).unwrap(),
+            Content::Str("\u{1F600}".to_string())
+        );
+        assert!(parse(r#""\uD800\uD800""#).is_err()); // high + high
+        assert!(parse(r#""\uD800\uE000""#).is_err()); // high + past-low
+        assert!(parse(r#""\uD800A""#).is_err()); // high + non-escape
+        assert!(parse(r#""\uD800""#).is_err()); // lone high
+        assert!(parse(r#""\uDC00""#).is_err()); // lone low
+    }
+}

@@ -1,0 +1,420 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the serde surface the workspace uses: the
+//! [`Serialize`]/[`Deserialize`] traits, their derive macros (re-exported
+//! from the vendored `serde_derive`), and the `#[serde(skip)]` field
+//! attribute. Instead of real serde's zero-copy visitor architecture,
+//! values serialize into a JSON-like [`Content`] tree; the vendored
+//! `serde_json` renders and parses that tree as JSON text. The [`json`]
+//! module holds the text layer so map-key round-tripping can reuse it.
+
+// Let the derive-generated `::serde::...` paths resolve even inside this
+// crate's own tests.
+extern crate self as serde;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// JSON-like intermediate representation every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map; keys are arbitrary content (stringified on output).
+    Map(Vec<(Content, Content)>),
+}
+
+/// Error raised during (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn serialize(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from the serialization data model.
+    fn deserialize(content: &Content) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+// --- numbers ---------------------------------------------------------------
+
+fn int_from(content: &Content, what: &str) -> Result<i128, Error> {
+    match content {
+        Content::U64(u) => Ok(*u as i128),
+        Content::I64(i) => Ok(*i as i128),
+        Content::F64(f) if f.fract() == 0.0 && f.is_finite() => Ok(*f as i128),
+        Content::Str(s) => s
+            .parse::<i128>()
+            .map_err(|_| Error::msg(format!("cannot parse `{s}` as {what}"))),
+        other => Err(Error::msg(format!("expected {what}, found {other:?}"))),
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                <$t>::try_from(int_from(content, stringify!($t))?)
+                    .map_err(|_| Error::msg(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                <$t>::try_from(int_from(content, stringify!($t))?)
+                    .map_err(|_| Error::msg(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(f) => Ok(*f),
+            Content::I64(i) => Ok(*i as f64),
+            Content::U64(u) => Ok(*u as f64),
+            // JSON has no NaN/inf literal; the writer emits null for them.
+            Content::Null => Ok(f64::NAN),
+            Content::Str(s) => s
+                .parse::<f64>()
+                .map_err(|_| Error::msg(format!("cannot parse `{s}` as f64"))),
+            other => Err(Error::msg(format!("expected f64, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        f64::deserialize(content).map(|f| f as f32)
+    }
+}
+
+// --- scalars ---------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!(
+                "expected single-char string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+// --- containers ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::msg(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match content {
+                    Content::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected {LEN}-element sequence, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let entries = match content {
+            Content::Map(m) => m,
+            other => return Err(Error::msg(format!("expected map, found {other:?}"))),
+        };
+        let mut out = HashMap::with_capacity_and_hasher(entries.len(), S::default());
+        for (k, v) in entries {
+            let key = deserialize_map_key::<K>(k)?;
+            out.insert(key, V::deserialize(v)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Map keys arrive from JSON text as strings even when they encode numbers
+/// or composites; try the direct shape first, then re-parse the string as
+/// embedded JSON (this round-trips integer and tuple keys).
+fn deserialize_map_key<K: Deserialize>(k: &Content) -> Result<K, Error> {
+    match K::deserialize(k) {
+        Ok(key) => Ok(key),
+        Err(first) => match k {
+            Content::Str(s) => {
+                let reparsed = json::parse(s).map_err(|_| first)?;
+                K::deserialize(&reparsed)
+            }
+            _ => Err(first),
+        },
+    }
+}
+
+impl<T: ?Sized> Serialize for PhantomData<T> {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: ?Sized> Deserialize for PhantomData<T> {
+    fn deserialize(_: &Content) -> Result<Self, Error> {
+        Ok(PhantomData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Named {
+        a: u32,
+        b: String,
+        #[serde(skip)]
+        cache: Vec<u8>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mixed {
+        Unit,
+        One(f64),
+        Two(u8, u8),
+        Fields { x: i64, y: String },
+    }
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+        let text = json::write(&v.serialize());
+        let back = T::deserialize(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(&back, v, "via {text}");
+    }
+
+    #[test]
+    fn derive_shapes_roundtrip() {
+        roundtrip(&Named {
+            a: 7,
+            b: "hi \"there\"\n".into(),
+            cache: Vec::new(),
+        });
+        roundtrip(&Newtype(42));
+        roundtrip(&Mixed::Unit);
+        roundtrip(&Mixed::One(1.25));
+        roundtrip(&Mixed::Two(3, 4));
+        roundtrip(&Mixed::Fields {
+            x: -9,
+            y: "ok".into(),
+        });
+    }
+
+    #[test]
+    fn skip_fields_reset_to_default() {
+        let v = Named {
+            a: 1,
+            b: "x".into(),
+            cache: vec![1, 2, 3],
+        };
+        let text = json::write(&v.serialize());
+        assert!(!text.contains("cache"));
+        let back = Named::deserialize(&json::parse(&text).unwrap()).unwrap();
+        assert!(back.cache.is_empty());
+    }
+
+    #[test]
+    fn integer_keyed_maps_roundtrip() {
+        let mut m: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
+        m.insert(5, vec![(1, 0.25), (2, 0.75)]);
+        roundtrip(&m);
+    }
+
+    #[test]
+    fn special_floats() {
+        let text = json::write(&f64::NAN.serialize());
+        assert_eq!(text, "null");
+        assert!(f64::deserialize(&json::parse("null").unwrap())
+            .unwrap()
+            .is_nan());
+    }
+}

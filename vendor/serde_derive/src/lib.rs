@@ -1,0 +1,549 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` from first
+//! principles (no `syn`/`quote`) for the shapes this workspace actually
+//! uses:
+//!
+//! * named-field structs, including generic ones, with `#[serde(skip)]`;
+//! * tuple structs (newtypes serialize transparently, wider ones as
+//!   sequences);
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! The generated impls target the [`Content`] data model of the vendored
+//! `serde` crate rather than real serde's visitor machinery; `serde_json`
+//! renders that model as JSON text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The shape of an enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+/// The body of the item being derived for.
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips `#[...]` attributes starting at `*i`, reporting whether any of them
+/// was `#[serde(skip)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i < toks.len() && is_punct(&toks[*i], '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Bracket && attr_is_serde_skip(g.stream()) {
+                skip = true;
+            }
+            *i += 1;
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility at `*i`.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kw = ident_of(&toks[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("expected type name");
+    i += 1;
+
+    let generics = parse_generics(&toks, &mut i);
+
+    if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("serde stub derive: `where` clauses are not supported (type {name})");
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Kind::UnitStruct,
+            other => panic!("serde stub derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde stub derive: expected struct or enum, got `{other}`"),
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Parses `<A, B, ...>` at `*i`, returning the bare type-parameter names.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(toks.get(*i), Some(t) if is_punct(t, '<')) {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut part: Vec<TokenTree> = Vec::new();
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+            if depth == 0 {
+                *i += 1;
+                break;
+            }
+        }
+        if depth == 1 && is_punct(t, ',') {
+            parts.push(std::mem::take(&mut part));
+        } else {
+            part.push(t.clone());
+        }
+        *i += 1;
+    }
+    if !part.is_empty() {
+        parts.push(part);
+    }
+    for part in parts {
+        if part.iter().any(|t| is_punct(t, '\'')) {
+            panic!("serde stub derive: lifetime parameters are not supported");
+        }
+        // The parameter name is the first ident; anything after `:`/`=`
+        // (bounds, defaults) is ignored.
+        let first = part.iter().find_map(ident_of);
+        if matches!(first.as_deref(), Some("const")) {
+            panic!("serde stub derive: const generics are not supported");
+        }
+        params.push(first.expect("type parameter name"));
+    }
+    params
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = ident_of(&toks[i]).expect("field name");
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected `:` after field `{name}`");
+        i += 1;
+        consume_type(&toks, &mut i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma,
+/// tracking angle-bracket depth so `HashMap<K, V>` stays intact.
+fn consume_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && is_punct(t, ',') {
+            *i += 1;
+            return;
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the comma-separated fields of a tuple body, ignoring per-field
+/// attributes and a trailing comma.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0usize;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        consume_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("variant name");
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(toks.get(i), Some(t) if is_punct(t, '=')) {
+            panic!("serde stub derive: explicit discriminants are not supported");
+        }
+        if matches!(toks.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(input: &Input, trait_name: &str) -> (String, String) {
+    let bounds = input
+        .generics
+        .iter()
+        .map(|g| format!("{g}: ::serde::{trait_name}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let decl = if input.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{bounds}>")
+    };
+    let ty = if input.generics.is_empty() {
+        input.name.clone()
+    } else {
+        format!("{}<{}>", input.name, input.generics.join(", "))
+    };
+    (decl, ty)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (decl, ty) = impl_header(input, "Serialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut b = String::from(
+                "let mut __m: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = ::std::vec::Vec::new();",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                b.push_str(&format!(
+                    "__m.push((::serde::Content::Str(\"{0}\".to_string()), ::serde::Serialize::serialize(&self.{0})));",
+                    f.name
+                ));
+            }
+            b.push_str("::serde::Content::Map(__m)");
+            b
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(::std::vec![{items}])")
+        }
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Content::Map(::std::vec![(::serde::Content::Str(\"{vname}\".to_string()), ::serde::Serialize::serialize(__f0))]),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let pats = (0..*n).map(|k| format!("__f{k}")).collect::<Vec<_>>().join(", ");
+                        let items = (0..*n)
+                            .map(|k| format!("::serde::Serialize::serialize(__f{k})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pats}) => ::serde::Content::Map(::std::vec![(::serde::Content::Str(\"{vname}\".to_string()), ::serde::Content::Seq(::std::vec![{items}]))]),"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let pats = fields
+                            .iter()
+                            .map(|f| format!("{0}: __f_{0}", f.name))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut inner = String::from(
+                            "{ let mut __vm: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = ::std::vec::Vec::new();",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__vm.push((::serde::Content::Str(\"{0}\".to_string()), ::serde::Serialize::serialize(__f_{0})));",
+                                f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Content::Map(__vm) }");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pats} }} => ::serde::Content::Map(::std::vec![(::serde::Content::Str(\"{vname}\".to_string()), {inner})]),"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[allow(warnings, clippy::all)] impl{decl} ::serde::Serialize for {ty} {{ \
+           fn serialize(&self) -> ::serde::Content {{ {body} }} \
+         }}"
+    )
+}
+
+/// Generates the expression deserializing a named-field set from map
+/// expression `__m` into constructor `ctor` (e.g. `Self` or `Foo::Bar`).
+fn named_fields_ctor(ctor: &str, type_label: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+        } else {
+            inits.push_str(&format!(
+                "{0}: match __find(__m, \"{0}\") {{ \
+                   Some(__v) => ::serde::Deserialize::deserialize(__v)?, \
+                   None => return ::std::result::Result::Err(::serde::Error::msg(\
+                       \"missing field `{0}` for {1}\")), \
+                 }},",
+                f.name, type_label
+            ));
+        }
+    }
+    format!("{ctor} {{ {inits} }}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (decl, ty) = impl_header(input, "Deserialize");
+    let name = &input.name;
+    let find_helper = "fn __find<'a>(m: &'a [(::serde::Content, ::serde::Content)], key: &str) \
+                       -> ::std::option::Option<&'a ::serde::Content> { \
+                         m.iter().find(|(k, _)| ::core::matches!(k, ::serde::Content::Str(s) if s == key)).map(|(_, v)| v) \
+                       }";
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let ctor = named_fields_ctor("Self", name, fields);
+            format!(
+                "{find_helper} \
+                 let __m: &[(::serde::Content, ::serde::Content)] = match __c {{ \
+                    ::serde::Content::Map(m) => m, \
+                    _ => return ::std::result::Result::Err(::serde::Error::msg(\"expected map for {name}\")), \
+                 }}; \
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::deserialize(__c)?))".to_string()
+        }
+        Kind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __s = match __c {{ \
+                    ::serde::Content::Seq(s) if s.len() == {n} => s, \
+                    _ => return ::std::result::Result::Err(::serde::Error::msg(\"expected {n}-element sequence for {name}\")), \
+                 }}; \
+                 ::std::result::Result::Ok(Self({items}))"
+            )
+        }
+        Kind::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                    }
+                    Shape::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(__v)?)),"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ \
+                               let __s = match __v {{ \
+                                  ::serde::Content::Seq(s) if s.len() == {n} => s, \
+                                  _ => return ::std::result::Result::Err(::serde::Error::msg(\"expected {n}-element sequence for {name}::{vname}\")), \
+                               }}; \
+                               ::std::result::Result::Ok({name}::{vname}({items})) \
+                             }},"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = named_fields_ctor(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            fields,
+                        );
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ \
+                               let __m: &[(::serde::Content, ::serde::Content)] = match __v {{ \
+                                  ::serde::Content::Map(m) => m, \
+                                  _ => return ::std::result::Result::Err(::serde::Error::msg(\"expected map for {name}::{vname}\")), \
+                               }}; \
+                               ::std::result::Result::Ok({ctor}) \
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{find_helper} \
+                 let _ = __find; \
+                 match __c {{ \
+                    ::serde::Content::Str(__s) => match __s.as_str() {{ \
+                       {unit_arms} \
+                       __other => ::std::result::Result::Err(::serde::Error::msg(\
+                           format!(\"unknown unit variant `{{__other}}` for {name}\"))), \
+                    }}, \
+                    ::serde::Content::Map(__m) if __m.len() == 1 => {{ \
+                       let (__k, __v) = &__m[0]; \
+                       let __tag = match __k {{ \
+                          ::serde::Content::Str(s) => s.as_str(), \
+                          _ => return ::std::result::Result::Err(::serde::Error::msg(\"non-string variant tag for {name}\")), \
+                       }}; \
+                       match __tag {{ \
+                          {tagged_arms} \
+                          __other => ::std::result::Result::Err(::serde::Error::msg(\
+                              format!(\"unknown variant `{{__other}}` for {name}\"))), \
+                       }} \
+                    }}, \
+                    _ => ::std::result::Result::Err(::serde::Error::msg(\"expected string or single-entry map for {name}\")), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[allow(warnings, clippy::all)] impl{decl} ::serde::Deserialize for {ty} {{ \
+           fn deserialize(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}

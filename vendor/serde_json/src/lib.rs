@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_json`: renders and parses JSON text through
+//! the vendored `serde` crate's [`Content`](serde::Content) data model.
+
+pub use serde::Error;
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::write(&value.serialize()))
+}
+
+/// Serializes a value to (lightly) pretty-printed JSON text.
+///
+/// The stub does not implement indentation; output matches [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize(&serde::json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        tag: String,
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = Point {
+            x: 1.5,
+            y: -2.0,
+            tag: "origin-ish".into(),
+        };
+        let text = super::to_string(&p).unwrap();
+        let back: Point = super::from_str(&text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn errors_surface() {
+        assert!(super::from_str::<Point>("{\"x\":1}").is_err());
+        assert!(super::from_str::<Point>("not json").is_err());
+    }
+}
