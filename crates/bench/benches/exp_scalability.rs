@@ -1,91 +1,328 @@
 //! E7 — scalability (Section 1's "scalable manner"): pairwise detection
 //! wall-time vs number of sources, with and without shared-object pruning,
-//! sequential vs parallel.
+//! sequential vs parallel, and **before vs after** the columnar data-plane
+//! refactor.
+//!
+//! "Before" is a faithful re-implementation of the pre-CSR hot loop: one
+//! `HashMap<ObjectId, ValueId>` per source probed per overlap candidate,
+//! `effective_n_false` recomputed — including a fresh hash count — for
+//! every shared object of every pair, and all nine hypothesis
+//! probabilities recomputed per shared object. "After" is the live
+//! [`detect_all_with_pairs`] path over the CSR snapshot.
+//!
+//! Besides the stdout table, the run emits `BENCH_scalability.json` at the
+//! repository root so future PRs have a machine-readable perf trajectory
+//! to regress against (see ROADMAP.md, *Benchmark JSON convention*).
+//!
+//! Set `SAILING_BENCH_SMOKE=1` for a seconds-scale smoke run (used by CI
+//! to keep this target from rotting); the JSON is then suffixed
+//! `.smoke.json` so a smoke run never overwrites a real trajectory point.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
-use sailing_bench::{banner, header, row};
-use sailing_core::pairs::{all_pairs_count, candidate_pairs, detect_all};
-use sailing_core::truth::naive_probabilities;
-use sailing_core::DetectionParams;
-use sailing_datagen::world::{SnapshotWorld, SourceBehavior, WorldConfig};
+use serde::Serialize;
 
-/// A corpus where sources are specialists: each covers a random slice of the
-/// objects, so most pairs share little (the pruning's best case, and the
-/// realistic one per Example 4.1's coverage skew).
-fn specialist_world(num_sources: usize, seed: u64) -> SnapshotWorld {
-    let num_objects = 400;
-    let coverage = 40;
-    let mut sources = Vec::with_capacity(num_sources);
-    for i in 0..num_sources {
-        if i % 10 == 9 {
-            sources.push(SourceBehavior::Copier {
-                original: i - 1,
-                copy_fraction: 1.0,
-                mutation_rate: 0.02,
-                own_accuracy: 0.6,
-                own_coverage: 0,
-            });
-        } else {
-            sources.push(SourceBehavior::Independent {
-                accuracy: 0.5 + 0.4 * ((i % 7) as f64 / 6.0),
-                coverage,
-            });
+use sailing_bench::{banner, header, row};
+use sailing_core::copy::posterior;
+use sailing_core::pairs::{all_pairs_count, candidate_pairs, detect_all_with_pairs};
+use sailing_core::truth::{naive_probabilities, ValueProbabilities};
+use sailing_core::{DetectionParams, PairDependence};
+use sailing_datagen::world::{SnapshotWorld, WorldConfig};
+use sailing_model::{ObjectId, SnapshotView, SourceId, ValueId};
+
+/// The pre-refactor (hash-layout) pairwise detection, preserved here as the
+/// measured baseline. Mirrors the seed implementation operation for
+/// operation; do not "optimise" it — its cost profile *is* the data point.
+mod reference {
+    use super::*;
+
+    pub struct HashedSnapshot {
+        pub per_source: Vec<HashMap<ObjectId, ValueId>>,
+        pub per_object: Vec<Vec<(SourceId, ValueId)>>,
+    }
+
+    impl HashedSnapshot {
+        pub fn from_view(view: &SnapshotView) -> Self {
+            let per_source = (0..view.num_sources())
+                .map(|s| view.assertions_of(SourceId::from_index(s)).collect())
+                .collect();
+            let per_object = (0..view.num_objects())
+                .map(|o| view.assertions_on(ObjectId::from_index(o)).to_vec())
+                .collect();
+            Self {
+                per_source,
+                per_object,
+            }
+        }
+
+        /// The old `distinct_values`: a fresh hash count (plus the sort the
+        /// old `value_counts` always performed) per call.
+        fn distinct_values(&self, object: ObjectId) -> usize {
+            let mut counts: HashMap<ValueId, usize> = HashMap::new();
+            for &(_, v) in &self.per_object[object.index()] {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            let mut out: Vec<_> = counts.into_iter().collect();
+            out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            out.len()
+        }
+
+        fn effective_n_false(&self, object: ObjectId, params: &DetectionParams) -> usize {
+            params
+                .n_false_values
+                .max(self.distinct_values(object).saturating_sub(1))
+                .max(1)
         }
     }
-    SnapshotWorld::generate(&WorldConfig {
-        num_objects,
-        domain_size: 10,
-        sources,
-        seed,
-    })
+
+    fn independent_probs(aa: f64, ab: f64, n: f64) -> (f64, f64, f64) {
+        let pt = aa * ab;
+        let pf = (1.0 - aa) * (1.0 - ab) / n;
+        let pd = (1.0 - pt - pf).max(1e-12);
+        (pt, pf, pd)
+    }
+
+    fn copying_probs(a_orig: f64, a_copier: f64, c: f64, mu: f64, n: f64) -> (f64, f64, f64) {
+        let (pt_ind, pf_ind, pd_ind) = independent_probs(a_orig, a_copier, n);
+        let keep = c * (1.0 - mu);
+        let pt = keep * a_orig + (1.0 - c) * pt_ind;
+        let pf = keep * (1.0 - a_orig) + (1.0 - c) * pf_ind;
+        let pd = (c * mu + (1.0 - c) * pd_ind).max(1e-12);
+        (pt, pf, pd)
+    }
+
+    pub fn detect_all(
+        hashed: &HashedSnapshot,
+        pairs: &[(SourceId, SourceId, usize)],
+        probs: &ValueProbabilities,
+        accuracies: &[f64],
+        params: &DetectionParams,
+    ) -> Vec<PairDependence> {
+        pairs
+            .iter()
+            .filter_map(|&(a, b, _)| detect_pair(hashed, a, b, probs, accuracies, params))
+            .collect()
+    }
+
+    fn detect_pair(
+        hashed: &HashedSnapshot,
+        a: SourceId,
+        b: SourceId,
+        probs: &ValueProbabilities,
+        accuracies: &[f64],
+        params: &DetectionParams,
+    ) -> Option<PairDependence> {
+        let aa = params.clamp_accuracy(accuracies.get(a.index()).copied().unwrap_or(0.5));
+        let ab = params.clamp_accuracy(accuracies.get(b.index()).copied().unwrap_or(0.5));
+        let c = params.copy_rate;
+        let mu = params.copy_mutation_rate;
+
+        let (small, large, swapped) = {
+            let ca = hashed.per_source[a.index()].len();
+            let cb = hashed.per_source[b.index()].len();
+            if ca <= cb {
+                (a, b, false)
+            } else {
+                (b, a, true)
+            }
+        };
+
+        let mut lik = sailing_core::copy::PairLikelihoods {
+            log_independent: 0.0,
+            log_a_copies_b: 0.0,
+            log_b_copies_a: 0.0,
+            overlap: 0,
+            shared_false_mass: 0.0,
+        };
+        for (&object, &v_small) in &hashed.per_source[small.index()] {
+            let Some(&v_large) = hashed.per_source[large.index()].get(&object) else {
+                continue;
+            };
+            let (va, vb) = if swapped {
+                (v_large, v_small)
+            } else {
+                (v_small, v_large)
+            };
+            lik.overlap += 1;
+            let n = hashed.effective_n_false(object, params) as f64;
+            let (it, if_, id) = independent_probs(aa, ab, n);
+            let (abt, abf, abd) = copying_probs(ab, aa, c, mu, n);
+            let (bat, baf, bad) = copying_probs(aa, ab, c, mu, n);
+            if va == vb {
+                let p_true = probs.prob(object, va);
+                let p_false = 1.0 - p_true;
+                lik.shared_false_mass += p_false;
+                lik.log_independent += (p_true * it + p_false * if_).max(1e-300).ln();
+                lik.log_a_copies_b += (p_true * abt + p_false * abf).max(1e-300).ln();
+                lik.log_b_copies_a += (p_true * bat + p_false * baf).max(1e-300).ln();
+            } else {
+                lik.log_independent += id.ln();
+                lik.log_a_copies_b += abd.ln();
+                lik.log_b_copies_a += bad.ln();
+            }
+        }
+        (lik.overlap >= params.min_overlap).then(|| posterior(a, b, &lik, params))
+    }
+}
+
+/// One world's measurements, in milliseconds.
+#[derive(Debug, Serialize)]
+struct WorldPoint {
+    sources: usize,
+    objects: usize,
+    all_pairs: usize,
+    /// Pairs surviving the shared-object screening (`min_overlap = 3`).
+    candidate_pairs_pruned: usize,
+    /// Pairs with any overlap at all (`min_overlap = 1`).
+    candidate_pairs_unpruned: usize,
+    candidate_enumeration_ms: f64,
+    /// Pre-refactor hash-layout detection over the pruned pairs, 1 thread.
+    before_seq_ms: f64,
+    /// Columnar detection over the pruned pairs, 1 thread.
+    after_seq_ms: f64,
+    /// Columnar detection over the pruned pairs, 4 threads.
+    after_par4_ms: f64,
+    /// Columnar detection with pruning disabled (`min_overlap = 1`).
+    after_unpruned_seq_ms: f64,
+    /// `before_seq_ms / after_seq_ms`.
+    speedup_seq: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    experiment: &'static str,
+    schema: u32,
+    smoke: bool,
+    world: &'static str,
+    /// Cores visible to the run — a 1-core box makes `after_par4_ms` pure
+    /// thread overhead, so compare parallel numbers only across equal
+    /// `host_cpus`.
+    host_cpus: usize,
+    worlds: Vec<WorldPoint>,
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64() * 1e3)
 }
 
 fn main() {
+    let smoke = std::env::var("SAILING_BENCH_SMOKE").is_ok();
+    let (source_counts, num_objects, coverage): (&[usize], usize, usize) = if smoke {
+        (&[30, 60], 120, 20)
+    } else {
+        (&[100, 200, 400, 800], 400, 40)
+    };
+
     banner("E7", "Detection scalability vs number of sources");
     header(&[
         "sources",
         "all pairs",
         "candidates",
         "prune x",
-        "1 thread",
-        "4 threads",
+        "before 1t",
+        "after 1t",
+        "after 4t",
+        "speedup",
     ]);
-    for &n in &[100usize, 200, 400, 800] {
-        let world = specialist_world(n, 7);
+
+    let mut worlds = Vec::new();
+    for &n in source_counts {
+        let world = SnapshotWorld::generate(&WorldConfig::specialist(n, num_objects, coverage, 7));
         let probs = naive_probabilities(&world.snapshot);
         let params = DetectionParams::default();
         let accs = vec![params.initial_accuracy; n];
 
-        let candidates = candidate_pairs(&world.snapshot, params.min_overlap).len();
+        let (pruned, t_enum) = time_ms(|| candidate_pairs(&world.snapshot, params.min_overlap));
+        let unpruned = candidate_pairs(&world.snapshot, 1);
         let all = all_pairs_count(n);
 
-        let t = Instant::now();
-        let seq = detect_all(&world.snapshot, &probs, &accs, &params);
-        let t_seq = t.elapsed();
+        let hashed = reference::HashedSnapshot::from_view(&world.snapshot);
+        let (before, t_before) =
+            time_ms(|| reference::detect_all(&hashed, &pruned, &probs, &accs, &params));
 
+        let (after_seq, t_after_seq) =
+            time_ms(|| detect_all_with_pairs(&world.snapshot, &pruned, &probs, &accs, &params));
         let par_params = DetectionParams {
             threads: 4,
-            ..params
+            ..params.clone()
         };
-        let t = Instant::now();
-        let par = detect_all(&world.snapshot, &probs, &accs, &par_params);
-        let t_par = t.elapsed();
-        assert_eq!(seq.len(), par.len());
+        let (after_par, t_after_par) =
+            time_ms(|| detect_all_with_pairs(&world.snapshot, &pruned, &probs, &accs, &par_params));
+        let loose_params = DetectionParams {
+            min_overlap: 1,
+            ..params.clone()
+        };
+        let (_, t_after_unpruned) = time_ms(|| {
+            detect_all_with_pairs(&world.snapshot, &unpruned, &probs, &accs, &loose_params)
+        });
 
+        // The baseline must agree with the live path, or the comparison is
+        // meaningless.
+        assert_eq!(before.len(), after_seq.len());
+        assert_eq!(after_seq.len(), after_par.len());
+        for (x, y) in before.iter().zip(&after_seq) {
+            assert_eq!((x.a, x.b), (y.a, y.b));
+            assert!(
+                (x.probability - y.probability).abs() < 1e-9,
+                "baseline and columnar detection diverge on ({:?},{:?})",
+                x.a,
+                x.b
+            );
+        }
+
+        let speedup = t_before / t_after_seq.max(1e-9);
         println!(
             "{}",
             row(&[
                 n.to_string(),
                 all.to_string(),
-                candidates.to_string(),
-                format!("{:.1}", all as f64 / candidates.max(1) as f64),
-                format!("{:.1?}", t_seq),
-                format!("{:.1?}", t_par),
+                pruned.len().to_string(),
+                format!("{:.1}", all as f64 / pruned.len().max(1) as f64),
+                format!("{t_before:.1}ms"),
+                format!("{t_after_seq:.1}ms"),
+                format!("{t_after_par:.1}ms"),
+                format!("{speedup:.1}x"),
             ])
         );
+
+        worlds.push(WorldPoint {
+            sources: n,
+            objects: num_objects,
+            all_pairs: all,
+            candidate_pairs_pruned: pruned.len(),
+            candidate_pairs_unpruned: unpruned.len(),
+            candidate_enumeration_ms: t_enum,
+            before_seq_ms: t_before,
+            after_seq_ms: t_after_seq,
+            after_par4_ms: t_after_par,
+            after_unpruned_seq_ms: t_after_unpruned,
+            speedup_seq: speedup,
+        });
     }
+
+    let report = BenchReport {
+        experiment: "exp_scalability",
+        schema: 1,
+        smoke,
+        world: "specialist",
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        worlds,
+    };
+    let file_name = if smoke {
+        "BENCH_scalability.smoke.json"
+    } else {
+        "BENCH_scalability.json"
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name);
+    std::fs::write(&path, serde_json::to_string(&report).unwrap()).expect("write bench report");
+    println!("\nwrote {}", path.display());
     println!("\nPaper expectation (shape): candidate pruning keeps the tested pair");
-    println!("count far below O(S²) under realistic coverage skew, and pairwise");
-    println!("detection parallelises nearly linearly.");
+    println!("count far below O(S²) under realistic coverage skew, pairwise");
+    println!("detection parallelises nearly linearly, and the columnar layout");
+    println!("beats the hash layout by well over 2x sequentially.");
 }

@@ -1,10 +1,13 @@
-//! P1–P4 — Criterion micro-benchmarks for the hot paths: pairwise copy
-//! detection, the full pipeline, linkage metrics, and snapshot construction.
+//! P1–P7 — Criterion micro-benchmarks for the hot paths: pairwise copy
+//! detection, the full pipeline, linkage metrics, one vote round, and the
+//! specialist-world data-plane primitives (`candidate_pairs`,
+//! `pair_likelihoods`, `weighted_vote`) the scalability experiment scales.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use sailing_core::pairs::detect_all;
+use sailing_core::copy::pair_likelihoods;
+use sailing_core::pairs::{candidate_pairs, detect_all};
 use sailing_core::truth::{naive_probabilities, weighted_vote, DependenceMatrix};
 use sailing_core::{AccuCopy, DetectionParams};
 use sailing_datagen::world::{SnapshotWorld, WorldConfig};
@@ -12,6 +15,11 @@ use sailing_linkage::{jaro_winkler, levenshtein, parse_author_list};
 
 fn bench_world() -> SnapshotWorld {
     SnapshotWorld::generate(&WorldConfig::mixed(300, 12, 4, (0.5, 0.95), 42))
+}
+
+/// The scalability experiment's 200-source specialist world.
+fn specialist_world() -> SnapshotWorld {
+    SnapshotWorld::generate(&WorldConfig::specialist(200, 400, 40, 7))
 }
 
 fn p1_pairwise_detection(c: &mut Criterion) {
@@ -73,9 +81,56 @@ fn p4_vote_round(c: &mut Criterion) {
     });
 }
 
+fn p5_candidate_pairs(c: &mut Criterion) {
+    let world = specialist_world();
+    c.bench_function("p5_candidate_pairs_200_sources", |b| {
+        b.iter(|| candidate_pairs(black_box(&world.snapshot), 3))
+    });
+}
+
+fn p6_pair_likelihoods(c: &mut Criterion) {
+    let world = specialist_world();
+    let params = DetectionParams::default();
+    let probs = naive_probabilities(&world.snapshot);
+    let accs = vec![params.initial_accuracy; world.snapshot.num_sources()];
+    // The 64 heaviest candidate pairs: the shapes the per-pair likelihood
+    // actually runs over after screening.
+    let mut pairs = candidate_pairs(&world.snapshot, params.min_overlap);
+    pairs.sort_by_key(|&(_, _, w)| std::cmp::Reverse(w));
+    pairs.truncate(64);
+    c.bench_function("p6_pair_likelihoods_64_heaviest", |b| {
+        b.iter(|| {
+            for &(a, b_, _) in &pairs {
+                black_box(pair_likelihoods(
+                    black_box(&world.snapshot),
+                    a,
+                    b_,
+                    &probs,
+                    &accs,
+                    &params,
+                ));
+            }
+        })
+    });
+}
+
+fn p7_weighted_vote_specialist(c: &mut Criterion) {
+    let world = specialist_world();
+    let params = DetectionParams::default();
+    let accs = vec![0.8; world.snapshot.num_sources()];
+    c.bench_function("p7_weighted_vote_specialist_200", |b| {
+        b.iter_batched(
+            DependenceMatrix::new,
+            |deps| weighted_vote(black_box(&world.snapshot), &accs, &deps, &params),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = p1_pairwise_detection, p2_full_pipeline, p3_linkage_metrics, p4_vote_round
+    targets = p1_pairwise_detection, p2_full_pipeline, p3_linkage_metrics, p4_vote_round,
+        p5_candidate_pairs, p6_pair_likelihoods, p7_weighted_vote_specialist
 }
 criterion_main!(benches);

@@ -55,6 +55,65 @@ fn copying_probs(a_orig: f64, a_copier: f64, c: f64, mu: f64, n: f64) -> (f64, f
     (pt, pf, pd)
 }
 
+/// The nine per-object hypothesis probabilities of one pair, which depend
+/// only on the pair's accuracies, the copy parameters, and `n`.
+#[derive(Debug, Clone, Copy)]
+struct HypothesisProbs {
+    /// Independent: shared-true, shared-false, differ.
+    ind: (f64, f64, f64),
+    /// "`a` copies `b`": the original is `b`.
+    a_on_b: (f64, f64, f64),
+    /// "`b` copies `a`": the original is `a`.
+    b_on_a: (f64, f64, f64),
+}
+
+/// Per-pair cache of [`HypothesisProbs`] keyed by `n`.
+///
+/// Across one pair's overlap the accuracies and copy parameters are fixed,
+/// so the triples vary only with the per-object effective `n`. The
+/// pre-columnar code recomputed all nine probabilities for every shared
+/// object; here each distinct `n` is computed once. `n` is always an
+/// integral count (the effective-false-value count, bounded by the
+/// per-object value diversity), so the cache is a direct-indexed table —
+/// O(1) hits regardless of how many distinct `n` values an overlap spans.
+struct PairHypotheses {
+    aa: f64,
+    ab: f64,
+    c: f64,
+    mu: f64,
+    by_n: Vec<Option<HypothesisProbs>>,
+}
+
+impl PairHypotheses {
+    fn new(aa: f64, ab: f64, c: f64, mu: f64) -> Self {
+        Self {
+            aa,
+            ab,
+            c,
+            mu,
+            by_n: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn probs_for(&mut self, n: f64) -> HypothesisProbs {
+        let idx = n as usize;
+        if idx >= self.by_n.len() {
+            self.by_n.resize(idx + 1, None);
+        }
+        if let Some(h) = self.by_n[idx] {
+            return h;
+        }
+        let h = HypothesisProbs {
+            ind: independent_probs(self.aa, self.ab, n),
+            a_on_b: copying_probs(self.ab, self.aa, self.c, self.mu, n),
+            b_on_a: copying_probs(self.aa, self.ab, self.c, self.mu, n),
+        };
+        self.by_n[idx] = Some(h);
+        h
+    }
+}
+
 /// Computes the three hypothesis log-likelihoods for a pair from the current
 /// value probabilities.
 ///
@@ -75,10 +134,40 @@ pub fn pair_likelihoods(
     accuracies: &[f64],
     params: &DetectionParams,
 ) -> PairLikelihoods {
+    pair_likelihoods_impl(snapshot, a, b, probs, accuracies, params, |object| {
+        effective_n_false(snapshot, object, params) as f64
+    })
+}
+
+/// [`pair_likelihoods`] with the effective-`n` column hoisted out: `n_false`
+/// is [`effective_n_false_table`]'s output, computed once per iteration (it
+/// is snapshot-invariant) instead of once per shared object per pair.
+pub fn pair_likelihoods_with(
+    snapshot: &SnapshotView,
+    a: SourceId,
+    b: SourceId,
+    probs: &ValueProbabilities,
+    accuracies: &[f64],
+    n_false: &[f64],
+    params: &DetectionParams,
+) -> PairLikelihoods {
+    pair_likelihoods_impl(snapshot, a, b, probs, accuracies, params, |object| {
+        n_false.get(object.index()).copied().unwrap_or(1.0)
+    })
+}
+
+fn pair_likelihoods_impl(
+    snapshot: &SnapshotView,
+    a: SourceId,
+    b: SourceId,
+    probs: &ValueProbabilities,
+    accuracies: &[f64],
+    params: &DetectionParams,
+    n_of: impl Fn(sailing_model::ObjectId) -> f64,
+) -> PairLikelihoods {
     let aa = params.clamp_accuracy(accuracies.get(a.index()).copied().unwrap_or(0.5));
     let ab = params.clamp_accuracy(accuracies.get(b.index()).copied().unwrap_or(0.5));
-    let c = params.copy_rate;
-    let mu = params.copy_mutation_rate;
+    let mut hyp = PairHypotheses::new(aa, ab, params.copy_rate, params.copy_mutation_rate);
 
     let mut out = PairLikelihoods {
         log_independent: 0.0,
@@ -90,12 +179,10 @@ pub fn pair_likelihoods(
 
     for (object, va, vb) in snapshot.overlap(a, b) {
         out.overlap += 1;
-        let n = effective_n_false(snapshot, object, params) as f64;
-        let (it, if_, id) = independent_probs(aa, ab, n);
-        // "a copies b": the original is b.
-        let (abt, abf, abd) = copying_probs(ab, aa, c, mu, n);
-        // "b copies a": the original is a.
-        let (bat, baf, bad) = copying_probs(aa, ab, c, mu, n);
+        let h = hyp.probs_for(n_of(object));
+        let (it, if_, id) = h.ind;
+        let (abt, abf, abd) = h.a_on_b;
+        let (bat, baf, bad) = h.b_on_a;
 
         if va == vb {
             let p_true = probs.prob(object, va);
@@ -175,6 +262,21 @@ pub fn detect_pair(
     params: &DetectionParams,
 ) -> Option<PairDependence> {
     let lik = pair_likelihoods(snapshot, a, b, probs, accuracies, params);
+    (lik.overlap >= params.min_overlap).then(|| posterior(a, b, &lik, params))
+}
+
+/// [`detect_pair`] with the effective-`n` column hoisted out — the form the
+/// batched [`crate::pairs::detect_all_with_pairs`] fan-out uses.
+pub fn detect_pair_with(
+    snapshot: &SnapshotView,
+    a: SourceId,
+    b: SourceId,
+    probs: &ValueProbabilities,
+    accuracies: &[f64],
+    n_false: &[f64],
+    params: &DetectionParams,
+) -> Option<PairDependence> {
+    let lik = pair_likelihoods_with(snapshot, a, b, probs, accuracies, n_false, params);
     (lik.overlap >= params.min_overlap).then(|| posterior(a, b, &lik, params))
 }
 

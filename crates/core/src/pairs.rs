@@ -63,25 +63,59 @@ pub fn detect_all(
     params: &DetectionParams,
 ) -> Vec<PairDependence> {
     let pairs = candidate_pairs(snapshot, params.min_overlap);
+    detect_all_with_pairs(snapshot, &pairs, probs, accuracies, params)
+}
+
+/// [`detect_all`] over an already-enumerated candidate-pair list.
+///
+/// The pair list is snapshot-invariant, so iterative callers (the
+/// [`crate::AccuCopy`] loop) enumerate it **once per snapshot** and thread
+/// it through every iteration instead of rebuilding the inverted-index
+/// counts each round. The per-object effective-`n` column is hoisted here,
+/// once per call, and shared by every worker.
+///
+/// The parallel fan-out assigns pairs to workers by **overlap-weighted
+/// balanced chunks** (longest-processing-time greedy): per-pair cost is
+/// proportional to its overlap, and overlap counts are heavily skewed, so
+/// equal-length contiguous chunks let one fat chunk serialize the scope.
+/// The output is sorted by `(a, b)` and therefore deterministic regardless
+/// of thread count or chunk shape.
+pub fn detect_all_with_pairs(
+    snapshot: &SnapshotView,
+    pairs: &[(SourceId, SourceId, usize)],
+    probs: &ValueProbabilities,
+    accuracies: &[f64],
+    params: &DetectionParams,
+) -> Vec<PairDependence> {
+    let n_false = crate::truth::effective_n_false_table(snapshot, params);
     let threads = params.threads.max(1);
     if threads == 1 || pairs.len() < 2 * threads {
-        return pairs
+        let mut out: Vec<PairDependence> = pairs
             .iter()
-            .filter_map(|&(a, b, _)| copy::detect_pair(snapshot, a, b, probs, accuracies, params))
+            .filter_map(|&(a, b, _)| {
+                copy::detect_pair_with(snapshot, a, b, probs, accuracies, &n_false, params)
+            })
             .collect();
+        // The caller may hand pairs in any order (e.g. a shard's LPT
+        // ordering); sorted output must not depend on the thread count.
+        out.sort_by_key(|p| (p.a, p.b));
+        return out;
     }
 
-    let chunk = pairs.len().div_ceil(threads);
+    let chunks = balanced_chunks(pairs, threads);
+    let n_false = &n_false;
     let mut results: Vec<Vec<PairDependence>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = pairs
-            .chunks(chunk)
-            .map(|slice| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
                 scope.spawn(move || {
-                    slice
+                    chunk
                         .iter()
                         .filter_map(|&(a, b, _)| {
-                            copy::detect_pair(snapshot, a, b, probs, accuracies, params)
+                            copy::detect_pair_with(
+                                snapshot, a, b, probs, accuracies, n_false, params,
+                            )
                         })
                         .collect::<Vec<_>>()
                 })
@@ -94,6 +128,35 @@ pub fn detect_all(
     let mut out: Vec<PairDependence> = results.into_iter().flatten().collect();
     out.sort_by_key(|p| (p.a, p.b));
     out
+}
+
+/// Splits pairs into at most `threads` buckets with near-equal total
+/// overlap weight: pairs are taken heaviest-first and each goes to the
+/// currently lightest bucket (the classic LPT greedy, within 4/3 of
+/// optimal). Deterministic for a given input.
+fn balanced_chunks(
+    pairs: &[(SourceId, SourceId, usize)],
+    threads: usize,
+) -> Vec<Vec<(SourceId, SourceId, usize)>> {
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    // Heaviest first; index tiebreak keeps the assignment deterministic.
+    order.sort_by_key(|&i| (std::cmp::Reverse(pairs[i].2), i));
+    let mut buckets: Vec<Vec<(SourceId, SourceId, usize)>> = vec![Vec::new(); threads];
+    let mut loads = vec![0usize; threads];
+    for i in order {
+        let lightest = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(b, &load)| (load, b))
+            .map(|(b, _)| b)
+            .expect("at least one bucket");
+        // Every pair costs at least the detection setup, so weight 0 still
+        // counts as 1 toward the balance.
+        loads[lightest] += pairs[i].2.max(1);
+        buckets[lightest].push(pairs[i]);
+    }
+    buckets.retain(|b| !b.is_empty());
+    buckets
 }
 
 #[cfg(test)]
@@ -182,5 +245,86 @@ mod tests {
     fn empty_snapshot_no_pairs() {
         let snap = SnapshotView::from_triples(0, 0, Vec::new());
         assert!(candidate_pairs(&snap, 1).is_empty());
+    }
+
+    #[test]
+    fn detect_all_equals_hoisted_pair_list() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let params = DetectionParams::default();
+        let accs = vec![params.initial_accuracy; snap.num_sources()];
+        let probs = crate::truth::naive_probabilities(&snap);
+
+        let direct = detect_all(&snap, &probs, &accs, &params);
+        let pairs = candidate_pairs(&snap, params.min_overlap);
+        let hoisted = detect_all_with_pairs(&snap, &pairs, &probs, &accs, &params);
+        assert_eq!(direct.len(), hoisted.len());
+        for (x, y) in direct.iter().zip(&hoisted) {
+            assert_eq!((x.a, x.b), (y.a, y.b));
+            assert_eq!(x.probability, y.probability);
+            assert_eq!(x.prob_a_on_b, y.prob_a_on_b);
+        }
+    }
+
+    #[test]
+    fn balanced_chunks_cover_all_pairs_with_bounded_skew() {
+        // Heavily skewed weights: one fat pair plus many light ones.
+        let mut pairs: Vec<(SourceId, SourceId, usize)> =
+            (1..=20u32).map(|i| (SourceId(0), SourceId(i), 2)).collect();
+        pairs.push((SourceId(21), SourceId(22), 40));
+        let chunks = balanced_chunks(&pairs, 4);
+        assert!(chunks.len() <= 4);
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        assert_eq!(total, pairs.len(), "every pair assigned exactly once");
+        let mut seen: Vec<_> = chunks.iter().flatten().copied().collect();
+        seen.sort();
+        let mut expected = pairs.clone();
+        expected.sort();
+        assert_eq!(seen, expected);
+        // The fat pair must sit alone-ish: no bucket may hold more than the
+        // fat weight plus one light pair's worth beyond the mean.
+        let loads: Vec<usize> = chunks
+            .iter()
+            .map(|c| c.iter().map(|&(_, _, w)| w.max(1)).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        assert!(
+            max <= 40 + 2,
+            "LPT must not stack light pairs onto the fat bucket: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn skewed_world_parallel_matches_sequential() {
+        // A world where one source pair overlaps on everything and the rest
+        // barely overlap — the chunking's worst case pre-balancing.
+        let mut b = sailing_model::ClaimStoreBuilder::new();
+        for i in 0..30 {
+            let o = format!("o{i}");
+            b.add("big1", &o, "v").add("big2", &o, "v");
+            if i < 3 {
+                b.add("small1", &o, "v").add("small2", &o, "w");
+            }
+        }
+        let store = b.build();
+        let snap = store.snapshot();
+        let params = DetectionParams::default();
+        let accs = vec![params.initial_accuracy; snap.num_sources()];
+        let probs = crate::truth::naive_probabilities(&snap);
+        let seq = detect_all(&snap, &probs, &accs, &params);
+        let par = detect_all(
+            &snap,
+            &probs,
+            &accs,
+            &DetectionParams {
+                threads: 3,
+                ..params
+            },
+        );
+        assert_eq!(seq.len(), par.len());
+        for (x, y) in seq.iter().zip(&par) {
+            assert_eq!((x.a, x.b), (y.a, y.b));
+            assert_eq!(x.probability, y.probability);
+        }
     }
 }

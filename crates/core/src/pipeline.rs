@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use sailing_model::{ObjectId, SailingError, SnapshotView, SourceId, ValueId};
 
 use crate::accuracy::{estimate_accuracies, max_delta};
-use crate::pairs::detect_all;
+use crate::pairs::{candidate_pairs, detect_all_with_pairs};
 use crate::params::DetectionParams;
 use crate::partial;
 use crate::report::{Direction, PairDependence, SourceReport};
@@ -141,11 +141,19 @@ impl AccuCopy {
     /// inflates its own accuracy in the first round and the iteration can
     /// lock onto the copied values; (4) re-estimate accuracies and test
     /// convergence.
+    ///
+    /// The candidate-pair list is snapshot-invariant, so it is enumerated
+    /// once here and threaded through every iteration's detection pass.
     pub fn run(&self, snapshot: &SnapshotView) -> PipelineResult {
         let p = &self.params;
         let mut accuracies = vec![p.initial_accuracy; snapshot.num_sources()];
         let mut dependences: Vec<PairDependence> = Vec::new();
         let mut matrix = DependenceMatrix::new();
+        let candidates = if p.enable_copy_detection {
+            candidate_pairs(snapshot, p.min_overlap)
+        } else {
+            Vec::new()
+        };
         // Bootstrap with naive vote shares: see `truth::naive_probabilities`.
         let mut probabilities = naive_probabilities(snapshot);
         let mut iterations = 0;
@@ -154,7 +162,8 @@ impl AccuCopy {
         while iterations < p.max_iterations {
             iterations += 1;
             if p.enable_copy_detection {
-                dependences = detect_all(snapshot, &probabilities, &accuracies, p);
+                dependences =
+                    detect_all_with_pairs(snapshot, &candidates, &probabilities, &accuracies, p);
                 refine_directions(snapshot, &probabilities, &mut dependences);
                 matrix = DependenceMatrix::from_pairs(&dependences);
             }

@@ -7,10 +7,32 @@
 //! asserts; a source's vote weight grows with its estimated accuracy and
 //! shrinks with the probability that its value was copied from a
 //! higher-ranked supporter of the same value.
+//!
+//! # Columnar layout
+//!
+//! Both posterior containers live on the per-iteration hot path (every pair
+//! likelihood probes `prob`, every vote round rebuilds the distributions),
+//! so they mirror the snapshot's CSR layout instead of nesting hash maps:
+//!
+//! * [`ValueProbabilities`] is an offsets-plus-arena index keyed by dense
+//!   [`ObjectId`]: `distribution(o)` is a contiguous slice lookup, `prob`
+//!   a short linear scan of that slice (distributions hold a handful of
+//!   observed values, sorted by descending probability).
+//! * [`DependenceMatrix`] is a per-source adjacency list sorted by target,
+//!   so `dep_on(s, t)` is a binary search in `s`'s row instead of a hash
+//!   of the `(s, t)` pair.
+//!
+//! Both serialize in their legacy map-shaped JSON (`{"dist": {...}}` /
+//! `{"entries": {...}}`) so persisted pipeline results remain readable
+//! across the layout change. One deliberate narrowing: because the CSR
+//! arrays allocate per dense id, documents whose id space is implausibly
+//! larger than their entry count (see [`serde::plausible_id_space`]) are
+//! rejected instead of allocated — ids from this workspace's catalogs are
+//! dense, so real artifacts always pass.
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Error as SerdeError, Serialize};
 
 use sailing_model::{ObjectId, SnapshotView, SourceId, ValueId};
 
@@ -20,10 +42,13 @@ use crate::report::{Direction, PairDependence};
 /// Pairwise dependence posteriors in a form optimised for vote damping.
 ///
 /// `dep_on(s, t)` answers: with what probability does `s` depend on (copy
-/// from) `t`?
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// from) `t`? Stored as a per-source adjacency list sorted by target id.
+#[derive(Debug, Clone, Default)]
 pub struct DependenceMatrix {
-    entries: HashMap<(SourceId, SourceId), f64>,
+    /// `adj[s]` = `(target source index, P(s depends on target))`, sorted
+    /// by target. Rows past the last recorded source are simply absent.
+    adj: Vec<Vec<(u32, f64)>>,
+    entries: usize,
 }
 
 impl DependenceMatrix {
@@ -39,19 +64,57 @@ impl DependenceMatrix {
     /// [`Direction::Unknown`] therefore damps both sides halfway, which is
     /// the conservative choice.
     pub fn from_pairs(pairs: &[PairDependence]) -> Self {
-        let mut entries = HashMap::new();
+        let mut directed = Vec::with_capacity(pairs.len() * 2);
         for p in pairs {
             let p = p.clone().canonical();
-            entries.insert((p.a, p.b), p.probability * p.prob_a_on_b);
-            entries.insert((p.b, p.a), p.probability * (1.0 - p.prob_a_on_b));
+            directed.push((p.a, p.b, p.probability * p.prob_a_on_b));
+            directed.push((p.b, p.a, p.probability * (1.0 - p.prob_a_on_b)));
         }
-        Self { entries }
+        Self::from_directed(directed)
+    }
+
+    /// Builds from directed `(s, t, p)` entries; a later entry for the same
+    /// `(s, t)` overwrites an earlier one.
+    fn from_directed(directed: Vec<(SourceId, SourceId, f64)>) -> Self {
+        let rows = directed
+            .iter()
+            .map(|&(s, _, _)| s.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); rows];
+        for (s, t, p) in directed {
+            adj[s.index()].push((t.0, p));
+        }
+        let mut entries = 0;
+        for row in &mut adj {
+            // Stable by target: among duplicates the later insertion is the
+            // later element, and the dedup keeps it (matching the old
+            // hash-map overwrite semantics).
+            row.sort_by_key(|&(t, _)| t);
+            let mut write = 0usize;
+            for read in 0..row.len() {
+                if write > 0 && row[write - 1].0 == row[read].0 {
+                    row[write - 1] = row[read];
+                } else {
+                    row[write] = row[read];
+                    write += 1;
+                }
+            }
+            row.truncate(write);
+            entries += row.len();
+        }
+        Self { adj, entries }
     }
 
     /// Probability that `s` depends on `t`.
     #[inline]
     pub fn dep_on(&self, s: SourceId, t: SourceId) -> f64 {
-        self.entries.get(&(s, t)).copied().unwrap_or(0.0)
+        match self.adj.get(s.index()) {
+            Some(row) => row
+                .binary_search_by_key(&t.0, |&(target, _)| target)
+                .map_or(0.0, |i| row[i].1),
+            None => 0.0,
+        }
     }
 
     /// Probability that `s` and `t` are dependent in either direction.
@@ -62,64 +125,240 @@ impl DependenceMatrix {
 
     /// Number of directed entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries
     }
 
     /// `true` when no dependence is recorded.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries == 0
+    }
+}
+
+// Wire-compatible with the old `{"entries": {"[s,t]": p}}` hash-map shape.
+impl Serialize for DependenceMatrix {
+    fn serialize(&self) -> Content {
+        let mut entries = Vec::with_capacity(self.entries);
+        for (s, row) in self.adj.iter().enumerate() {
+            for &(t, p) in row {
+                entries.push((
+                    Content::Seq(vec![Content::U64(s as u64), Content::U64(t as u64)]),
+                    Content::F64(p),
+                ));
+            }
+        }
+        Content::Map(vec![(
+            Content::Str("entries".to_string()),
+            Content::Map(entries),
+        )])
+    }
+}
+
+impl Deserialize for DependenceMatrix {
+    fn deserialize(content: &Content) -> Result<Self, SerdeError> {
+        let entries = content
+            .field("entries")
+            .ok_or_else(|| SerdeError::msg("DependenceMatrix: missing field `entries`"))?;
+        let entries = match entries {
+            Content::Map(m) => m,
+            other => {
+                return Err(SerdeError::msg(format!(
+                    "DependenceMatrix: entries must be a map, found {other:?}"
+                )))
+            }
+        };
+        let mut directed = Vec::with_capacity(entries.len());
+        for (k, v) in entries {
+            // JSON delivers composite keys as embedded-JSON strings.
+            let reparsed;
+            let key = match k {
+                Content::Str(s) => {
+                    reparsed = serde::json::parse(s)
+                        .map_err(|e| SerdeError::msg(format!("DependenceMatrix key: {e}")))?;
+                    &reparsed
+                }
+                other => other,
+            };
+            let (s, t) = <(u32, u32)>::deserialize(key)?;
+            directed.push((SourceId(s), SourceId(t), f64::deserialize(v)?));
+        }
+        // The adjacency allocates one row per source id; refuse documents
+        // whose id space is implausibly larger than their entry count so a
+        // tiny document cannot force a huge allocation.
+        let rows = directed
+            .iter()
+            .map(|&(s, _, _)| s.index() + 1)
+            .max()
+            .unwrap_or(0);
+        if !serde::plausible_id_space(rows, directed.len()) {
+            return Err(SerdeError::msg(format!(
+                "DependenceMatrix: source id space {rows} is implausibly \
+                 large for {} entries",
+                directed.len()
+            )));
+        }
+        Ok(Self::from_directed(directed))
     }
 }
 
 /// Per-object posterior distributions over asserted values.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Stored as a CSR index over dense [`ObjectId`]s: `arena[offsets[o] ..
+/// offsets[o+1]]` is object `o`'s distribution, descending by probability.
+/// Objects outside the indexed range (or with no assertions) have empty
+/// distributions.
+#[derive(Debug, Clone)]
 pub struct ValueProbabilities {
-    dist: HashMap<ObjectId, Vec<(ValueId, f64)>>,
+    offsets: Vec<u32>,
+    arena: Vec<(ValueId, f64)>,
+}
+
+impl Default for ValueProbabilities {
+    fn default() -> Self {
+        Self {
+            offsets: vec![0],
+            arena: Vec::new(),
+        }
+    }
 }
 
 impl ValueProbabilities {
+    /// Builds from per-object distributions delivered in ascending object
+    /// order (one call per object id, empty distributions allowed).
+    fn from_ordered(
+        num_objects: usize,
+        per_object: impl Iterator<Item = Vec<(ValueId, f64)>>,
+    ) -> Self {
+        let mut offsets = Vec::with_capacity(num_objects + 1);
+        offsets.push(0u32);
+        let mut arena = Vec::new();
+        for dist in per_object {
+            arena.extend(dist);
+            offsets.push(arena.len() as u32);
+        }
+        Self { offsets, arena }
+    }
+
     /// The probability that `value` is the true value of `object`
     /// (0 if never asserted).
+    #[inline]
     pub fn prob(&self, object: ObjectId, value: ValueId) -> f64 {
-        self.dist
-            .get(&object)
-            .and_then(|d| d.iter().find(|&&(v, _)| v == value))
+        self.distribution(object)
+            .iter()
+            .find(|&&(v, _)| v == value)
             .map_or(0.0, |&(_, p)| p)
     }
 
     /// The most probable value of `object` with its probability.
     pub fn best(&self, object: ObjectId) -> Option<(ValueId, f64)> {
-        self.dist.get(&object).and_then(|d| d.first()).copied()
+        self.distribution(object).first().copied()
     }
 
     /// The full distribution for `object`, descending by probability.
+    #[inline]
     pub fn distribution(&self, object: ObjectId) -> &[(ValueId, f64)] {
-        self.dist.get(&object).map(Vec::as_slice).unwrap_or(&[])
+        let o = object.index();
+        if o + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.arena[self.offsets[o] as usize..self.offsets[o + 1] as usize]
     }
 
     /// Hard decisions: the most probable value per object.
     pub fn decisions(&self) -> HashMap<ObjectId, ValueId> {
-        self.dist
-            .iter()
-            .filter_map(|(&o, d)| d.first().map(|&(v, _)| (o, v)))
+        self.objects()
+            .into_iter()
+            .filter_map(|o| self.best(o).map(|(v, _)| (o, v)))
             .collect()
     }
 
     /// Objects with at least one asserted value, ascending.
     pub fn objects(&self) -> Vec<ObjectId> {
-        let mut o: Vec<_> = self.dist.keys().copied().collect();
-        o.sort();
-        o
+        self.offsets
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0] < w[1])
+            .map(|(o, _)| ObjectId::from_index(o))
+            .collect()
     }
 
     /// Number of objects with a distribution.
     pub fn len(&self) -> usize {
-        self.dist.len()
+        self.offsets.windows(2).filter(|w| w[0] < w[1]).count()
     }
 
     /// `true` when no object has a distribution.
     pub fn is_empty(&self) -> bool {
-        self.dist.is_empty()
+        self.arena.is_empty()
+    }
+}
+
+// Wire-compatible with the old `{"dist": {object: [[value, p], ...]}}`
+// hash-map shape; only covered objects appear, like the old map.
+impl Serialize for ValueProbabilities {
+    fn serialize(&self) -> Content {
+        let entries = self
+            .objects()
+            .into_iter()
+            .map(|o| {
+                (
+                    Content::U64(o.0 as u64),
+                    Content::Seq(
+                        self.distribution(o)
+                            .iter()
+                            .map(|&(v, p)| {
+                                Content::Seq(vec![Content::U64(v.0 as u64), Content::F64(p)])
+                            })
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
+        Content::Map(vec![(
+            Content::Str("dist".to_string()),
+            Content::Map(entries),
+        )])
+    }
+}
+
+impl Deserialize for ValueProbabilities {
+    fn deserialize(content: &Content) -> Result<Self, SerdeError> {
+        let dist = content
+            .field("dist")
+            .ok_or_else(|| SerdeError::msg("ValueProbabilities: missing field `dist`"))?;
+        let dist = match dist {
+            Content::Map(m) => m,
+            other => {
+                return Err(SerdeError::msg(format!(
+                    "ValueProbabilities: dist must be a map, found {other:?}"
+                )))
+            }
+        };
+        let mut per_object: Vec<(u32, Vec<(ValueId, f64)>)> = Vec::with_capacity(dist.len());
+        for (k, v) in dist {
+            let o = u32::deserialize(k)?;
+            let d = <Vec<(u32, f64)>>::deserialize(v)?
+                .into_iter()
+                .map(|(v, p)| (ValueId(v), p))
+                .collect();
+            per_object.push((o, d));
+        }
+        per_object.sort_by_key(|&(o, _)| o);
+        let num_objects = per_object.last().map_or(0, |&(o, _)| o as usize + 1);
+        // The CSR offsets allocate per object id; refuse documents whose id
+        // space is implausibly larger than their entry count so a tiny
+        // document cannot force a huge allocation.
+        if !serde::plausible_id_space(num_objects, per_object.len()) {
+            return Err(SerdeError::msg(format!(
+                "ValueProbabilities: object id space {num_objects} is \
+                 implausibly large for {} distributions",
+                per_object.len()
+            )));
+        }
+        let mut dense: Vec<Vec<(ValueId, f64)>> = vec![Vec::new(); num_objects];
+        for (o, d) in per_object {
+            dense[o as usize] = d;
+        }
+        Ok(Self::from_ordered(num_objects, dense.into_iter()))
     }
 }
 
@@ -149,6 +388,21 @@ pub fn effective_n_false(
         .max(1)
 }
 
+/// The effective-`n` column for a whole snapshot, indexed by [`ObjectId`].
+///
+/// `effective_n_false` is snapshot-invariant, yet the pre-columnar pipeline
+/// recomputed it — including a fresh hash count in `distinct_values` — for
+/// every shared object of every candidate pair in every iteration
+/// (Σ-overlap × iterations times). [`crate::pairs::detect_all_with_pairs`]
+/// hoists it once per detection pass (an O(num_objects) column build over
+/// the O(1) precomputed distinct counts) and shares the slice with every
+/// worker via [`crate::copy::pair_likelihoods_with`].
+pub fn effective_n_false_table(snapshot: &SnapshotView, params: &DetectionParams) -> Vec<f64> {
+    (0..snapshot.num_objects())
+        .map(|idx| effective_n_false(snapshot, ObjectId::from_index(idx), params) as f64)
+        .collect()
+}
+
 /// One round of dependence-damped weighted voting.
 ///
 /// For each object, supporters of each value are processed in descending
@@ -163,24 +417,41 @@ pub fn weighted_vote(
     deps: &DependenceMatrix,
     params: &DetectionParams,
 ) -> ValueProbabilities {
-    let mut dist = HashMap::new();
-    for idx in 0..snapshot.num_objects() {
+    let num_objects = snapshot.num_objects();
+    let mut offsets = Vec::with_capacity(num_objects + 1);
+    offsets.push(0u32);
+    let mut arena: Vec<(ValueId, f64)> = Vec::with_capacity(snapshot.num_assertions());
+    // Scratch buffers reused across objects: supporters grouped by value,
+    // per-value supporter ordering, and per-value scores.
+    let mut grouped: Vec<(ValueId, SourceId)> = Vec::new();
+    let mut ordered: Vec<SourceId> = Vec::new();
+    let mut scores: Vec<(ValueId, f64)> = Vec::new();
+
+    for idx in 0..num_objects {
         let object = ObjectId::from_index(idx);
         let assertions = snapshot.assertions_on(object);
         if assertions.is_empty() {
+            offsets.push(arena.len() as u32);
             continue;
         }
         let n_false = effective_n_false(snapshot, object, params);
 
-        // Group supporters per value.
-        let mut supporters: HashMap<ValueId, Vec<SourceId>> = HashMap::new();
-        for &(s, v) in assertions {
-            supporters.entry(v).or_default().push(s);
-        }
+        // Group supporters per value, in deterministic (value, source)
+        // order — the per-object slice is small, so a sort beats hashing.
+        grouped.clear();
+        grouped.extend(assertions.iter().map(|&(s, v)| (v, s)));
+        grouped.sort_unstable();
 
-        let mut scores: Vec<(ValueId, f64)> = Vec::with_capacity(supporters.len());
-        for (&value, sources) in &supporters {
-            let mut ordered: Vec<SourceId> = sources.clone();
+        scores.clear();
+        let mut start = 0usize;
+        while start < grouped.len() {
+            let value = grouped[start].0;
+            let mut end = start + 1;
+            while end < grouped.len() && grouped[end].0 == value {
+                end += 1;
+            }
+            ordered.clear();
+            ordered.extend(grouped[start..end].iter().map(|&(_, s)| s));
             // Highest-accuracy supporter first: it keeps its full vote and
             // damps the (likely copied) votes below it.
             ordered.sort_by(|&x, &y| {
@@ -210,6 +481,7 @@ pub fn weighted_vote(
                 score += independence * vote_weight(a, n_false, params);
             }
             scores.push((value, score));
+            start = end;
         }
 
         // Softmax over observed values plus the unobserved remainder of the
@@ -224,14 +496,12 @@ pub fn weighted_vote(
         for &(_, s) in &scores {
             z += (s - max_score).exp();
         }
-        let mut probs: Vec<(ValueId, f64)> = scores
-            .into_iter()
-            .map(|(v, s)| (v, (s - max_score).exp() / z))
-            .collect();
-        probs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        dist.insert(object, probs);
+        let object_start = arena.len();
+        arena.extend(scores.iter().map(|&(v, s)| (v, (s - max_score).exp() / z)));
+        arena[object_start..].sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        offsets.push(arena.len() as u32);
     }
-    ValueProbabilities { dist }
+    ValueProbabilities { offsets, arena }
 }
 
 /// The least-committal starting belief: each object's naive vote shares.
@@ -243,23 +513,24 @@ pub fn weighted_vote(
 /// shares keep a 3-vs-2 split at 0.6/0.4 — uncertain enough for the shared
 /// minority/majority false values to register as copying evidence.
 pub fn naive_probabilities(snapshot: &SnapshotView) -> ValueProbabilities {
-    let mut dist = HashMap::new();
-    for idx in 0..snapshot.num_objects() {
+    let num_objects = snapshot.num_objects();
+    let mut offsets = Vec::with_capacity(num_objects + 1);
+    offsets.push(0u32);
+    let mut arena: Vec<(ValueId, f64)> = Vec::new();
+    for idx in 0..num_objects {
         let object = ObjectId::from_index(idx);
         let counts = snapshot.value_counts(object);
         let total: usize = counts.iter().map(|&(_, c)| c).sum();
-        if total == 0 {
-            continue;
+        if total > 0 {
+            arena.extend(
+                counts
+                    .into_iter()
+                    .map(|(v, c)| (v, c as f64 / total as f64)),
+            );
         }
-        dist.insert(
-            object,
-            counts
-                .into_iter()
-                .map(|(v, c)| (v, c as f64 / total as f64))
-                .collect(),
-        );
+        offsets.push(arena.len() as u32);
     }
-    ValueProbabilities { dist }
+    ValueProbabilities { offsets, arena }
 }
 
 /// Convenience: a matrix asserting a single certain dependence `s` on `t`.
@@ -417,6 +688,23 @@ mod tests {
         let decisions = probs.decisions();
         assert_eq!(decisions.len(), 5);
         assert_eq!(decisions[&o], v);
+    }
+
+    #[test]
+    fn deserialize_rejects_implausible_id_spaces() {
+        // A tiny document must not be able to force a gigabyte allocation
+        // by naming one gigantic id.
+        let bomb = r#"{"dist":{"4294967295":[]}}"#;
+        assert!(ValueProbabilities::deserialize(&serde::json::parse(bomb).unwrap()).is_err());
+        let bomb = r#"{"entries":{"[4294967295,0]":0.5}}"#;
+        assert!(DependenceMatrix::deserialize(&serde::json::parse(bomb).unwrap()).is_err());
+        // Legacy-shaped documents with sane ids still parse.
+        let ok = r#"{"dist":{"3":[[7,1.0]]}}"#;
+        let vp = ValueProbabilities::deserialize(&serde::json::parse(ok).unwrap()).unwrap();
+        assert_eq!(vp.best(ObjectId(3)), Some((ValueId(7), 1.0)));
+        let ok = r#"{"entries":{"[2,1]":0.8}}"#;
+        let m = DependenceMatrix::deserialize(&serde::json::parse(ok).unwrap()).unwrap();
+        assert!((m.dep_on(SourceId(2), SourceId(1)) - 0.8).abs() < 1e-12);
     }
 
     #[test]

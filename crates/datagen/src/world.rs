@@ -112,6 +112,37 @@ impl WorldConfig {
         }
     }
 
+    /// The scalability benchmark's *specialist* world: each source covers a
+    /// random `coverage`-sized slice of `num_objects` objects, so most
+    /// pairs share little (candidate pruning's best case, and the realistic
+    /// one per Example 4.1's coverage skew). Every tenth source is a full
+    /// copier of its predecessor, planting detectable dependences.
+    pub fn specialist(num_sources: usize, num_objects: usize, coverage: usize, seed: u64) -> Self {
+        let mut sources = Vec::with_capacity(num_sources);
+        for i in 0..num_sources {
+            if i % 10 == 9 {
+                sources.push(SourceBehavior::Copier {
+                    original: i - 1,
+                    copy_fraction: 1.0,
+                    mutation_rate: 0.02,
+                    own_accuracy: 0.6,
+                    own_coverage: 0,
+                });
+            } else {
+                sources.push(SourceBehavior::Independent {
+                    accuracy: 0.5 + 0.4 * ((i % 7) as f64 / 6.0),
+                    coverage,
+                });
+            }
+        }
+        Self {
+            num_objects,
+            domain_size: 10,
+            sources,
+            seed,
+        }
+    }
+
     /// Checks structural validity (copier references, ranges).
     pub fn validate(&self) -> Result<(), SailingError> {
         let err = |reason: String| SailingError::config("WorldConfig", reason);

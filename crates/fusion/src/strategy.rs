@@ -6,8 +6,9 @@
 //! re-implementation per strategy.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Error as SerdeError, Serialize};
 
 use sailing_core::truth::ValueProbabilities;
 use sailing_core::{
@@ -54,34 +55,113 @@ impl FusionStrategy {
 }
 
 /// What fusion produced.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The posterior payload (probabilities, accuracies, dependences) is a
+/// shared [`Arc`] over the discovery [`PipelineResult`]: deriving an
+/// outcome from a cached analysis shares every distribution instead of
+/// deep-copying them — only the small per-object decision map is
+/// materialised per outcome. Serialization is unchanged from the old
+/// by-value shape.
+#[derive(Debug, Clone)]
 pub struct FusionOutcome {
     /// Hard decision per object.
     pub decisions: HashMap<ObjectId, ValueId>,
-    /// Posterior value distributions (naive voting reports raw vote shares
-    /// rather than calibrated probabilities — use
-    /// [`crate::ProbabilisticDatabase`] for downstream probability math).
-    pub probabilities: ValueProbabilities,
-    /// Estimated source accuracies (empty for naive voting).
-    pub accuracies: Vec<f64>,
-    /// Detected dependences (empty unless dependence-aware).
-    pub dependences: Vec<PairDependence>,
     /// Strategy name, for reporting.
     pub strategy: String,
+    result: Arc<PipelineResult>,
 }
 
 impl FusionOutcome {
-    /// Packages a discovery result under a strategy name. This is how the
-    /// `sailing` facade derives a fusion outcome from its cached analysis
-    /// without re-running the pipeline.
+    /// Packages a discovery result under a strategy name.
     pub fn from_result(result: PipelineResult, strategy: &str) -> Self {
+        Self::from_shared(Arc::new(result), strategy)
+    }
+
+    /// Packages an already-shared discovery result without copying it —
+    /// the path the `sailing` facade's cached analysis takes.
+    pub fn from_shared(result: Arc<PipelineResult>, strategy: &str) -> Self {
         FusionOutcome {
             decisions: result.decisions(),
-            probabilities: result.probabilities,
-            accuracies: result.accuracies,
-            dependences: result.dependences,
             strategy: strategy.to_string(),
+            result,
         }
+    }
+
+    /// Posterior value distributions (naive voting reports raw vote shares
+    /// rather than calibrated probabilities — use
+    /// [`crate::ProbabilisticDatabase`] for downstream probability math).
+    pub fn probabilities(&self) -> &ValueProbabilities {
+        &self.result.probabilities
+    }
+
+    /// Estimated source accuracies (empty for naive voting).
+    pub fn accuracies(&self) -> &[f64] {
+        &self.result.accuracies
+    }
+
+    /// Detected dependences (empty unless dependence-aware).
+    pub fn dependences(&self) -> &[PairDependence] {
+        &self.result.dependences
+    }
+
+    /// The underlying (shared) pipeline result.
+    pub fn result(&self) -> &PipelineResult {
+        &self.result
+    }
+}
+
+// Wire-compatible with the old by-value field shape: `{"decisions": ...,
+// "probabilities": ..., "accuracies": ..., "dependences": ..., "strategy":
+// ...}` — the `Arc` is an in-memory sharing detail.
+impl Serialize for FusionOutcome {
+    fn serialize(&self) -> Content {
+        Content::Map(vec![
+            (
+                Content::Str("decisions".to_string()),
+                self.decisions.serialize(),
+            ),
+            (
+                Content::Str("probabilities".to_string()),
+                self.result.probabilities.serialize(),
+            ),
+            (
+                Content::Str("accuracies".to_string()),
+                self.result.accuracies.serialize(),
+            ),
+            (
+                Content::Str("dependences".to_string()),
+                self.result.dependences.serialize(),
+            ),
+            (
+                Content::Str("strategy".to_string()),
+                self.strategy.serialize(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for FusionOutcome {
+    fn deserialize(content: &Content) -> Result<Self, SerdeError> {
+        let field = |name: &str| {
+            content
+                .field(name)
+                .ok_or_else(|| SerdeError::msg(format!("FusionOutcome: missing field `{name}`")))
+        };
+        let result = PipelineResult {
+            probabilities: ValueProbabilities::deserialize(field("probabilities")?)?,
+            accuracies: Vec::deserialize(field("accuracies")?)?,
+            dependences: Vec::deserialize(field("dependences")?)?,
+            // The wire format never carried loop metadata; report the
+            // conservative unknown (no iterations recorded, convergence
+            // not claimed) rather than fabricating a settled run.
+            iterations: 0,
+            converged: false,
+        };
+        Ok(FusionOutcome {
+            decisions: HashMap::deserialize(field("decisions")?)?,
+            strategy: String::deserialize(field("strategy")?)?,
+            result: Arc::new(result),
+        })
     }
 }
 
@@ -126,16 +206,16 @@ mod tests {
         let p_aware = truth.decision_precision(&aware.decisions).unwrap();
         assert!((p_naive - 0.4).abs() < 1e-9);
         assert_eq!(p_aware, 1.0);
-        assert!(!aware.dependences.is_empty());
-        assert!(naive.dependences.is_empty());
+        assert!(!aware.dependences().is_empty());
+        assert!(naive.dependences().is_empty());
     }
 
     #[test]
     fn accu_reports_accuracies_but_no_dependences() {
         let (store, _) = fixtures::table1();
         let outcome = fuse(&store.snapshot(), &FusionStrategy::AccuracyVote).unwrap();
-        assert_eq!(outcome.accuracies.len(), 5);
-        assert!(outcome.dependences.is_empty());
+        assert_eq!(outcome.accuracies().len(), 5);
+        assert!(outcome.dependences().is_empty());
         assert_eq!(outcome.decisions.len(), 5);
     }
 

@@ -8,10 +8,40 @@
 //! `(source, object)` pair only the most recent claim survives, giving one
 //! value per source per covered object (Table 1 shape). All snapshot-mode
 //! algorithms in `sailing-core` consume this view.
+//!
+//! # Columnar (CSR) layout
+//!
+//! The snapshot is the data plane of every hot loop in the workspace
+//! (candidate-pair enumeration is `Σ support²`, pairwise detection is
+//! `Σ overlap` per iteration), so it is stored as two compressed-sparse-row
+//! indexes over flat arenas instead of nested hash maps:
+//!
+//! * `src_offsets`/`src_entries` — per source, a contiguous slice of
+//!   `(ObjectId, ValueId)` assertions **sorted by object**. `value(s, o)`
+//!   is a binary search; `overlap(a, b)` is a sorted-merge intersection of
+//!   two contiguous slices (no hashing, linear cache-friendly scans).
+//! * `obj_offsets`/`obj_entries` — per object, a contiguous slice of
+//!   `(SourceId, ValueId)` assertions **sorted by source**; this is the
+//!   inverted index candidate-pair enumeration walks.
+//! * `obj_distinct` — the number of distinct values asserted per object,
+//!   precomputed once so `distinct_values` (the `n` in every vote weight
+//!   and pair likelihood) is O(1) instead of a per-call hash count.
+//!
+//! Invariants (upheld by every constructor, relied on by consumers):
+//! offsets are monotone with `len() == dimension + 1`; each `(source,
+//! object)` pair appears at most once; source slices are strictly sorted by
+//! object and object slices strictly sorted by source; both arenas contain
+//! the same assertions. The serde representation is **not** the CSR arrays:
+//! snapshots serialize in the legacy map-per-source JSON shape so stored
+//! artifacts stay wire-compatible across the layout change. One deliberate
+//! narrowing: because the CSR offsets allocate per dense id, documents
+//! whose id space is implausibly larger than their assertion count (see
+//! [`serde::plausible_id_space`]) are rejected instead of allocated —
+//! catalog ids are dense, so real artifacts always pass.
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Error as SerdeError, Serialize};
 
 use crate::claim::{Claim, Timestamp};
 use crate::error::ModelError;
@@ -262,13 +292,10 @@ impl ClaimStore {
             }
         }
 
-        let num_sources = self.sources.len();
-        let num_objects = self.objects.len();
-        let mut per_source: Vec<HashMap<ObjectId, ValueId>> = vec![HashMap::new(); num_sources];
-        let mut per_object: Vec<Vec<(SourceId, ValueId)>> = vec![Vec::new(); num_objects];
         let mut entries: Vec<_> = latest.into_iter().collect();
         // Deterministic order regardless of hash-map iteration.
         entries.sort_by_key(|&((s, o), _)| (s, o));
+        let mut rows = Vec::with_capacity(entries.len());
         for ((s, o), (i, _)) in entries {
             let v = self.claims[i].value;
             if let Some(val) = self.values.name(v) {
@@ -276,21 +303,90 @@ impl ClaimStore {
                     continue; // withdrawn value: source no longer covers object
                 }
             }
-            per_source[s.index()].insert(o, v);
-            per_object[o.index()].push((s, v));
+            rows.push((s, o, v));
         }
-        SnapshotView {
-            per_source,
-            per_object,
-        }
+        SnapshotView::from_unique_sorted(self.sources.len(), self.objects.len(), rows)
     }
 }
 
 /// One value per source per covered object: the paper's snapshot setting.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Stored as two CSR indexes over flat arenas (see the module docs): the
+/// per-source side drives `value`/`assertions_of`/`overlap`, the per-object
+/// side drives `assertions_on`/`value_counts`, and a precomputed
+/// distinct-value column makes `distinct_values` O(1).
+#[derive(Debug, Clone)]
 pub struct SnapshotView {
-    per_source: Vec<HashMap<ObjectId, ValueId>>,
-    per_object: Vec<Vec<(SourceId, ValueId)>>,
+    num_sources: usize,
+    num_objects: usize,
+    /// `src_entries[src_offsets[s]..src_offsets[s+1]]` = source `s`'s
+    /// assertions, sorted by object.
+    src_offsets: Vec<u32>,
+    src_entries: Vec<(ObjectId, ValueId)>,
+    /// `obj_entries[obj_offsets[o]..obj_offsets[o+1]]` = object `o`'s
+    /// assertions, sorted by source.
+    obj_offsets: Vec<u32>,
+    obj_entries: Vec<(SourceId, ValueId)>,
+    /// Distinct values asserted per object.
+    obj_distinct: Vec<u32>,
+}
+
+impl Default for SnapshotView {
+    fn default() -> Self {
+        Self::from_unique_sorted(0, 0, Vec::new())
+    }
+}
+
+/// Sorted-merge intersection of two per-source assertion slices.
+///
+/// When the side to advance is much longer than the other, the skip is a
+/// binary search (galloping) instead of a linear walk, so a tiny
+/// specialist screened against a near-global source costs
+/// `O(min · log max)` rather than `O(max)`.
+struct OverlapIter<'a> {
+    a: &'a [(ObjectId, ValueId)],
+    b: &'a [(ObjectId, ValueId)],
+}
+
+/// Advance-by-search kicks in once the lagging side is this many times
+/// longer than the other.
+const GALLOP_FACTOR: usize = 16;
+
+impl Iterator for OverlapIter<'_> {
+    type Item = (ObjectId, ValueId, ValueId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let (Some(&(oa, va)), Some(&(ob, vb))) = (self.a.first(), self.b.first()) {
+            match oa.cmp(&ob) {
+                std::cmp::Ordering::Less => {
+                    if self.a.len() > GALLOP_FACTOR * self.b.len() {
+                        let skip = self.a.partition_point(|&(o, _)| o < ob);
+                        self.a = &self.a[skip..];
+                    } else {
+                        self.a = &self.a[1..];
+                    }
+                }
+                std::cmp::Ordering::Greater => {
+                    if self.b.len() > GALLOP_FACTOR * self.a.len() {
+                        let skip = self.b.partition_point(|&(o, _)| o < oa);
+                        self.b = &self.b[skip..];
+                    } else {
+                        self.b = &self.b[1..];
+                    }
+                }
+                std::cmp::Ordering::Equal => {
+                    self.a = &self.a[1..];
+                    self.b = &self.b[1..];
+                    return Some((oa, va, vb));
+                }
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.a.len().min(self.b.len())))
+    }
 }
 
 impl SnapshotView {
@@ -303,65 +399,135 @@ impl SnapshotView {
         num_objects: usize,
         triples: impl IntoIterator<Item = (SourceId, ObjectId, ValueId)>,
     ) -> Self {
-        let mut per_source: Vec<HashMap<ObjectId, ValueId>> = vec![HashMap::new(); num_sources];
-        for (s, o, v) in triples {
-            per_source[s.index()].insert(o, v);
-        }
-        let mut per_object: Vec<Vec<(SourceId, ValueId)>> = vec![Vec::new(); num_objects];
-        for (s, m) in per_source.iter().enumerate() {
-            let mut items: Vec<_> = m.iter().map(|(&o, &v)| (o, v)).collect();
-            items.sort_by_key(|&(o, _)| o);
-            for (o, v) in items {
-                per_object[o.index()].push((SourceId::from_index(s), v));
+        let mut rows: Vec<(SourceId, ObjectId, ValueId, u32)> = triples
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, o, v))| (s, o, v, i as u32))
+            .collect();
+        // Stable (source, object) order with the *last* insertion winning.
+        rows.sort_unstable_by_key(|&(s, o, _, i)| (s, o, i));
+        let mut unique: Vec<(SourceId, ObjectId, ValueId)> = Vec::with_capacity(rows.len());
+        for &(s, o, v, _) in &rows {
+            match unique.last_mut() {
+                Some(last) if last.0 == s && last.1 == o => last.2 = v,
+                _ => unique.push((s, o, v)),
             }
         }
+        Self::from_unique_sorted(num_sources, num_objects, unique)
+    }
+
+    /// Core constructor: `rows` must be sorted by `(source, object)` with
+    /// unique `(source, object)` pairs; both CSR sides and the distinct
+    /// counts are built in two linear passes.
+    fn from_unique_sorted(
+        num_sources: usize,
+        num_objects: usize,
+        rows: Vec<(SourceId, ObjectId, ValueId)>,
+    ) -> Self {
+        debug_assert!(rows.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        let n = rows.len();
+        let mut src_offsets = vec![0u32; num_sources + 1];
+        let mut obj_offsets = vec![0u32; num_objects + 1];
+        for &(s, o, _) in &rows {
+            src_offsets[s.index() + 1] += 1;
+            obj_offsets[o.index() + 1] += 1;
+        }
+        for i in 1..src_offsets.len() {
+            src_offsets[i] += src_offsets[i - 1];
+        }
+        for i in 1..obj_offsets.len() {
+            obj_offsets[i] += obj_offsets[i - 1];
+        }
+        let mut src_entries = Vec::with_capacity(n);
+        let mut obj_entries = vec![(SourceId(0), ValueId(0)); n];
+        let mut obj_fill: Vec<u32> = obj_offsets[..num_objects].to_vec();
+        // Rows arrive sorted by (source, object): the source side is a plain
+        // append, and scattering into per-object buckets in that order
+        // leaves every object slice sorted by source.
+        for &(s, o, v) in &rows {
+            src_entries.push((o, v));
+            let slot = &mut obj_fill[o.index()];
+            obj_entries[*slot as usize] = (s, v);
+            *slot += 1;
+        }
+        let mut obj_distinct = vec![0u32; num_objects];
+        let mut scratch: Vec<ValueId> = Vec::new();
+        for o in 0..num_objects {
+            let slice = &obj_entries[obj_offsets[o] as usize..obj_offsets[o + 1] as usize];
+            scratch.clear();
+            scratch.extend(slice.iter().map(|&(_, v)| v));
+            scratch.sort_unstable();
+            scratch.dedup();
+            obj_distinct[o] = scratch.len() as u32;
+        }
         Self {
-            per_source,
-            per_object,
+            num_sources,
+            num_objects,
+            src_offsets,
+            src_entries,
+            obj_offsets,
+            obj_entries,
+            obj_distinct,
         }
     }
 
     /// Number of sources (including sources covering nothing).
     pub fn num_sources(&self) -> usize {
-        self.per_source.len()
+        self.num_sources
     }
 
     /// Number of objects (including objects covered by nobody).
     pub fn num_objects(&self) -> usize {
-        self.per_object.len()
+        self.num_objects
+    }
+
+    /// One source's assertions as a contiguous `(object, value)` slice,
+    /// sorted by object. Empty for out-of-range sources.
+    #[inline]
+    pub fn source_assertions(&self, source: SourceId) -> &[(ObjectId, ValueId)] {
+        let s = source.index();
+        if s >= self.num_sources {
+            return &[];
+        }
+        &self.src_entries[self.src_offsets[s] as usize..self.src_offsets[s + 1] as usize]
     }
 
     /// The value `source` asserts for `object` in this snapshot.
     #[inline]
     pub fn value(&self, source: SourceId, object: ObjectId) -> Option<ValueId> {
-        self.per_source.get(source.index())?.get(&object).copied()
+        let slice = self.source_assertions(source);
+        slice
+            .binary_search_by_key(&object, |&(o, _)| o)
+            .ok()
+            .map(|i| slice[i].1)
     }
 
-    /// All `(object, value)` assertions of one source.
+    /// All `(object, value)` assertions of one source, ascending by object.
     pub fn assertions_of(
         &self,
         source: SourceId,
     ) -> impl Iterator<Item = (ObjectId, ValueId)> + '_ {
-        self.per_source
-            .get(source.index())
-            .into_iter()
-            .flat_map(|m| m.iter().map(|(&o, &v)| (o, v)))
+        self.source_assertions(source).iter().copied()
     }
 
     /// All `(source, value)` assertions about one object, sorted by source.
+    #[inline]
     pub fn assertions_on(&self, object: ObjectId) -> &[(SourceId, ValueId)] {
-        self.per_object
-            .get(object.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let o = object.index();
+        if o >= self.num_objects {
+            return &[];
+        }
+        &self.obj_entries[self.obj_offsets[o] as usize..self.obj_offsets[o + 1] as usize]
     }
 
     /// How many objects `source` covers.
+    #[inline]
     pub fn coverage(&self, source: SourceId) -> usize {
-        self.per_source.get(source.index()).map_or(0, HashMap::len)
+        self.source_assertions(source).len()
     }
 
     /// How many sources cover `object`.
+    #[inline]
     pub fn support(&self, object: ObjectId) -> usize {
         self.assertions_on(object).len()
     }
@@ -369,45 +535,40 @@ impl SnapshotView {
     /// Distinct values asserted for `object`, with their supporter counts,
     /// sorted by descending support then by value id.
     pub fn value_counts(&self, object: ObjectId) -> Vec<(ValueId, usize)> {
-        let mut counts: HashMap<ValueId, usize> = HashMap::new();
-        for &(_, v) in self.assertions_on(object) {
-            *counts.entry(v).or_insert(0) += 1;
+        let slice = self.assertions_on(object);
+        let mut out: Vec<(ValueId, usize)> = Vec::with_capacity(self.distinct_values(object));
+        // Per-object supports are small; a linear probe beats hashing and
+        // keeps the output deterministic.
+        for &(_, v) in slice {
+            match out.iter_mut().find(|e| e.0 == v) {
+                Some(e) => e.1 += 1,
+                None => out.push((v, 1)),
+            }
         }
-        let mut out: Vec<_> = counts.into_iter().collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
-    /// Number of distinct values asserted for `object`.
+    /// Number of distinct values asserted for `object` (precomputed: O(1)).
+    #[inline]
     pub fn distinct_values(&self, object: ObjectId) -> usize {
-        self.value_counts(object).len()
+        self.obj_distinct
+            .get(object.index())
+            .map_or(0, |&d| d as usize)
     }
 
     /// Objects covered by *both* sources, with both values:
-    /// `(object, value_a, value_b)`.
+    /// `(object, value_a, value_b)`, ascending by object — a sorted-merge
+    /// intersection of two contiguous slices.
     pub fn overlap(
         &self,
         a: SourceId,
         b: SourceId,
     ) -> impl Iterator<Item = (ObjectId, ValueId, ValueId)> + '_ {
-        let (small, large, swapped) = {
-            let ca = self.coverage(a);
-            let cb = self.coverage(b);
-            if ca <= cb {
-                (a, b, false)
-            } else {
-                (b, a, true)
-            }
-        };
-        self.assertions_of(small).filter_map(move |(o, v_small)| {
-            self.value(large, o).map(|v_large| {
-                if swapped {
-                    (o, v_large, v_small)
-                } else {
-                    (o, v_small, v_large)
-                }
-            })
-        })
+        OverlapIter {
+            a: self.source_assertions(a),
+            b: self.source_assertions(b),
+        }
     }
 
     /// Size of the overlap (objects covered by both sources).
@@ -416,8 +577,111 @@ impl SnapshotView {
     }
 
     /// Total number of `(source, object)` assertions in this snapshot.
+    #[inline]
     pub fn num_assertions(&self) -> usize {
-        self.per_source.iter().map(HashMap::len).sum()
+        self.src_entries.len()
+    }
+}
+
+// The CSR arrays are an in-memory layout, not a wire format: snapshots
+// serialize in the legacy `{"per_source": [...], "per_object": [...]}`
+// shape so persisted artifacts survive the layout change unchanged.
+impl Serialize for SnapshotView {
+    fn serialize(&self) -> Content {
+        let per_source = Content::Seq(
+            (0..self.num_sources)
+                .map(|s| {
+                    Content::Map(
+                        self.source_assertions(SourceId::from_index(s))
+                            .iter()
+                            .map(|&(o, v)| (Content::U64(o.0 as u64), Content::U64(v.0 as u64)))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        let per_object = Content::Seq(
+            (0..self.num_objects)
+                .map(|o| {
+                    Content::Seq(
+                        self.assertions_on(ObjectId::from_index(o))
+                            .iter()
+                            .map(|&(s, v)| {
+                                Content::Seq(vec![
+                                    Content::U64(s.0 as u64),
+                                    Content::U64(v.0 as u64),
+                                ])
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        Content::Map(vec![
+            (Content::Str("per_source".to_string()), per_source),
+            (Content::Str("per_object".to_string()), per_object),
+        ])
+    }
+}
+
+impl Deserialize for SnapshotView {
+    fn deserialize(content: &Content) -> Result<Self, SerdeError> {
+        let field = |name: &str| {
+            content
+                .field(name)
+                .ok_or_else(|| SerdeError::msg(format!("SnapshotView: missing field `{name}`")))
+        };
+        let per_source = match field("per_source")? {
+            Content::Seq(s) => s,
+            other => {
+                return Err(SerdeError::msg(format!(
+                    "SnapshotView: per_source must be a sequence, found {other:?}"
+                )))
+            }
+        };
+        let num_objects = match field("per_object")? {
+            Content::Seq(s) => s.len(),
+            other => {
+                return Err(SerdeError::msg(format!(
+                    "SnapshotView: per_object must be a sequence, found {other:?}"
+                )))
+            }
+        };
+        let mut rows = Vec::new();
+        let mut max_object = 0usize;
+        for (s, source_map) in per_source.iter().enumerate() {
+            let map = match source_map {
+                Content::Map(m) => m,
+                other => {
+                    return Err(SerdeError::msg(format!(
+                        "SnapshotView: per_source[{s}] must be a map, found {other:?}"
+                    )))
+                }
+            };
+            for (k, v) in map {
+                // JSON map keys come back as strings; `u32::deserialize`
+                // re-parses them.
+                let o = u32::deserialize(k)?;
+                let val = u32::deserialize(v)?;
+                max_object = max_object.max(o as usize + 1);
+                rows.push((SourceId::from_index(s), ObjectId(o), ValueId(val)));
+            }
+        }
+        // `per_object` is redundant with `per_source`; its length defines
+        // the object-id space. A document may legally reference objects
+        // beyond it (the old hash layout tolerated that), so grow — but the
+        // CSR offsets allocate per id, so reject documents whose id space
+        // is absurdly larger than their content (a 30-byte document must
+        // not force a multi-gigabyte allocation).
+        let num_objects = num_objects.max(max_object);
+        if !serde::plausible_id_space(num_objects, rows.len()) {
+            return Err(SerdeError::msg(format!(
+                "SnapshotView: object id space {num_objects} is implausibly \
+                 large for {} assertions",
+                rows.len()
+            )));
+        }
+        Ok(Self::from_triples(per_source.len(), num_objects, rows))
     }
 }
 
@@ -642,6 +906,115 @@ mod tests {
             }
         }
         assert_eq!(snap.num_assertions(), direct.num_assertions());
+    }
+
+    #[test]
+    fn snapshot_serde_keeps_legacy_map_shape() {
+        let store = sample_store();
+        let snap = store.snapshot();
+        let json = serde::json::write(&snap.serialize());
+        // The wire format is the pre-CSR map-per-source shape.
+        assert!(json.starts_with(r#"{"per_source":[{"#), "{json}");
+        assert!(json.contains(r#""per_object":[["#), "{json}");
+        let back = SnapshotView::deserialize(&serde::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.num_sources(), snap.num_sources());
+        assert_eq!(back.num_objects(), snap.num_objects());
+        assert_eq!(back.num_assertions(), snap.num_assertions());
+        for s in store.source_ids() {
+            for o in store.object_ids() {
+                assert_eq!(back.value(s, o), snap.value(s, o));
+            }
+        }
+
+        // A hand-written legacy document (string keys, as JSON text always
+        // delivers them) still deserializes.
+        let legacy = r#"{"per_source":[{"0":1},{"0":2}],"per_object":[[[0,1],[1,2]],[]]}"#;
+        let view = SnapshotView::deserialize(&serde::json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(view.num_sources(), 2);
+        assert_eq!(view.num_objects(), 2);
+        assert_eq!(view.value(SourceId(0), ObjectId(0)), Some(ValueId(1)));
+        assert_eq!(view.value(SourceId(1), ObjectId(0)), Some(ValueId(2)));
+        assert_eq!(view.support(ObjectId(0)), 2);
+    }
+
+    #[test]
+    fn snapshot_deserialize_tolerates_and_bounds_stray_object_ids() {
+        // An object id beyond per_object's length (the old hash layout
+        // accepted this) must deserialize, not panic: the id space grows.
+        let stray = r#"{"per_source":[{"5":1}],"per_object":[[],[]]}"#;
+        let view = SnapshotView::deserialize(&serde::json::parse(stray).unwrap()).unwrap();
+        assert_eq!(view.num_objects(), 6);
+        assert_eq!(view.value(SourceId(0), ObjectId(5)), Some(ValueId(1)));
+        // But an absurd id space for a tiny document is rejected instead of
+        // allocating gigabytes of offsets.
+        let bomb = r#"{"per_source":[{"4294967295":1}],"per_object":[]}"#;
+        assert!(SnapshotView::deserialize(&serde::json::parse(bomb).unwrap()).is_err());
+    }
+
+    #[test]
+    fn overlap_gallops_through_asymmetric_coverage() {
+        // One near-global source vs a tiny specialist: the merge must find
+        // the right intersection (galloping path) with correct values.
+        let mut triples = Vec::new();
+        for o in 0..5000u32 {
+            triples.push((SourceId(0), ObjectId(o), ValueId(o)));
+        }
+        for &o in &[17u32, 1999, 4998] {
+            triples.push((SourceId(1), ObjectId(o), ValueId(o + 10_000)));
+        }
+        let snap = SnapshotView::from_triples(2, 5000, triples);
+        let hits: Vec<_> = snap.overlap(SourceId(0), SourceId(1)).collect();
+        assert_eq!(
+            hits,
+            vec![
+                (ObjectId(17), ValueId(17), ValueId(10_017)),
+                (ObjectId(1999), ValueId(1999), ValueId(11_999)),
+                (ObjectId(4998), ValueId(4998), ValueId(14_998)),
+            ]
+        );
+        let rev: Vec<_> = snap.overlap(SourceId(1), SourceId(0)).collect();
+        assert_eq!(rev.len(), 3);
+        assert_eq!(rev[0], (ObjectId(17), ValueId(10_017), ValueId(17)));
+        assert_eq!(snap.overlap_size(SourceId(0), SourceId(1)), 3);
+    }
+
+    #[test]
+    fn csr_slices_are_sorted_and_consistent() {
+        let store = sample_store();
+        let snap = store.snapshot();
+        let mut total = 0;
+        for s in store.source_ids() {
+            let slice = snap.source_assertions(s);
+            assert!(
+                slice.windows(2).all(|w| w[0].0 < w[1].0),
+                "sorted by object"
+            );
+            total += slice.len();
+        }
+        assert_eq!(total, snap.num_assertions());
+        for o in store.object_ids() {
+            let slice = snap.assertions_on(o);
+            assert!(
+                slice.windows(2).all(|w| w[0].0 < w[1].0),
+                "sorted by source"
+            );
+            for &(s, v) in slice {
+                assert_eq!(snap.value(s, o), Some(v));
+            }
+            assert_eq!(snap.distinct_values(o), snap.value_counts(o).len());
+        }
+    }
+
+    #[test]
+    fn from_triples_last_write_wins() {
+        let triples = vec![
+            (SourceId(0), ObjectId(0), ValueId(1)),
+            (SourceId(0), ObjectId(1), ValueId(2)),
+            (SourceId(0), ObjectId(0), ValueId(3)), // overwrites value 1
+        ];
+        let snap = SnapshotView::from_triples(1, 2, triples);
+        assert_eq!(snap.value(SourceId(0), ObjectId(0)), Some(ValueId(3)));
+        assert_eq!(snap.num_assertions(), 2);
     }
 
     #[test]

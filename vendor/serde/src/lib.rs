@@ -43,6 +43,30 @@ pub enum Content {
     Map(Vec<(Content, Content)>),
 }
 
+impl Content {
+    /// Looks up a named field in a map-shaped content tree — the shared
+    /// scaffold for hand-written `Deserialize` impls over struct-shaped
+    /// documents. Returns `None` for non-maps and missing fields alike.
+    pub fn field(&self, name: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Sanity bound for deserializers that allocate per **dense id**: a
+/// document naming `entries` items may address an id space of at most
+/// `entries · 1024 + 65 536` without being rejected, so a tiny hostile
+/// document cannot force a multi-gigabyte allocation by naming one huge
+/// id. Dense catalogs (ids ≈ entry count) always pass.
+pub fn plausible_id_space(id_space: usize, entries: usize) -> bool {
+    id_space <= entries.saturating_mul(1024) + 65_536
+}
+
 /// Error raised during (de)serialization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Error(pub String);
