@@ -14,20 +14,29 @@
 //! repository root so future PRs have a machine-readable perf trajectory
 //! to regress against (see ROADMAP.md, *Benchmark JSON convention*).
 //!
+//! Since the timeline-native engine API landed, the report also carries a
+//! `timeline_warm_vs_cold` section: walking a seeded temporal world epoch
+//! by epoch through `SailingEngine::timeline` (warm-started incremental
+//! discovery) versus cold per-epoch `analyze()` — epochs, total
+//! iterations to converge, and wall time for both paths.
+//!
 //! Set `SAILING_BENCH_SMOKE=1` for a seconds-scale smoke run (used by CI
 //! to keep this target from rotting); the JSON is then suffixed
 //! `.smoke.json` so a smoke run never overwrites a real trajectory point.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Serialize;
 
+use sailing::engine::SailingEngine;
 use sailing_bench::{banner, header, row};
 use sailing_core::copy::posterior;
 use sailing_core::pairs::{all_pairs_count, candidate_pairs, detect_all_with_pairs};
 use sailing_core::truth::{naive_probabilities, ValueProbabilities};
 use sailing_core::{DetectionParams, PairDependence};
+use sailing_datagen::temporal::{table3_style, TemporalWorld};
 use sailing_datagen::world::{SnapshotWorld, WorldConfig};
 use sailing_model::{ObjectId, SnapshotView, SourceId, ValueId};
 
@@ -189,6 +198,23 @@ struct WorldPoint {
     speedup_seq: f64,
 }
 
+/// One temporal world's timeline measurements: warm-started incremental
+/// discovery (`SailingEngine::timeline`) vs cold per-epoch `analyze()`.
+#[derive(Debug, Serialize)]
+struct TimelinePoint {
+    objects: usize,
+    sources: usize,
+    epochs: usize,
+    /// Total truth-discovery iterations across all epochs, warm-started.
+    warm_iterations: usize,
+    /// Same, analyzing each epoch's snapshot cold.
+    cold_iterations: usize,
+    warm_ms: f64,
+    cold_ms: f64,
+    /// `cold_iterations / warm_iterations`.
+    iteration_savings: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     experiment: &'static str,
@@ -200,6 +226,7 @@ struct BenchReport {
     /// `host_cpus`.
     host_cpus: usize,
     worlds: Vec<WorldPoint>,
+    timeline_warm_vs_cold: Vec<TimelinePoint>,
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -303,13 +330,81 @@ fn main() {
         });
     }
 
+    // --- E7b: timeline warm-start vs cold per-epoch reanalysis ---
+    banner("E7b", "Timeline session (warm) vs cold per-epoch analyze()");
+    header(&[
+        "objects", "epochs", "warm it", "cold it", "savings", "warm ms", "cold ms",
+    ]);
+    let timeline_objects: &[usize] = if smoke { &[60] } else { &[120, 240, 480] };
+    let mut timeline_points = Vec::new();
+    for &num_objects in timeline_objects {
+        let (config, _) = table3_style(num_objects, 2, 20);
+        let world = TemporalWorld::generate(&config);
+        let history = Arc::new(world.history.clone());
+        // Caching off on both engines: this measures discovery work, not
+        // cache hits.
+        let warm_engine = SailingEngine::builder().cache_capacity(0).build().unwrap();
+        let cold_engine = SailingEngine::builder().cache_capacity(0).build().unwrap();
+
+        // Build the session outside the timed region: `timeline_owned`
+        // eagerly runs whole-history temporal dependence detection, which
+        // the cold path never pays — timing it would overstate warm_ms.
+        let mut session = warm_engine.timeline_owned(Arc::clone(&history));
+        let (warm_iters, t_warm) = time_ms(|| {
+            while session.next_epoch().is_some() {}
+            session.total_iterations()
+        });
+        let change_points: Vec<i64> = history.change_points().collect();
+        let (cold_iters, t_cold) = time_ms(|| {
+            change_points
+                .iter()
+                .map(|&t| {
+                    cold_engine
+                        .analyze_owned(Arc::new(history.snapshot_at(t)))
+                        .result()
+                        .iterations
+                })
+                .sum::<usize>()
+        });
+        // Warm starting must trade iterations, not correctness; if it ever
+        // costs more rounds than cold, the incremental path has rotted.
+        assert!(
+            warm_iters < cold_iters,
+            "timeline warm start regressed: warm {warm_iters} vs cold {cold_iters}"
+        );
+        let savings = cold_iters as f64 / warm_iters.max(1) as f64;
+        println!(
+            "{}",
+            row(&[
+                num_objects.to_string(),
+                change_points.len().to_string(),
+                warm_iters.to_string(),
+                cold_iters.to_string(),
+                format!("{savings:.2}x"),
+                format!("{t_warm:.1}"),
+                format!("{t_cold:.1}"),
+            ])
+        );
+        timeline_points.push(TimelinePoint {
+            objects: num_objects,
+            sources: history.num_sources(),
+            epochs: change_points.len(),
+            warm_iterations: warm_iters,
+            cold_iterations: cold_iters,
+            warm_ms: t_warm,
+            cold_ms: t_cold,
+            iteration_savings: savings,
+        });
+    }
+
     let report = BenchReport {
         experiment: "exp_scalability",
-        schema: 1,
+        schema: 2,
         smoke,
         world: "specialist",
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         worlds,
+        timeline_warm_vs_cold: timeline_points,
     };
     let file_name = if smoke {
         "BENCH_scalability.smoke.json"

@@ -140,7 +140,7 @@ pub fn pair_likelihoods(
 }
 
 /// [`pair_likelihoods`] with the effective-`n` column hoisted out: `n_false`
-/// is [`effective_n_false_table`]'s output, computed once per iteration (it
+/// is [`crate::truth::effective_n_false_table`]'s output, computed once per iteration (it
 /// is snapshot-invariant) instead of once per shared object per pair.
 pub fn pair_likelihoods_with(
     snapshot: &SnapshotView,

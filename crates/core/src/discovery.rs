@@ -30,6 +30,21 @@ pub trait TruthDiscovery: Send + Sync {
     /// Runs the strategy over a snapshot.
     fn discover(&self, snapshot: &SnapshotView) -> PipelineResult;
 
+    /// Runs the strategy **warm-started** from a previous epoch's result —
+    /// the incremental entry the `sailing` facade's `TimelineSession` uses
+    /// when walking a history change point by change point.
+    ///
+    /// The contract is *speed, not answers*: implementations may use the
+    /// prior to start iterating closer to the fixpoint (fewer rounds on a
+    /// small snapshot delta) but must converge to the same result the cold
+    /// [`TruthDiscovery::discover`] would produce, up to the convergence
+    /// tolerance. The default implementation ignores the prior and runs
+    /// cold, so single-shot strategies (e.g. naive voting) need no code.
+    fn run_warm(&self, snapshot: &SnapshotView, prior: Option<&PipelineResult>) -> PipelineResult {
+        let _ = prior;
+        self.discover(snapshot)
+    }
+
     /// `true` when the strategy estimates per-source accuracies.
     fn estimates_accuracies(&self) -> bool {
         true
@@ -137,6 +152,10 @@ impl TruthDiscovery for Accu {
         self.pipeline.run(snapshot)
     }
 
+    fn run_warm(&self, snapshot: &SnapshotView, prior: Option<&PipelineResult>) -> PipelineResult {
+        self.pipeline.run_warm(snapshot, prior)
+    }
+
     fn detects_dependence(&self) -> bool {
         false
     }
@@ -157,6 +176,10 @@ impl TruthDiscovery for AccuCopy {
 
     fn discover(&self, snapshot: &SnapshotView) -> PipelineResult {
         self.run(snapshot)
+    }
+
+    fn run_warm(&self, snapshot: &SnapshotView, prior: Option<&PipelineResult>) -> PipelineResult {
+        AccuCopy::run_warm(self, snapshot, prior)
     }
 
     fn detects_dependence(&self) -> bool {
@@ -232,6 +255,30 @@ mod tests {
         let (store, _) = fixtures::table1();
         let result = Accu::default().discover(&store.snapshot());
         assert!(result.dependences.is_empty());
+    }
+
+    #[test]
+    fn run_warm_defaults_to_cold_and_accelerates_iterative_strategies() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        // Single-shot strategy: warm is the cold run (default impl).
+        let naive = NaiveVote::new();
+        let cold = naive.discover(&snap);
+        let warm = naive.run_warm(&snap, Some(&cold));
+        assert_eq!(warm.iterations, cold.iterations);
+        // Iterative strategies restart near the fixpoint.
+        for s in [&strategies()[1], &strategies()[2]] {
+            let cold = s.discover(&snap);
+            let warm = s.run_warm(&snap, Some(&cold));
+            assert!(
+                warm.iterations < cold.iterations,
+                "{}: warm {} vs cold {}",
+                s.name(),
+                warm.iterations,
+                cold.iterations
+            );
+            assert_eq!(warm.decisions(), cold.decisions());
+        }
     }
 
     #[test]

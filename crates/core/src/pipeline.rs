@@ -48,6 +48,12 @@ impl PipelineResult {
         self.probabilities.decisions()
     }
 
+    /// Hard truth decisions in ascending object order — deterministic
+    /// iteration for reproducible downstream output.
+    pub fn decisions_sorted(&self) -> std::collections::BTreeMap<ObjectId, ValueId> {
+        self.probabilities.decisions_sorted()
+    }
+
     /// Pairs whose dependence posterior crosses `threshold`, most probable
     /// first.
     pub fn dependent_pairs(&self, threshold: f64) -> Vec<&PairDependence> {
@@ -145,8 +151,48 @@ impl AccuCopy {
     /// The candidate-pair list is snapshot-invariant, so it is enumerated
     /// once here and threaded through every iteration's detection pass.
     pub fn run(&self, snapshot: &SnapshotView) -> PipelineResult {
+        self.run_warm(snapshot, None)
+    }
+
+    /// Like [`AccuCopy::run`], optionally **warm-started** from a previous
+    /// epoch's converged result.
+    ///
+    /// With `prior = None` this is exactly the cold loop. With a converged
+    /// prior, the accuracy vector is seeded from the prior's converged
+    /// accuracies (resized with the configured initial accuracy for sources
+    /// the prior never saw), so on a snapshot that differs from the prior's
+    /// by a small delta the iteration starts near the fixpoint and
+    /// converges in fewer rounds. Warm starting trades iterations, not
+    /// answers: the loop, its convergence criterion, and its fixpoint are
+    /// unchanged — the `sailing` facade's timeline tests pin warm-vs-cold
+    /// posterior parity. Priors that never converged (or estimate no
+    /// accuracies at all) are ignored rather than trusted.
+    pub fn run_warm(
+        &self,
+        snapshot: &SnapshotView,
+        prior: Option<&PipelineResult>,
+    ) -> PipelineResult {
         let p = &self.params;
-        let mut accuracies = vec![p.initial_accuracy; snapshot.num_sources()];
+        // A prior from an accuracy-blind strategy (empty accuracy vector)
+        // carries nothing to warm-start from, and a *non-converged* prior
+        // is a mid-oscillation state, not a posterior — seeding from one
+        // measurably steers the loop into a different attractor than the
+        // cold bootstrap reaches (observed on seeded temporal worlds).
+        // Both fall back to the cold start.
+        let prior = prior.filter(|r| r.converged && !r.accuracies.is_empty());
+        let mut accuracies = match prior {
+            Some(r) => {
+                let mut seeded = r.accuracies.clone();
+                // Pads new sources with the initial accuracy; equally
+                // shrinks a longer prior to this snapshot's source count.
+                seeded.resize(snapshot.num_sources(), p.initial_accuracy);
+                for a in &mut seeded {
+                    *a = p.clamp_accuracy(*a);
+                }
+                seeded
+            }
+            None => vec![p.initial_accuracy; snapshot.num_sources()],
+        };
         let mut dependences: Vec<PairDependence> = Vec::new();
         let mut matrix = DependenceMatrix::new();
         let candidates = if p.enable_copy_detection {
@@ -154,7 +200,13 @@ impl AccuCopy {
         } else {
             Vec::new()
         };
-        // Bootstrap with naive vote shares: see `truth::naive_probabilities`.
+        // Bootstrap with naive vote shares even when warm (see
+        // `truth::naive_probabilities`): the bootstrap beliefs feed the
+        // *first* dependence-detection pass, and seeding it with saturated
+        // posteriors — the prior's, or any weighted vote's — hides the
+        // shared-false-value mass copy detection needs, steering the loop
+        // into the copier-locked fixpoint. Warmth lives in the accuracy
+        // seed alone, which is what the convergence criterion measures.
         let mut probabilities = naive_probabilities(snapshot);
         let mut iterations = 0;
         let mut converged = false;
@@ -331,6 +383,69 @@ mod tests {
         assert!(result.decisions().is_empty());
         assert!(result.dependences.is_empty());
         assert!(result.converged);
+    }
+
+    #[test]
+    fn warm_start_none_is_exactly_the_cold_run() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let pipeline = AccuCopy::with_defaults();
+        let cold = pipeline.run(&snap);
+        let warm_none = pipeline.run_warm(&snap, None);
+        assert_eq!(cold.iterations, warm_none.iterations);
+        assert_eq!(cold.accuracies, warm_none.accuracies);
+    }
+
+    #[test]
+    fn warm_start_from_own_result_converges_fast_and_agrees() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let pipeline = AccuCopy::with_defaults();
+        let cold = pipeline.run(&snap);
+        let warm = pipeline.run_warm(&snap, Some(&cold));
+        // Restarting at the fixpoint must stay at the fixpoint, in fewer
+        // iterations than the cold climb.
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!(warm.converged);
+        assert_eq!(warm.decisions(), cold.decisions());
+        assert_eq!(truth.decision_precision(&warm.decisions()), Some(1.0));
+        for (w, c) in warm.accuracies.iter().zip(&cold.accuracies) {
+            assert!((w - c).abs() < 1e-3, "warm {w} vs cold {c}");
+        }
+    }
+
+    #[test]
+    fn warm_start_ignores_accuracy_blind_priors_and_resizes() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let pipeline = AccuCopy::with_defaults();
+        // A naive-vote prior (no accuracies) must behave exactly like cold.
+        let naive_prior = PipelineResult {
+            probabilities: naive_probabilities(&snap),
+            accuracies: Vec::new(),
+            dependences: Vec::new(),
+            iterations: 1,
+            converged: true,
+        };
+        let cold = pipeline.run(&snap);
+        let warm = pipeline.run_warm(&snap, Some(&naive_prior));
+        assert_eq!(cold.iterations, warm.iterations);
+        assert_eq!(cold.accuracies, warm.accuracies);
+        // A prior with a shorter accuracy vector is padded, a longer one
+        // truncated — no panics, sane output either way.
+        let mut short = cold.clone();
+        short.accuracies.truncate(2);
+        let padded = pipeline.run_warm(&snap, Some(&short));
+        assert_eq!(padded.accuracies.len(), snap.num_sources());
+        let mut long = cold.clone();
+        long.accuracies.extend([0.7; 4]);
+        let truncated = pipeline.run_warm(&snap, Some(&long));
+        assert_eq!(truncated.accuracies.len(), snap.num_sources());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use sailing_model::{History, ObjectId, SourceId, TemporalTruth, Timestamp, ValueId};
+use sailing_model::{History, ObjectId, SourceId, TemporalTruth, ValueId};
 
 use crate::params::TemporalParams;
 use crate::report::{DependenceKind, Direction, PairDependence};
@@ -295,11 +295,9 @@ pub fn detect_all(history: &History, params: &TemporalParams) -> Vec<PairDepende
 /// values as current / outdated / never-true without ground truth.
 pub fn consensus_truth(history: &History) -> TemporalTruth {
     let mut truth = TemporalTruth::new();
-    // All distinct update times, ascending.
-    let mut times: Vec<Timestamp> = history.all_updates().map(|(_, _, t, _)| t).collect();
-    times.sort_unstable();
-    times.dedup();
-    for &t in &times {
+    // One snapshot per change point — the epochs are exactly the history's
+    // distinct update times.
+    for t in history.change_points() {
         let snap = history.snapshot_at(t);
         for idx in 0..history.num_objects() {
             let o = ObjectId::from_index(idx);

@@ -30,7 +30,7 @@
 //! rejected instead of allocated — ids from this workspace's catalogs are
 //! dense, so real artifacts always pass.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Content, Deserialize, Error as SerdeError, Serialize};
 
@@ -265,6 +265,16 @@ impl ValueProbabilities {
 
     /// Hard decisions: the most probable value per object.
     pub fn decisions(&self) -> HashMap<ObjectId, ValueId> {
+        self.objects()
+            .into_iter()
+            .filter_map(|o| self.best(o).map(|(v, _)| (o, v)))
+            .collect()
+    }
+
+    /// Hard decisions in ascending object order — iteration over the result
+    /// is deterministic across calls and runs, unlike [`Self::decisions`],
+    /// whose hash-map iteration order is randomized per process.
+    pub fn decisions_sorted(&self) -> BTreeMap<ObjectId, ValueId> {
         self.objects()
             .into_iter()
             .filter_map(|o| self.best(o).map(|(v, _)| (o, v)))

@@ -108,6 +108,13 @@ impl FusionOutcome {
     pub fn result(&self) -> &PipelineResult {
         &self.result
     }
+
+    /// The hard decisions in ascending object order — iterate this (not
+    /// the `decisions` hash map, whose order is randomized per process)
+    /// when emitting reports that must be reproducible run to run.
+    pub fn decisions_sorted(&self) -> std::collections::BTreeMap<ObjectId, ValueId> {
+        self.result.decisions_sorted()
+    }
 }
 
 // Wire-compatible with the old by-value field shape: `{"decisions": ...,
@@ -183,6 +190,17 @@ pub fn fuse_with(snapshot: &SnapshotView, discovery: &dyn TruthDiscovery) -> Fus
     FusionOutcome::from_result(discovery.discover(snapshot), discovery.name())
 }
 
+/// Runs fusion warm-started from a previous epoch's discovery result —
+/// the per-epoch driver a timeline walk uses. With `prior = None` this is
+/// [`fuse_with`].
+pub fn fuse_warm(
+    snapshot: &SnapshotView,
+    discovery: &dyn TruthDiscovery,
+    prior: Option<&PipelineResult>,
+) -> FusionOutcome {
+    FusionOutcome::from_result(discovery.run_warm(snapshot, prior), discovery.name())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +260,34 @@ mod tests {
         let outcome = fuse_with(&store.snapshot(), &AccuCopy::with_defaults());
         assert_eq!(outcome.strategy, "accu-copy");
         assert_eq!(truth.decision_precision(&outcome.decisions), Some(1.0));
+    }
+
+    #[test]
+    fn decisions_sorted_matches_the_hash_map_in_order() {
+        let (store, _) = fixtures::table1();
+        let outcome = fuse(&store.snapshot(), &FusionStrategy::dependence_aware()).unwrap();
+        let sorted = outcome.decisions_sorted();
+        assert_eq!(sorted.len(), outcome.decisions.len());
+        for (o, v) in &sorted {
+            assert_eq!(outcome.decisions.get(o), Some(v));
+        }
+        let objects: Vec<_> = sorted.keys().copied().collect();
+        assert!(objects.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fuse_warm_agrees_with_cold_fusion() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let strategy = AccuCopy::with_defaults();
+        let cold = fuse_with(&snap, &strategy);
+        let warm = fuse_warm(&snap, &strategy, Some(cold.result()));
+        assert_eq!(warm.decisions, cold.decisions);
+        assert!(warm.result().iterations < cold.result().iterations);
+        assert_eq!(truth.decision_precision(&warm.decisions), Some(1.0));
+        // No prior → exactly the cold driver.
+        let none = fuse_warm(&snap, &strategy, None);
+        assert_eq!(none.result().iterations, cold.result().iterations);
     }
 
     #[test]

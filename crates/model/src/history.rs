@@ -201,6 +201,25 @@ impl History {
             .sum()
     }
 
+    /// All distinct timestamps at which *any* source updates *any* object,
+    /// ascending — the history's **change points**. Consecutive change
+    /// points delimit the epochs of the timeline: the materialised snapshot
+    /// is constant between them, so walking a history epoch by epoch (the
+    /// `sailing` facade's `TimelineSession`, consensus-truth estimation,
+    /// batch re-analysis) means materialising exactly one snapshot per
+    /// change point — never more.
+    pub fn change_points(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        let mut times: Vec<Timestamp> = self
+            .traces
+            .iter()
+            .flat_map(|m| m.values())
+            .flat_map(|trace| trace.updates().iter().map(|&(t, _)| t))
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        times.into_iter()
+    }
+
     /// Materialises the snapshot of the whole history as of `time`.
     pub fn snapshot_at(&self, time: Timestamp) -> SnapshotView {
         let triples = self.traces.iter().enumerate().flat_map(|(s, m)| {
@@ -218,17 +237,24 @@ impl History {
         SnapshotView::from_triples(self.num_sources(), self.num_objects(), triples)
     }
 
-    /// The latest snapshot (every source's most recent value per object).
-    pub fn latest_snapshot(&self) -> SnapshotView {
-        let max_t = self
-            .traces
+    /// The last change point: the time of the most recent update anywhere
+    /// in the history, or `None` for an empty history. One O(traces) scan
+    /// over the per-trace maxima — cheaper than materialising
+    /// [`History::change_points`] when only the end of the timeline is
+    /// needed.
+    pub fn last_change_point(&self) -> Option<Timestamp> {
+        self.traces
             .iter()
             .flat_map(|m| m.values())
             .filter_map(UpdateTrace::latest)
             .map(|(t, _)| t)
             .max()
-            .unwrap_or(0);
-        self.snapshot_at(max_t)
+    }
+
+    /// The latest snapshot (every source's most recent value per object) —
+    /// the snapshot at the last change point.
+    pub fn latest_snapshot(&self) -> SnapshotView {
+        self.snapshot_at(self.last_change_point().unwrap_or(0))
     }
 
     /// Iterates over every `(source, object, time, value)` update.
@@ -350,6 +376,26 @@ mod tests {
         let (_, h) = sample_history();
         let ups: Vec<_> = h.all_updates().collect();
         assert_eq!(ups.len(), 4);
+    }
+
+    #[test]
+    fn change_points_are_sorted_distinct_and_complete() {
+        let (_, h) = sample_history();
+        // Updates at 2002, 2003, 2006, 2007 (untimed claim ignored).
+        let pts: Vec<_> = h.change_points().collect();
+        assert_eq!(pts, vec![2002, 2003, 2006, 2007]);
+        // The latest snapshot is exactly the snapshot at the last point.
+        let last = *pts.last().unwrap();
+        assert_eq!(h.last_change_point(), Some(last));
+        let latest = h.latest_snapshot();
+        let at_last = h.snapshot_at(last);
+        assert_eq!(latest.num_assertions(), at_last.num_assertions());
+        assert_eq!(latest.content_hash(), at_last.content_hash());
+        // Empty history: no change points, empty latest snapshot.
+        let empty = History::new(2, 2);
+        assert_eq!(empty.change_points().count(), 0);
+        assert_eq!(empty.last_change_point(), None);
+        assert_eq!(empty.latest_snapshot().num_assertions(), 0);
     }
 
     #[test]

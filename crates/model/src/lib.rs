@@ -43,6 +43,6 @@ pub use claim::{Claim, Timestamp};
 pub use error::{ModelError, SailingError, SailingResult};
 pub use history::{History, UpdateTrace};
 pub use ids::{Catalog, ObjectId, SourceId};
-pub use store::{ClaimStore, ClaimStoreBuilder, SnapshotView};
+pub use store::{fx_mix, ClaimStore, ClaimStoreBuilder, SnapshotView};
 pub use value::{Value, ValueId};
-pub use world::{GroundTruth, TemporalTruth, TruthClass};
+pub use world::{DecisionMap, GroundTruth, TemporalTruth, TruthClass};

@@ -314,8 +314,10 @@ impl ClaimStore {
 /// Stored as two CSR indexes over flat arenas (see the module docs): the
 /// per-source side drives `value`/`assertions_of`/`overlap`, the per-object
 /// side drives `assertions_on`/`value_counts`, and a precomputed
-/// distinct-value column makes `distinct_values` O(1).
-#[derive(Debug, Clone)]
+/// distinct-value column makes `distinct_values` O(1). Equality compares
+/// content (dimensions + assertions); the canonical CSR layout makes the
+/// derived field-wise comparison exactly that.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotView {
     num_sources: usize,
     num_objects: usize,
@@ -581,6 +583,42 @@ impl SnapshotView {
     pub fn num_assertions(&self) -> usize {
         self.src_entries.len()
     }
+
+    /// A cheap content hash over the CSR arenas: two snapshots holding the
+    /// same assertions (same dimensions, same `(source, object, value)`
+    /// set) hash equal, regardless of how they were constructed.
+    ///
+    /// This is the cache key for the `sailing` facade's analysis cache —
+    /// an FxHash-style multiply-xor over the flat arrays, one word per
+    /// assertion, so hashing costs one linear scan and no allocation. It is
+    /// *not* cryptographic; collisions are possible in principle, so use it
+    /// for caching, never for integrity.
+    pub fn content_hash(&self) -> u64 {
+        // The per-source CSR side fully determines the snapshot (the
+        // object side is derived from it), so hashing dims + src offsets +
+        // src entries covers everything.
+        let mut h = fx_mix(0x53_61_69_6c_69_6e_67, self.num_sources as u64);
+        h = fx_mix(h, self.num_objects as u64);
+        for &off in &self.src_offsets {
+            h = fx_mix(h, u64::from(off));
+        }
+        for &(o, v) in &self.src_entries {
+            h = fx_mix(h, (u64::from(o.0) << 32) | u64::from(v.0));
+        }
+        h
+    }
+}
+
+/// One FxHash-style mixing step (rotate, xor, multiply by a large odd
+/// constant) — the same recurrence rustc's FxHasher uses, defined here
+/// because the build environment has no crates.io access. Public so every
+/// content digest in the workspace ([`SnapshotView::content_hash`], the
+/// `sailing` facade's cache keys) mixes with one hash family instead of
+/// drifting copies of the constant.
+#[inline]
+pub fn fx_mix(hash: u64, word: u64) -> u64 {
+    const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    (hash.rotate_left(5) ^ word).wrapping_mul(K)
 }
 
 // The CSR arrays are an in-memory layout, not a wire format: snapshots
@@ -1025,5 +1063,70 @@ mod tests {
         assert_eq!(snap.num_assertions(), 0);
         assert_eq!(snap.value(SourceId(0), ObjectId(0)), None);
         assert_eq!(snap.assertions_on(ObjectId(3)), &[]);
+    }
+
+    #[test]
+    fn content_hash_is_construction_independent() {
+        let store = sample_store();
+        let snap = store.snapshot();
+        // Same assertions delivered in a different order → same hash.
+        let mut triples: Vec<_> = store
+            .claims()
+            .iter()
+            .map(|c| (c.source, c.object, c.value))
+            .collect();
+        triples.reverse();
+        let rebuilt = SnapshotView::from_triples(store.num_sources(), store.num_objects(), triples);
+        assert_eq!(snap.content_hash(), rebuilt.content_hash());
+        // And a serde round-trip preserves it.
+        let json = serde::json::write(&snap.serialize());
+        let back = SnapshotView::deserialize(&serde::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(snap.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_changed_snapshots() {
+        let base = SnapshotView::from_triples(
+            2,
+            2,
+            vec![
+                (SourceId(0), ObjectId(0), ValueId(1)),
+                (SourceId(1), ObjectId(1), ValueId(2)),
+            ],
+        );
+        // One changed value.
+        let changed_value = SnapshotView::from_triples(
+            2,
+            2,
+            vec![
+                (SourceId(0), ObjectId(0), ValueId(9)),
+                (SourceId(1), ObjectId(1), ValueId(2)),
+            ],
+        );
+        // Same assertions attributed to a different source.
+        let moved = SnapshotView::from_triples(
+            2,
+            2,
+            vec![
+                (SourceId(1), ObjectId(0), ValueId(1)),
+                (SourceId(0), ObjectId(1), ValueId(2)),
+            ],
+        );
+        // Same assertions, wider object space.
+        let widened = SnapshotView::from_triples(
+            2,
+            3,
+            vec![
+                (SourceId(0), ObjectId(0), ValueId(1)),
+                (SourceId(1), ObjectId(1), ValueId(2)),
+            ],
+        );
+        assert_ne!(base.content_hash(), changed_value.content_hash());
+        assert_ne!(base.content_hash(), moved.content_hash());
+        assert_ne!(base.content_hash(), widened.content_hash());
+        assert_ne!(
+            base.content_hash(),
+            SnapshotView::from_triples(0, 0, Vec::new()).content_hash()
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! be true* are much weaker copying evidence than never-true values
 //! (Section 3.2, Example 3.2).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +15,44 @@ use crate::history::UpdateTrace;
 use crate::ids::{ObjectId, SourceId};
 use crate::store::SnapshotView;
 use crate::value::ValueId;
+
+/// Anything that answers "which value was chosen for this object?" —
+/// scoring helpers accept any decision container (the engine's
+/// reproducibly-ordered `BTreeMap`, the pipeline's `HashMap`, or a sorted
+/// pair list) through this trait instead of hard-coding one map type.
+pub trait DecisionMap {
+    /// The chosen value for `object`, if any.
+    fn chosen(&self, object: ObjectId) -> Option<ValueId>;
+}
+
+impl DecisionMap for HashMap<ObjectId, ValueId> {
+    fn chosen(&self, object: ObjectId) -> Option<ValueId> {
+        self.get(&object).copied()
+    }
+}
+
+impl DecisionMap for BTreeMap<ObjectId, ValueId> {
+    fn chosen(&self, object: ObjectId) -> Option<ValueId> {
+        self.get(&object).copied()
+    }
+}
+
+/// Sorted `(object, value)` pairs double as a decision map.
+///
+/// The slice **must** be sorted by object id (e.g. collected from the
+/// engine's ordered decisions) — lookups binary-search, so an unsorted
+/// slice silently misses entries. Debug builds assert the order.
+impl DecisionMap for [(ObjectId, ValueId)] {
+    fn chosen(&self, object: ObjectId) -> Option<ValueId> {
+        debug_assert!(
+            self.windows(2).all(|w| w[0].0 < w[1].0),
+            "DecisionMap slice must be sorted by object id"
+        );
+        self.binary_search_by_key(&object, |&(o, _)| o)
+            .ok()
+            .map(|i| self[i].1)
+    }
+}
 
 /// How a claimed value relates to the (temporal) truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -106,15 +144,16 @@ impl GroundTruth {
     /// Fraction of objects whose chosen value (from `decisions`) is true.
     ///
     /// Objects missing from `decisions` count as wrong; objects without known
-    /// truth are skipped. Returns `None` if nothing is evaluable.
-    pub fn decision_precision(&self, decisions: &HashMap<ObjectId, ValueId>) -> Option<f64> {
+    /// truth are skipped. Returns `None` if nothing is evaluable. Accepts any
+    /// [`DecisionMap`] (hash map, ordered map, sorted pair slice).
+    pub fn decision_precision<M: DecisionMap + ?Sized>(&self, decisions: &M) -> Option<f64> {
         if self.truth.is_empty() {
             return None;
         }
         let correct = self
             .truth
             .iter()
-            .filter(|(o, t)| decisions.get(o) == Some(t))
+            .filter(|&(&o, &t)| decisions.chosen(o) == Some(t))
             .count();
         Some(correct as f64 / self.truth.len() as f64)
     }
@@ -286,6 +325,18 @@ mod tests {
                                       // o(2) missing → wrong
         assert!((gt.decision_precision(&decisions).unwrap() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(GroundTruth::new().decision_precision(&decisions), None);
+    }
+
+    #[test]
+    fn decision_precision_accepts_every_decision_container() {
+        let gt = GroundTruth::from_pairs([(o(0), v(1)), (o(1), v(2))]);
+        let hash: HashMap<ObjectId, ValueId> = [(o(0), v(1)), (o(1), v(9))].into_iter().collect();
+        let tree: BTreeMap<ObjectId, ValueId> = hash.iter().map(|(&k, &w)| (k, w)).collect();
+        let pairs = [(o(0), v(1)), (o(1), v(9))];
+        let expected = gt.decision_precision(&hash).unwrap();
+        assert_eq!(gt.decision_precision(&tree), Some(expected));
+        assert_eq!(gt.decision_precision(&pairs[..]), Some(expected));
+        assert!((expected - 0.5).abs() < 1e-12);
     }
 
     fn dong_truth() -> TemporalTruth {

@@ -51,9 +51,11 @@ fn main() -> Result<(), sailing::SailingError> {
         truth.decision_precision(&naive).unwrap() * 100.0
     );
 
-    // One engine, one analysis; everything below derives from it.
+    // One engine, one analysis; everything below derives from it. The
+    // analysis is an owned, shareable handle (`analyze_owned` skips even
+    // the snapshot clone; re-analyses are cache hits).
     let engine = SailingEngine::builder().build()?;
-    let analysis = engine.analyze(&snapshot);
+    let analysis = engine.analyze_owned(std::sync::Arc::new(snapshot));
 
     println!(
         "\n== Dependence-aware analysis ({}) ==",
@@ -117,5 +119,10 @@ fn main() -> Result<(), sailing::SailingError> {
             rec.rationale
         );
     }
+
+    // Asking again is free: the engine caches analyses by snapshot content.
+    let again = engine.analyze_owned(analysis.snapshot_arc());
+    assert!(std::ptr::eq(analysis.result(), again.result()));
+    println!("\n== Analysis cache ==\n  {:?}", engine.cache_stats());
     Ok(())
 }

@@ -111,11 +111,67 @@ fn main() {
         println!("(accurate only in what it publishes second — the copying signature)");
     }
 
+    // --- The timeline session: the whole history, epoch by epoch ---
+    // One warm-started analysis per change point; decisions evolve as the
+    // sources publish, and the update-trace dependence evidence is fused
+    // into every epoch's report.
+    let engine = SailingEngine::with_defaults();
+    println!("\n== Timeline session over Table 3 (one analysis per epoch) ==");
+    let mut session = engine.timeline(&history);
+    println!(
+        "  {} epochs at change points {:?}",
+        session.num_epochs(),
+        session.change_points()
+    );
+    let mut last_epoch = None;
+    while let Some(epoch) = session.next_epoch() {
+        // BTreeMap decisions → reproducible printing order.
+        let decided: Vec<String> = epoch
+            .analysis()
+            .decisions()
+            .iter()
+            .map(|(&o, &v)| {
+                format!(
+                    "{}={}",
+                    store.object_name(o).unwrap(),
+                    store.value(v).unwrap()
+                )
+            })
+            .collect();
+        println!(
+            "  {}  [{}{} iter] {}",
+            epoch.timestamp(),
+            if epoch.warm_started() {
+                "warm, "
+            } else {
+                "cold, "
+            },
+            epoch.iterations(),
+            decided.join(" ")
+        );
+        last_epoch = Some(epoch);
+    }
+    println!(
+        "  total truth-discovery iterations (warm-started): {}",
+        session.total_iterations()
+    );
+    if let Some(top) = last_epoch
+        .map(|e| e.fused_dependences())
+        .filter(|f| !f.is_empty())
+    {
+        println!(
+            "  strongest fused dependence (snapshot ∪ traces): {} ~ {} p = {:.3}",
+            store.source_name(top[0].a).unwrap(),
+            store.source_name(top[0].b).unwrap(),
+            top[0].probability
+        );
+    }
+    println!("  engine cache after the walk: {:?}", engine.cache_stats());
+
     // --- Freshness-aware recommendation through the engine facade ---
     // Attaching the update history lets trust scoring see that S3 (the lazy
     // copier) publishes late, on top of its detected dependence on S1.
     let snapshot = history.latest_snapshot();
-    let engine = SailingEngine::with_defaults();
     let analysis = engine.analyze_with_history(&snapshot, &history);
     println!("\n== Freshness-aware trust (engine analysis of Table 3's snapshot) ==");
     for (i, score) in analysis.trust_scores().iter().enumerate() {

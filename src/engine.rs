@@ -32,22 +32,87 @@
 //! assert_eq!(recs.len(), 3);
 //! # Ok::<(), sailing::error::SailingError>(())
 //! ```
+//!
+//! # Sessions over timelines
+//!
+//! The paper's whole point is sailing with awareness of *currents*: sources
+//! evolve, copy, and correct each other **over time**. The engine is
+//! therefore timeline-native, not frozen at one snapshot:
+//!
+//! * [`Analysis`] is **owned** (`Send + 'static`): it shares the snapshot
+//!   and the converged pipeline result through [`Arc`]s, so analyses can be
+//!   stored, returned, and handed across threads. [`SailingEngine::analyze`]
+//!   remains as a thin compatibility wrapper that clones the borrowed
+//!   snapshot into an `Arc` (on a cache miss only);
+//!   [`SailingEngine::analyze_owned`] is the primary, clone-free entry.
+//! * [`SailingEngine::timeline`] walks a [`History`] change point by change
+//!   point, materialises each epoch's snapshot once, and **warm-starts**
+//!   truth discovery from the previous epoch's posterior
+//!   ([`TruthDiscovery::run_warm`]) — fewer iterations per epoch on small
+//!   deltas, identical fixpoints. Each [`EpochAnalysis`] also carries the
+//!   update-trace dependence evidence
+//!   ([`sailing_core::temporal::detect_all`]) so lazy copiers invisible in
+//!   any single snapshot still surface in the epoch's report.
+//! * Analyses are cached inside the engine, keyed by the snapshot's
+//!   [content hash](SnapshotView::content_hash) plus the computation's
+//!   warm/cold provenance, with LRU eviction — repeating a query through
+//!   the same path (another cold `analyze`, a timeline re-walk) is free,
+//!   while a cold `analyze` never silently observes a warm-seeded result;
+//!   see [`SailingEngine::cache_stats`].
+//!
+//! ```
+//! use sailing::engine::SailingEngine;
+//! use sailing::model::fixtures;
+//!
+//! // Table 3: three sources updating researcher affiliations over years.
+//! let (store, history, _) = fixtures::table3();
+//! let engine = SailingEngine::with_defaults();
+//!
+//! // One warm-started analysis per epoch, oldest first.
+//! let epochs: Vec<_> = engine.timeline(&history).collect();
+//! assert_eq!(epochs.len(), history.change_points().count());
+//! for epoch in &epochs {
+//!     // Reproducibly ordered decisions for this epoch's snapshot…
+//!     let decisions = epoch.analysis().decisions();
+//!     assert!(decisions.len() <= 5);
+//!     // …and dependence evidence fused from the snapshot *and* the
+//!     // update traces (the lazy copier S3 → S1 is a temporal finding).
+//!     let fused = epoch.fused_dependences();
+//!     assert!(fused.len() >= epoch.analysis().dependences().len());
+//! }
+//!
+//! // Walking the same timeline again is free: every epoch is served
+//! // from the engine's analysis cache — pointer-identical results, no
+//! // discovery re-run (`total_iterations` of the rerun stays 0).
+//! let rerun: Vec<_> = engine.timeline(&history).collect();
+//! assert!(rerun.iter().all(|e| e.from_cache()));
+//! assert!(engine.cache_stats().hits as usize >= rerun.len());
+//! assert_eq!(
+//!     epochs.last().unwrap().analysis().decisions(),
+//!     rerun.last().unwrap().analysis().decisions()
+//! );
+//! ```
 
-use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use sailing_core::truth::{DependenceMatrix, ValueProbabilities};
 use sailing_core::{
-    AccuCopy, DetectionParams, PairDependence, PipelineResult, SourceReport, TruthDiscovery,
+    AccuCopy, DetectionParams, PairDependence, PipelineResult, SourceReport, TemporalParams,
+    TruthDiscovery,
 };
 use sailing_datagen::bookstores::BookCorpusConfig;
 use sailing_fusion::{FusionOutcome, ProbabilisticDatabase};
-use sailing_model::{History, ObjectId, SailingError, SnapshotView, SourceId, ValueId};
+use sailing_model::{History, ObjectId, SailingError, SnapshotView, SourceId, Timestamp, ValueId};
 use sailing_query::topk::{top_k_values_for_object, TopKResult};
 use sailing_query::{order_sources, OnlineSession, OrderingPolicy};
 use sailing_recommend::{
     recommend_sources, trust_scores, Goal, Recommendation, TrustScore, TrustWeights,
 };
+
+/// Default number of snapshot analyses the engine keeps cached.
+const DEFAULT_CACHE_CAPACITY: usize = 16;
 
 /// Builder for [`SailingEngine`]; start from [`SailingEngine::builder`].
 pub struct SailingEngineBuilder {
@@ -56,6 +121,8 @@ pub struct SailingEngineBuilder {
     corpus_min_overlap: Option<usize>,
     strategy: Option<Arc<dyn TruthDiscovery>>,
     trust_weights: TrustWeights,
+    temporal_params: TemporalParams,
+    cache_capacity: usize,
 }
 
 impl SailingEngineBuilder {
@@ -66,6 +133,8 @@ impl SailingEngineBuilder {
             corpus_min_overlap: None,
             strategy: None,
             trust_weights: TrustWeights::default(),
+            temporal_params: TemporalParams::default(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
 
@@ -98,6 +167,22 @@ impl SailingEngineBuilder {
     #[must_use]
     pub fn trust_weights(mut self, weights: TrustWeights) -> Self {
         self.trust_weights = weights;
+        self
+    }
+
+    /// Sets the update-trace detection parameters used by
+    /// [`SailingEngine::timeline`]'s temporal dependence pass.
+    #[must_use]
+    pub fn temporal_params(mut self, params: TemporalParams) -> Self {
+        self.temporal_params = params;
+        self
+    }
+
+    /// Bounds the engine's snapshot-keyed analysis cache (LRU). `0`
+    /// disables caching entirely; the default keeps 16 analyses.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
         self
     }
 
@@ -155,10 +240,13 @@ impl SailingEngineBuilder {
             }
             None => Arc::new(AccuCopy::new(params.clone())?),
         };
+        self.temporal_params.validate()?;
         Ok(SailingEngine {
             params,
             strategy,
             trust_weights: self.trust_weights,
+            temporal_params: self.temporal_params,
+            cache: Arc::new(AnalysisCache::new(self.cache_capacity)),
         })
     }
 }
@@ -166,14 +254,18 @@ impl SailingEngineBuilder {
 /// The top-level entry point of the workspace.
 ///
 /// An engine is a validated configuration (detection parameters, a
-/// pluggable [`TruthDiscovery`] strategy, trust weights). It is cheap to
-/// clone and safe to share across threads; each [`SailingEngine::analyze`]
-/// call runs the discovery loop once and returns a cached [`Analysis`].
+/// pluggable [`TruthDiscovery`] strategy, trust weights) plus a bounded
+/// snapshot-keyed analysis cache. It is cheap to clone and safe to share
+/// across threads — clones share the cache; each
+/// [`SailingEngine::analyze_owned`] call runs the discovery loop at most
+/// once per distinct snapshot and returns an owned [`Analysis`].
 #[derive(Clone)]
 pub struct SailingEngine {
     params: DetectionParams,
     strategy: Arc<dyn TruthDiscovery>,
     trust_weights: TrustWeights,
+    temporal_params: TemporalParams,
+    cache: Arc<AnalysisCache>,
 }
 
 impl SailingEngine {
@@ -194,35 +286,148 @@ impl SailingEngine {
         &self.params
     }
 
+    /// The temporal detection parameters used by
+    /// [`SailingEngine::timeline`].
+    pub fn temporal_params(&self) -> &TemporalParams {
+        &self.temporal_params
+    }
+
     /// The name of the installed strategy.
     pub fn strategy_name(&self) -> &'static str {
         self.strategy.name()
     }
 
+    /// Hit/miss/occupancy counters of the snapshot-keyed analysis cache.
+    /// Shared by all clones of this engine.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Runs the truth ↔ accuracy ↔ dependence loop once over `snapshot`
-    /// and caches everything downstream consumers need.
-    pub fn analyze<'a>(&self, snapshot: &'a SnapshotView) -> Analysis<'a> {
-        self.analyze_inner(snapshot, None)
+    /// and returns everything downstream consumers need.
+    ///
+    /// Compatibility wrapper over [`SailingEngine::analyze_owned`]: on a
+    /// cache miss the borrowed snapshot is cloned into an [`Arc`] so the
+    /// returned [`Analysis`] owns its data (`Send + 'static`); on a hit
+    /// the cached snapshot handle is reused and nothing is copied. Callers
+    /// that already hold an `Arc<SnapshotView>` should prefer
+    /// `analyze_owned`.
+    pub fn analyze(&self, snapshot: &SnapshotView) -> Analysis {
+        self.analyze_inner(SnapshotInput::Borrowed(snapshot), None, None)
+            .0
+    }
+
+    /// The primary entry point: analyzes a shared snapshot without copying
+    /// it.
+    ///
+    /// Results are cached per engine keyed by
+    /// [`SnapshotView::content_hash`] (verified against the snapshot's
+    /// content on every hit, so a hash collision can never serve another
+    /// snapshot's analysis): a repeated call with an equal snapshot (same
+    /// assertions, not necessarily the same allocation) returns an
+    /// [`Analysis`] sharing the **pointer-identical** pipeline result,
+    /// skipping the discovery loop entirely.
+    pub fn analyze_owned(&self, snapshot: Arc<SnapshotView>) -> Analysis {
+        self.analyze_inner(SnapshotInput::Owned(snapshot), None, None)
+            .0
     }
 
     /// Like [`SailingEngine::analyze`], additionally attaching update
     /// traces so freshness-aware recommendation has temporal signal.
-    pub fn analyze_with_history<'a>(
-        &self,
-        snapshot: &'a SnapshotView,
-        history: &'a History,
-    ) -> Analysis<'a> {
-        self.analyze_inner(snapshot, Some(history))
+    pub fn analyze_with_history(&self, snapshot: &SnapshotView, history: &History) -> Analysis {
+        self.analyze_inner(
+            SnapshotInput::Borrowed(snapshot),
+            Some(Arc::new(history.clone())),
+            None,
+        )
+        .0
     }
 
-    fn analyze_inner<'a>(
+    /// Owned variant of [`SailingEngine::analyze_with_history`].
+    pub fn analyze_owned_with_history(
         &self,
-        snapshot: &'a SnapshotView,
-        history: Option<&'a History>,
-    ) -> Analysis<'a> {
-        let result = Arc::new(self.strategy.discover(snapshot));
+        snapshot: Arc<SnapshotView>,
+        history: Arc<History>,
+    ) -> Analysis {
+        self.analyze_inner(SnapshotInput::Owned(snapshot), Some(history), None)
+            .0
+    }
+
+    /// Opens a [`TimelineSession`] over a history: one warm-started epoch
+    /// analysis per [change point](History::change_points), oldest first,
+    /// each fused with the update-trace dependence evidence.
+    pub fn timeline(&self, history: &History) -> TimelineSession {
+        self.timeline_owned(Arc::new(history.clone()))
+    }
+
+    /// Owned variant of [`SailingEngine::timeline`].
+    pub fn timeline_owned(&self, history: Arc<History>) -> TimelineSession {
+        let change_points: Vec<Timestamp> = history.change_points().collect();
+        let temporal = Arc::new(sailing_core::temporal::detect_all(
+            &history,
+            &self.temporal_params,
+        ));
+        TimelineSession {
+            engine: self.clone(),
+            history,
+            change_points,
+            temporal,
+            prior: None,
+            next: 0,
+            total_iterations: 0,
+        }
+    }
+
+    /// The shared analysis path: consult the cache, run the strategy (warm
+    /// when a prior is supplied) on a miss, and assemble the handle.
+    /// Returns the analysis plus whether it was served from the cache, so
+    /// the timeline can account discovery work honestly.
+    ///
+    /// The cache key carries the computation's provenance alongside the
+    /// content hash: `None` for a cold run, or a digest of the seeding
+    /// prior for a warm one — a warm-started result is only ever returned
+    /// to a request seeded from an identical prior. Under parameter
+    /// regimes where the vote map is bistable (see the timeline tests),
+    /// runs from different starting points can settle on different
+    /// attractors — a plain `analyze()` must never observe a warm-seeded
+    /// result just because a timeline walked the same epoch first, and two
+    /// timelines over different histories must not swap epoch results just
+    /// because one snapshot coincides.
+    fn analyze_inner(
+        &self,
+        snapshot: SnapshotInput<'_>,
+        history: Option<Arc<History>>,
+        prior: Option<&PipelineResult>,
+    ) -> (Analysis, bool) {
+        let run_fresh = |snapshot: SnapshotInput<'_>| {
+            let snapshot = snapshot.into_arc();
+            let fresh = Arc::new(self.strategy.run_warm(&snapshot, prior));
+            (snapshot, fresh)
+        };
+        // A disabled cache (capacity 0) skips key construction entirely —
+        // hashing the snapshot and digesting the prior are linear scans
+        // that would be pure waste when `get` cannot hit.
+        let (snapshot, result, from_cache) = if self.cache.enabled() {
+            let key = CacheKey {
+                hash: snapshot.view().content_hash(),
+                prior: prior.map(prior_digest),
+            };
+            match self.cache.get(key, snapshot.view()) {
+                Some((cached_snapshot, cached_result)) => (cached_snapshot, cached_result, true),
+                None => {
+                    let (snapshot, fresh) = run_fresh(snapshot);
+                    self.cache
+                        .insert(key, Arc::clone(&snapshot), Arc::clone(&fresh));
+                    (snapshot, fresh, false)
+                }
+            }
+        } else {
+            self.cache.note_miss();
+            let (snapshot, fresh) = run_fresh(snapshot);
+            (snapshot, fresh, false)
+        };
         let matrix = result.dependence_matrix();
-        Analysis {
+        let analysis = Analysis {
             snapshot,
             history,
             result,
@@ -232,6 +437,32 @@ impl SailingEngine {
             strategy_name: self.strategy.name(),
             reports: OnceLock::new(),
             trust: OnceLock::new(),
+        };
+        (analysis, from_cache)
+    }
+}
+
+/// A snapshot handed to the analysis path: borrowed snapshots are only
+/// cloned into an [`Arc`] on a cache miss (a hit reuses the cached
+/// handle), so compatibility-wrapper calls never pay for a copy of data
+/// the engine already holds.
+enum SnapshotInput<'a> {
+    Borrowed(&'a SnapshotView),
+    Owned(Arc<SnapshotView>),
+}
+
+impl SnapshotInput<'_> {
+    fn view(&self) -> &SnapshotView {
+        match self {
+            SnapshotInput::Borrowed(s) => s,
+            SnapshotInput::Owned(s) => s,
+        }
+    }
+
+    fn into_arc(self) -> Arc<SnapshotView> {
+        match self {
+            SnapshotInput::Borrowed(s) => Arc::new(s.clone()),
+            SnapshotInput::Owned(s) => s,
         }
     }
 }
@@ -248,13 +479,15 @@ impl std::fmt::Debug for SailingEngine {
 /// Everything the engine learned about one snapshot, computed once.
 ///
 /// All accessors are cheap: the pipeline ran during
-/// [`SailingEngine::analyze`], and the dependence matrix is prebuilt. The
-/// handle borrows the snapshot so online sessions can probe it without
-/// copying the data.
+/// [`SailingEngine::analyze_owned`], and the dependence matrix is prebuilt.
+/// The handle **owns** its data through [`Arc`]s — it is `Send + 'static`,
+/// so analyses can be stored beyond the snapshot's scope, kept alive across
+/// epochs of a timeline, and shared across threads; cloning bumps reference
+/// counts, never copies payloads.
 #[derive(Debug, Clone)]
-pub struct Analysis<'a> {
-    snapshot: &'a SnapshotView,
-    history: Option<&'a History>,
+pub struct Analysis {
+    snapshot: Arc<SnapshotView>,
+    history: Option<Arc<History>>,
     /// Shared with every [`FusionOutcome`] derived from this analysis:
     /// `fuse()` bumps a reference count instead of deep-cloning the full
     /// posterior payload per call.
@@ -272,10 +505,23 @@ pub struct Analysis<'a> {
     trust: OnceLock<Vec<TrustScore>>,
 }
 
-impl<'a> Analysis<'a> {
+impl Analysis {
     /// The analyzed snapshot.
-    pub fn snapshot(&self) -> &'a SnapshotView {
-        self.snapshot
+    pub fn snapshot(&self) -> &SnapshotView {
+        &self.snapshot
+    }
+
+    /// The analyzed snapshot as a shared handle — pass it back to
+    /// [`SailingEngine::analyze_owned`] (a guaranteed cache hit) or to
+    /// another thread without copying.
+    pub fn snapshot_arc(&self) -> Arc<SnapshotView> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// The shared pipeline result — the payload [`Analysis::fuse`] and the
+    /// engine cache hand around without deep-cloning.
+    pub fn result_arc(&self) -> Arc<PipelineResult> {
+        Arc::clone(&self.result)
     }
 
     /// The strategy that produced this analysis.
@@ -315,9 +561,12 @@ impl<'a> Analysis<'a> {
         &self.matrix
     }
 
-    /// Hard truth decisions: most probable value per object.
-    pub fn decisions(&self) -> HashMap<ObjectId, ValueId> {
-        self.result.decisions()
+    /// Hard truth decisions: most probable value per object, in ascending
+    /// object order. The ordered map makes downstream output reproducible —
+    /// iterating the decisions prints the same report every run, where a
+    /// hash map's iteration order is randomized per process.
+    pub fn decisions(&self) -> BTreeMap<ObjectId, ValueId> {
+        self.result.decisions_sorted()
     }
 
     /// Whether the discovery loop reached its fixpoint.
@@ -329,8 +578,10 @@ impl<'a> Analysis<'a> {
     /// vote independence. Computed once per analysis from the cached
     /// dependence matrix, then memoised.
     pub fn source_reports(&self) -> &[SourceReport] {
-        self.reports
-            .get_or_init(|| self.result.source_reports_with(self.snapshot, &self.matrix))
+        self.reports.get_or_init(|| {
+            self.result
+                .source_reports_with(&self.snapshot, &self.matrix)
+        })
     }
 
     /// The fusion outcome implied by this analysis — equivalent to running
@@ -347,10 +598,10 @@ impl<'a> Analysis<'a> {
 
     /// An online answering session pre-seeded with the converged
     /// accuracies and dependence matrix — the caller never assembles
-    /// either by hand.
-    pub fn online_session(&self) -> OnlineSession<'a> {
+    /// either by hand. The session borrows this analysis's snapshot.
+    pub fn online_session(&self) -> OnlineSession<'_> {
         OnlineSession::new(
-            self.snapshot,
+            &self.snapshot,
             self.result.accuracies.clone(),
             self.matrix.clone(),
             self.params.clone(),
@@ -360,7 +611,12 @@ impl<'a> Analysis<'a> {
     /// The complete source-visit order a policy produces under this
     /// analysis's accuracies and dependences.
     pub fn visit_order(&self, policy: &OrderingPolicy) -> Vec<SourceId> {
-        order_sources(self.snapshot, &self.result.accuracies, &self.matrix, policy)
+        order_sources(
+            &self.snapshot,
+            &self.result.accuracies,
+            &self.matrix,
+            policy,
+        )
     }
 
     /// Dependence-aware top-k answering for one object: each source's
@@ -372,7 +628,7 @@ impl<'a> Analysis<'a> {
             .iter()
             .map(|r| r.accuracy * r.mean_independence)
             .collect();
-        top_k_values_for_object(self.snapshot, object, &order, &weights, k)
+        top_k_values_for_object(&self.snapshot, object, &order, &weights, k)
     }
 
     /// Per-source trust scores (accuracy, coverage, freshness,
@@ -381,10 +637,10 @@ impl<'a> Analysis<'a> {
     pub fn trust_scores(&self) -> &[TrustScore] {
         self.trust.get_or_init(|| {
             trust_scores(
-                self.snapshot,
+                &self.snapshot,
                 &self.result.accuracies,
                 &self.matrix,
-                self.history,
+                self.history.as_deref(),
             )
         })
     }
@@ -399,6 +655,352 @@ impl<'a> Analysis<'a> {
             &self.trust_weights,
             limit,
         )
+    }
+}
+
+/// Hit/miss/occupancy counters of an engine's analysis cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Analyses served without re-running the discovery loop.
+    pub hits: u64,
+    /// Analyses that ran the discovery loop (including the first analysis
+    /// of every distinct snapshot).
+    pub misses: u64,
+    /// Pipeline results currently retained.
+    pub entries: usize,
+    /// Maximum retained results (`0` = caching disabled).
+    pub capacity: usize,
+}
+
+/// Cache key: the snapshot's content hash plus the provenance of the
+/// computation — `None` for a cold run, `Some(digest of the seeding
+/// prior)` for a warm one. A warm-started result never answers a cold
+/// request (or one seeded from a *different* prior) and vice versa, so
+/// `analyze()`'s output cannot depend on whether a timeline happened to
+/// walk the same epoch first.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct CacheKey {
+    hash: u64,
+    prior: Option<u64>,
+}
+
+/// Digest of a warm-start prior: two priors digesting equal presented the
+/// same seed to [`TruthDiscovery::run_warm`], so their results may share a
+/// cache slot. Covers everything a strategy could legitimately seed from —
+/// accuracies, posterior distributions, and convergence — not just the
+/// accuracy vector the default `AccuCopy` uses, so custom strategies stay
+/// safe. Mixes with the same hash family as
+/// [`SnapshotView::content_hash`] ([`sailing_model::fx_mix`]).
+fn prior_digest(prior: &PipelineResult) -> u64 {
+    let mut h = sailing_model::fx_mix(0x70_72_69_6f_72, prior.accuracies.len() as u64); // "prior"
+    for a in &prior.accuracies {
+        h = sailing_model::fx_mix(h, a.to_bits());
+    }
+    for o in prior.probabilities.objects() {
+        h = sailing_model::fx_mix(h, u64::from(o.0));
+        for &(v, p) in prior.probabilities.distribution(o) {
+            h = sailing_model::fx_mix(h, u64::from(v.0));
+            h = sailing_model::fx_mix(h, p.to_bits());
+        }
+    }
+    h = sailing_model::fx_mix(h, prior.dependences.len() as u64);
+    sailing_model::fx_mix(h, u64::from(prior.converged))
+}
+
+/// One retained analysis: the snapshot it was computed from (kept both to
+/// verify hits against hash collisions and to let borrowed-snapshot calls
+/// reuse the allocation) and the converged result.
+struct CacheEntry {
+    key: CacheKey,
+    snapshot: Arc<SnapshotView>,
+    result: Arc<PipelineResult>,
+}
+
+/// A bounded LRU of converged pipeline results keyed by [`CacheKey`].
+///
+/// The engine's configuration (strategy + parameters) is immutable after
+/// `build()`, so hash + provenance identify an analysis; the stored
+/// snapshot is compared on every hit, so a 64-bit hash collision degrades
+/// to a miss instead of serving another snapshot's analysis (two colliding
+/// snapshots will thrash one slot — acceptable for a cache, never wrong).
+/// The store is a short `Vec` in recency order behind one mutex:
+/// capacities are small (default 16) and the values are `Arc`s, so a
+/// scan-and-rotate beats a hash map plus intrusive list at this size.
+struct AnalysisCache {
+    entries: Mutex<Vec<CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl AnalysisCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(Vec::with_capacity(capacity.min(64))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// `false` when built with capacity 0: lookups cannot hit, so callers
+    /// skip key construction altogether.
+    fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records a miss without a lookup — the disabled-cache path, keeping
+    /// `cache_stats()` an honest request counter either way.
+    fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks up a result, verifying the stored snapshot really equals the
+    /// requested one and refreshing its recency on a hit.
+    fn get(
+        &self,
+        key: CacheKey,
+        snapshot: &SnapshotView,
+    ) -> Option<(Arc<SnapshotView>, Arc<PipelineResult>)> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut entries = self.entries.lock().expect("analysis cache poisoned");
+        let pos = entries
+            .iter()
+            .position(|e| e.key == key && *e.snapshot == *snapshot);
+        if let Some(pos) = pos {
+            let entry = entries.remove(pos);
+            let hit = (Arc::clone(&entry.snapshot), Arc::clone(&entry.result));
+            entries.push(entry);
+            drop(entries);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(hit)
+        } else {
+            drop(entries);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Inserts (or refreshes) a result, evicting the least recently used
+    /// entry past capacity.
+    fn insert(&self, key: CacheKey, snapshot: Arc<SnapshotView>, result: Arc<PipelineResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("analysis cache poisoned");
+        if let Some(pos) = entries.iter().position(|e| e.key == key) {
+            entries.remove(pos);
+        }
+        entries.push(CacheEntry {
+            key,
+            snapshot,
+            result,
+        });
+        if entries.len() > self.capacity {
+            entries.remove(0);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("analysis cache poisoned").len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// A walk over a history's epochs with **incremental** truth discovery.
+///
+/// Created by [`SailingEngine::timeline`]. Iterating yields one
+/// [`EpochAnalysis`] per [change point](History::change_points), oldest
+/// first. Each epoch's snapshot is materialised exactly once; discovery is
+/// warm-started from the previous epoch's converged posterior
+/// ([`TruthDiscovery::run_warm`]), so consecutive epochs that differ by a
+/// few updates cost a few iterations instead of a cold climb — the paper's
+/// "series of queries over evolving sources" amortisation. The update-trace
+/// dependence evidence (computed once for the whole history) rides along on
+/// every epoch.
+pub struct TimelineSession {
+    engine: SailingEngine,
+    history: Arc<History>,
+    change_points: Vec<Timestamp>,
+    temporal: Arc<Vec<PairDependence>>,
+    prior: Option<Arc<PipelineResult>>,
+    next: usize,
+    total_iterations: usize,
+}
+
+impl TimelineSession {
+    /// The history this session walks.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// All change points of the timeline (epoch boundaries), ascending.
+    pub fn change_points(&self) -> &[Timestamp] {
+        &self.change_points
+    }
+
+    /// Number of epochs in the whole timeline.
+    pub fn num_epochs(&self) -> usize {
+        self.change_points.len()
+    }
+
+    /// Update-trace dependence evidence over the whole history, shared by
+    /// every epoch.
+    pub fn temporal_dependences(&self) -> &[PairDependence] {
+        &self.temporal
+    }
+
+    /// Total truth-discovery iterations actually *spent* so far across the
+    /// epochs already yielded — the quantity warm starting minimises.
+    /// Epochs served from the engine's analysis cache ran no discovery and
+    /// contribute nothing, so a re-walk against a warm cache reports 0.
+    pub fn total_iterations(&self) -> usize {
+        self.total_iterations
+    }
+
+    /// Analyzes the next epoch, or `None` once the timeline is exhausted.
+    pub fn next_epoch(&mut self) -> Option<EpochAnalysis> {
+        let at = *self.change_points.get(self.next)?;
+        self.next += 1;
+        let prior_available = self.prior.is_some();
+        let snapshot = Arc::new(self.history.snapshot_at(at));
+        let (analysis, from_cache) = self.engine.analyze_inner(
+            SnapshotInput::Owned(snapshot),
+            Some(Arc::clone(&self.history)),
+            self.prior.as_deref(),
+        );
+        // Only a *converged* posterior seeds the next epoch: a capped-out
+        // oscillation is not a fixpoint, and warm-starting from one would
+        // cascade its bias down the rest of the timeline.
+        self.prior = analysis.result().converged.then(|| analysis.result_arc());
+        if !from_cache {
+            self.total_iterations += analysis.result().iterations;
+        }
+        Some(EpochAnalysis {
+            at,
+            warm_started: prior_available && !from_cache,
+            from_cache,
+            analysis,
+            temporal: Arc::clone(&self.temporal),
+        })
+    }
+}
+
+impl Iterator for TimelineSession {
+    type Item = EpochAnalysis;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_epoch()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.change_points.len() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl std::fmt::Debug for TimelineSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimelineSession")
+            .field("epochs", &self.change_points.len())
+            .field("next", &self.next)
+            .field("total_iterations", &self.total_iterations)
+            .finish()
+    }
+}
+
+/// One epoch of a [`TimelineSession`]: a full (owned) [`Analysis`] of the
+/// snapshot in force at one change point, plus the timeline-wide temporal
+/// dependence evidence.
+#[derive(Debug, Clone)]
+pub struct EpochAnalysis {
+    at: Timestamp,
+    warm_started: bool,
+    from_cache: bool,
+    analysis: Analysis,
+    temporal: Arc<Vec<PairDependence>>,
+}
+
+impl EpochAnalysis {
+    /// The change point this epoch's snapshot was materialised at.
+    pub fn timestamp(&self) -> Timestamp {
+        self.at
+    }
+
+    /// `true` when discovery actually ran for this epoch *and* was seeded
+    /// from the previous epoch's posterior. `false` for the first epoch
+    /// (cold), for epochs following a non-converged one, and for epochs
+    /// served from the engine's analysis cache (no discovery ran at all —
+    /// see [`EpochAnalysis::from_cache`]).
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
+    }
+
+    /// `true` when this epoch's result came straight from the engine's
+    /// analysis cache, skipping the discovery loop entirely.
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
+    }
+
+    /// Truth-discovery iterations the cached result records. For a
+    /// cache-served epoch these were spent when the result was first
+    /// computed, not by this walk — [`TimelineSession::total_iterations`]
+    /// counts only freshly-spent work.
+    pub fn iterations(&self) -> usize {
+        self.analysis.result().iterations
+    }
+
+    /// The epoch's full analysis.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Unwraps the epoch into its owned analysis.
+    pub fn into_analysis(self) -> Analysis {
+        self.analysis
+    }
+
+    /// Update-trace dependence evidence over the whole history.
+    pub fn temporal_dependences(&self) -> &[PairDependence] {
+        &self.temporal
+    }
+
+    /// Dependence evidence with the *currents* folded in: the epoch
+    /// snapshot's detected pairs merged with the timeline's update-trace
+    /// pairs, keeping whichever report is more confident per source pair,
+    /// most probable first. A lazy copier that looks independent in any
+    /// single snapshot (it lags its original, so the values rarely match at
+    /// one instant) is still flagged here through its trace evidence.
+    pub fn fused_dependences(&self) -> Vec<PairDependence> {
+        let mut fused: BTreeMap<(SourceId, SourceId), PairDependence> = BTreeMap::new();
+        for dep in self
+            .analysis
+            .dependences()
+            .iter()
+            .chain(self.temporal.iter())
+        {
+            let dep = dep.clone().canonical();
+            match fused.entry((dep.a, dep.b)) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if dep.probability > e.get().probability {
+                        e.insert(dep);
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(dep);
+                }
+            }
+        }
+        let mut out: Vec<PairDependence> = fused.into_values().collect();
+        out.sort_by(|x, y| y.probability.total_cmp(&x.probability));
+        out
     }
 }
 
@@ -436,7 +1038,7 @@ mod tests {
         let analysis = engine.analyze(&snap);
 
         let direct = AccuCopy::with_defaults().run(&snap);
-        assert_eq!(analysis.decisions(), direct.decisions());
+        assert_eq!(analysis.decisions(), direct.decisions_sorted());
         // Hash-map iteration order varies between runs, so float summation
         // can differ by an ULP; the estimates must agree to high precision.
         assert_eq!(analysis.accuracies().len(), direct.accuracies.len());
@@ -654,5 +1256,215 @@ mod tests {
         assert!(analysis.recommend(Goal::DiversitySeeking, 3).is_empty());
         assert!(analysis.source_reports().is_empty());
         assert!(analysis.online_session().current_decisions().is_empty());
+    }
+
+    #[test]
+    fn analysis_is_owned_send_and_outlives_the_snapshot() {
+        // The core of the API redesign: an Analysis is a self-contained
+        // value — it can be returned from a scope that owned the snapshot
+        // and shipped to another thread.
+        fn produce() -> Analysis {
+            let (store, _) = fixtures::table1();
+            SailingEngine::with_defaults().analyze_owned(Arc::new(store.snapshot()))
+        }
+        let analysis = produce();
+        let handle = std::thread::spawn(move || analysis.decisions().len());
+        assert_eq!(handle.join().unwrap(), 5);
+
+        fn assert_static_send<T: Send + Sync + 'static>() {}
+        assert_static_send::<Analysis>();
+    }
+
+    #[test]
+    fn analyze_owned_hits_the_cache_pointer_identically() {
+        let (store, _) = fixtures::table1();
+        let snap = Arc::new(store.snapshot());
+        let engine = SailingEngine::with_defaults();
+        assert_eq!(engine.cache_stats().hits, 0);
+
+        let first = engine.analyze_owned(Arc::clone(&snap));
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+
+        // Second analysis of the same Arc: no pipeline re-run — the
+        // returned analysis shares the exact PipelineResult allocation.
+        let second = engine.analyze_owned(Arc::clone(&snap));
+        assert!(std::ptr::eq(first.result(), second.result()));
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // An equal snapshot in a fresh allocation hits too (content hash,
+        // not pointer, is the key)…
+        let rebuilt = engine.analyze(&store.snapshot());
+        assert!(std::ptr::eq(first.result(), rebuilt.result()));
+        assert_eq!(engine.cache_stats().hits, 2);
+
+        // …and clones of the engine share the same cache.
+        let clone = engine.clone();
+        let via_clone = clone.analyze_owned(snap);
+        assert!(std::ptr::eq(first.result(), via_clone.result()));
+        assert_eq!(engine.cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn cold_analyze_never_observes_warm_seeded_results() {
+        // The cache key carries warm/cold provenance: a timeline walk must
+        // not change what a plain analyze() of the same snapshot returns.
+        let (_, history, _) = fixtures::table3();
+        let engine = SailingEngine::with_defaults();
+        let epochs: Vec<_> = engine.timeline(&history).collect();
+        let warm = epochs
+            .iter()
+            .find(|e| e.warm_started())
+            .expect("some epoch warm-started");
+        let cold = engine.analyze_owned(warm.analysis().snapshot_arc());
+        assert!(
+            !std::ptr::eq(cold.result(), warm.analysis().result()),
+            "cold analyze must run its own discovery, not reuse the warm result"
+        );
+        // A cold-computed epoch (the first) IS shared with a cold analyze.
+        let first = &epochs[0];
+        assert!(!first.warm_started());
+        let again = engine.analyze_owned(first.analysis().snapshot_arc());
+        assert!(std::ptr::eq(again.result(), first.analysis().result()));
+    }
+
+    #[test]
+    fn borrowed_analyze_reuses_the_cached_snapshot_on_a_hit() {
+        let (store, _) = fixtures::table1();
+        let engine = SailingEngine::with_defaults();
+        let first = engine.analyze(&store.snapshot());
+        // The second borrowed call is a hit: no clone happens — the
+        // returned analysis shares the snapshot allocation the cache holds.
+        let second = engine.analyze(&store.snapshot());
+        assert!(Arc::ptr_eq(&first.snapshot_arc(), &second.snapshot_arc()));
+        assert!(std::ptr::eq(first.result(), second.result()));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_and_can_be_disabled() {
+        let snapshots: Vec<Arc<SnapshotView>> = (0..3u32)
+            .map(|i| {
+                Arc::new(SnapshotView::from_triples(
+                    1,
+                    1,
+                    vec![(SourceId(0), ObjectId(0), ValueId(i))],
+                ))
+            })
+            .collect();
+
+        let tiny = SailingEngine::builder().cache_capacity(2).build().unwrap();
+        let first = tiny.analyze_owned(Arc::clone(&snapshots[0]));
+        tiny.analyze_owned(Arc::clone(&snapshots[1]));
+        tiny.analyze_owned(Arc::clone(&snapshots[2])); // evicts snapshot 0
+        assert_eq!(tiny.cache_stats().entries, 2);
+        let again = tiny.analyze_owned(Arc::clone(&snapshots[0])); // miss
+        assert!(!std::ptr::eq(first.result(), again.result()));
+        assert_eq!(tiny.cache_stats().hits, 0);
+        assert_eq!(tiny.cache_stats().misses, 4);
+
+        let uncached = SailingEngine::builder().cache_capacity(0).build().unwrap();
+        let a = uncached.analyze_owned(Arc::clone(&snapshots[0]));
+        let b = uncached.analyze_owned(Arc::clone(&snapshots[0]));
+        assert!(!std::ptr::eq(a.result(), b.result()));
+        let stats = uncached.cache_stats();
+        assert_eq!((stats.entries, stats.capacity), (0, 0));
+    }
+
+    #[test]
+    fn decisions_are_reproducibly_ordered() {
+        let (store, _) = fixtures::table1();
+        let analysis = SailingEngine::with_defaults().analyze(&store.snapshot());
+        let a: Vec<_> = analysis.decisions().into_iter().collect();
+        let b: Vec<_> = analysis.decisions().into_iter().collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "ascending objects");
+    }
+
+    #[test]
+    fn timeline_walks_table3_epoch_by_epoch() {
+        let (store, history, _) = fixtures::table3();
+        let engine = SailingEngine::with_defaults();
+        let session = engine.timeline(&history);
+        let expected: Vec<_> = history.change_points().collect();
+        assert_eq!(session.change_points(), &expected[..]);
+        assert_eq!(session.num_epochs(), expected.len());
+
+        let epochs: Vec<_> = session.collect();
+        assert_eq!(epochs.len(), expected.len());
+        assert!(!epochs[0].warm_started());
+        // Exactly the epochs following a *converged* epoch are warm-started
+        // (a capped-out oscillation never seeds its successor).
+        for pair in epochs.windows(2) {
+            assert_eq!(
+                pair[1].warm_started(),
+                pair[0].analysis().converged(),
+                "at {}",
+                pair[1].timestamp()
+            );
+        }
+        assert!(
+            epochs[1..].iter().any(EpochAnalysis::warm_started),
+            "no epoch warm-started at all"
+        );
+
+        // Every epoch analysis matches the snapshot at its change point.
+        for epoch in &epochs {
+            let snap = history.snapshot_at(epoch.timestamp());
+            assert_eq!(
+                epoch.analysis().snapshot().content_hash(),
+                snap.content_hash()
+            );
+            // The attached history feeds freshness-aware trust scoring.
+            assert_eq!(
+                epoch.analysis().trust_scores().len(),
+                snap.num_sources().max(history.num_sources())
+            );
+        }
+
+        // The temporal evidence surfaces the lazy copier S3 → S1 even
+        // though single snapshots carry too little overlap to see it: the
+        // fused report must rank S1–S3 above the independent pair S1–S2
+        // (Example 3.2's inference).
+        let s = |n: &str| store.source_id(n).unwrap();
+        let last = epochs.last().unwrap();
+        let fused = last.fused_dependences();
+        let prob = |a: SourceId, b: SourceId| {
+            fused
+                .iter()
+                .find(|p| (p.a, p.b) == (a.min(b), a.max(b)))
+                .map_or(0.0, |p| p.probability)
+        };
+        assert!(
+            prob(s("S1"), s("S3")) > prob(s("S1"), s("S2")),
+            "lazy copier must outrank the slow independent: {fused:?}"
+        );
+        assert!(fused
+            .windows(2)
+            .all(|w| w[0].probability >= w[1].probability));
+        // Fusing keeps the more confident of the two evidence channels.
+        for p in &fused {
+            let snap_p = last
+                .analysis()
+                .dependences()
+                .iter()
+                .find(|d| (d.a, d.b) == (p.a, p.b))
+                .map_or(0.0, |d| d.probability);
+            let temp_p = last
+                .temporal_dependences()
+                .iter()
+                .find(|d| (d.a, d.b) == (p.a, p.b))
+                .map_or(0.0, |d| d.probability);
+            assert!((p.probability - snap_p.max(temp_p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn timeline_on_empty_history_yields_nothing() {
+        let engine = SailingEngine::with_defaults();
+        let mut session = engine.timeline(&History::new(3, 2));
+        assert_eq!(session.num_epochs(), 0);
+        assert!(session.next_epoch().is_none());
+        assert_eq!(session.total_iterations(), 0);
     }
 }

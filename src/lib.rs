@@ -10,9 +10,11 @@
 //! programme end to end behind one facade:
 //!
 //! * [`engine`] — **the entry point**: [`SailingEngine`] runs the iterative
-//!   *truth ↔ accuracy ↔ dependence* loop once per snapshot and hands back
-//!   a cached [`Analysis`] feeding fusion, online query answering, and
-//!   source recommendation;
+//!   *truth ↔ accuracy ↔ dependence* loop at most once per distinct
+//!   snapshot (analyses are cached by content hash) and hands back an owned
+//!   [`Analysis`] feeding fusion, online query answering, and source
+//!   recommendation; [`TimelineSession`] walks a whole update history epoch
+//!   by epoch with warm-started incremental discovery;
 //! * [`error`] — the single typed [`SailingError`] every fallible API in
 //!   the workspace reports;
 //! * [`model`] — the structured-source data model (claims, snapshots,
@@ -82,7 +84,9 @@
 pub mod engine;
 pub mod error;
 
-pub use engine::{Analysis, SailingEngine, SailingEngineBuilder};
+pub use engine::{
+    Analysis, CacheStats, EpochAnalysis, SailingEngine, SailingEngineBuilder, TimelineSession,
+};
 pub use error::{SailingError, SailingResult};
 
 pub use sailing_core as core;
