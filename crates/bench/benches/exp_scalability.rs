@@ -20,6 +20,16 @@
 //! discovery) versus cold per-epoch `analyze()` — epochs, total
 //! iterations to converge, and wall time for both paths.
 //!
+//! Schema 3 adds the persistence/batching sections: `persist_reuse`
+//! measures a first engine cold-computing a timeline (write-through to a
+//! persistent store) against a second engine serving the identical
+//! timeline purely from disk — the second process must spend **zero**
+//! discovery iterations and come out ≥ 2× faster; `parallel_cold_epochs`
+//! measures the sequential warm-start chain against
+//! `TimelineSession::prefetch_cold`'s parallel cold batch at several
+//! thread counts (the batch must win on multi-core hosts; on one core it
+//! is recorded as the overhead it is).
+//!
 //! Set `SAILING_BENCH_SMOKE=1` for a seconds-scale smoke run (used by CI
 //! to keep this target from rotting); the JSON is then suffixed
 //! `.smoke.json` so a smoke run never overwrites a real trajectory point.
@@ -215,6 +225,47 @@ struct TimelinePoint {
     iteration_savings: f64,
 }
 
+/// One world's cross-process reuse measurements: a first engine
+/// cold-computes every epoch and writes the persistent store; a second
+/// engine (the stand-in for a second process) re-analyzes the identical
+/// timeline purely from disk.
+#[derive(Debug, Serialize)]
+struct PersistReusePoint {
+    objects: usize,
+    sources: usize,
+    epochs: usize,
+    /// First process: discovery for every epoch + store write-through.
+    cold_ms: f64,
+    cold_iterations: usize,
+    /// Second process over the same store directory: disk hits only.
+    reuse_ms: f64,
+    /// Epochs the second process served from disk (must equal `epochs`).
+    reuse_disk_hits: u64,
+    /// Discovery iterations the second process spent (must be 0).
+    reuse_iterations: usize,
+    /// `cold_ms / reuse_ms`.
+    speedup: f64,
+}
+
+/// One world's timeline-batching measurements: the sequential warm-start
+/// chain (PR 3 path) vs the parallel cold-epoch batch at one thread
+/// count. On a single-core host the batch is pure overhead (compare only
+/// across equal `host_cpus`); on multi-core it trades the warm chain's
+/// iteration savings for near-linear parallelism.
+#[derive(Debug, Serialize)]
+struct ParallelColdPoint {
+    objects: usize,
+    sources: usize,
+    epochs: usize,
+    threads: usize,
+    sequential_warm_ms: f64,
+    sequential_warm_iterations: usize,
+    batched_cold_ms: f64,
+    batched_cold_iterations: usize,
+    /// `sequential_warm_ms / batched_cold_ms`.
+    speedup: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     experiment: &'static str,
@@ -227,6 +278,8 @@ struct BenchReport {
     host_cpus: usize,
     worlds: Vec<WorldPoint>,
     timeline_warm_vs_cold: Vec<TimelinePoint>,
+    persist_reuse: Vec<PersistReusePoint>,
+    parallel_cold_epochs: Vec<ParallelColdPoint>,
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -397,14 +450,193 @@ fn main() {
         });
     }
 
+    // --- E7c: persistent store — second process reuses every analysis ---
+    banner(
+        "E7c",
+        "Persistent store: cold first process vs disk-served second",
+    );
+    header(&[
+        "objects",
+        "epochs",
+        "cold ms",
+        "reuse ms",
+        "speedup",
+        "disk hits",
+    ]);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut persist_points = Vec::new();
+    for &num_objects in timeline_objects {
+        let (config, _) = table3_style(num_objects, 2, 20);
+        let world = TemporalWorld::generate(&config);
+        let history = Arc::new(world.history.clone());
+        let dir = std::env::temp_dir().join(format!(
+            "sailing-bench-persist-{num_objects}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First process: batched cold walk (so the store holds cold-keyed
+        // entries), write-through + final flush inside the timed region —
+        // persistence cost is part of the honest cold number. Session
+        // construction stays outside it: `timeline_owned` eagerly runs
+        // whole-history temporal detection, which both paths pay
+        // identically (same discipline as E7b).
+        let first = SailingEngine::builder().persist_dir(&dir).build().unwrap();
+        let mut session = first.timeline_owned(Arc::clone(&history));
+        let (cold_iters, t_cold) = time_ms(|| {
+            session.prefetch_cold(1);
+            while session.next_epoch().is_some() {}
+            first.flush_persist().unwrap();
+            session.total_iterations()
+        });
+        drop(session);
+        drop(first);
+
+        // Second process: a fresh engine over the same directory.
+        let second = SailingEngine::builder().persist_dir(&dir).build().unwrap();
+        let mut session = second.timeline_owned(Arc::clone(&history));
+        let ((reuse_iters, served), t_reuse) = time_ms(|| {
+            session.prefetch_cold(1);
+            let mut served = 0usize;
+            while let Some(epoch) = session.next_epoch() {
+                served += usize::from(epoch.from_cache());
+            }
+            (session.total_iterations(), served)
+        });
+        drop(session);
+        let disk_hits = second.cache_stats().disk_hits;
+        let epochs = history.change_points().count();
+        assert_eq!(
+            reuse_iters, 0,
+            "a store-warmed process must run zero discovery iterations"
+        );
+        assert_eq!(served, epochs, "every epoch must be served, not recomputed");
+        // One disk hit per *distinct* epoch content: a history that
+        // revisits earlier content legitimately serves the repeat from the
+        // promoted memory tier, so `disk_hits == epochs` would over-assert.
+        assert!(
+            disk_hits >= 1 && disk_hits as usize <= epochs,
+            "disk hits out of range: {disk_hits} over {epochs} epochs"
+        );
+        let speedup = t_cold / t_reuse.max(1e-9);
+        // Wall-clock regression gate for trajectory runs only — CI's smoke
+        // pass runs on noisy shared runners where timing asserts flake;
+        // the deterministic invariants above still gate it.
+        if !smoke {
+            assert!(
+                speedup >= 2.0,
+                "persistent reuse regressed: only {speedup:.2}x faster than cold"
+            );
+        }
+        println!(
+            "{}",
+            row(&[
+                num_objects.to_string(),
+                epochs.to_string(),
+                format!("{t_cold:.1}"),
+                format!("{t_reuse:.1}"),
+                format!("{speedup:.1}x"),
+                disk_hits.to_string(),
+            ])
+        );
+        persist_points.push(PersistReusePoint {
+            objects: num_objects,
+            sources: history.num_sources(),
+            epochs,
+            cold_ms: t_cold,
+            cold_iterations: cold_iters,
+            reuse_ms: t_reuse,
+            reuse_disk_hits: disk_hits,
+            reuse_iterations: reuse_iters,
+            speedup,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // --- E7d: parallel cold-epoch batching vs the sequential warm chain ---
+    banner(
+        "E7d",
+        "Timeline: parallel cold batch vs sequential warm chain",
+    );
+    header(&[
+        "objects", "epochs", "threads", "seq ms", "batch ms", "speedup", "seq it", "batch it",
+    ]);
+    let thread_counts: &[usize] = if smoke { &[2] } else { &[2, 4] };
+    let mut parallel_points = Vec::new();
+    for &num_objects in timeline_objects {
+        let (config, _) = table3_style(num_objects, 2, 20);
+        let world = TemporalWorld::generate(&config);
+        let history = Arc::new(world.history.clone());
+        let epochs = history.change_points().count();
+
+        let seq_engine = SailingEngine::builder().cache_capacity(0).build().unwrap();
+        let mut session = seq_engine.timeline_owned(Arc::clone(&history));
+        let (seq_iters, t_seq) = time_ms(|| {
+            while session.next_epoch().is_some() {}
+            session.total_iterations()
+        });
+
+        for &threads in thread_counts {
+            let par_engine = SailingEngine::builder().cache_capacity(0).build().unwrap();
+            let mut session = par_engine.timeline_owned(Arc::clone(&history));
+            let (batch_iters, t_batch) = time_ms(|| {
+                session.prefetch_cold(threads);
+                while session.next_epoch().is_some() {}
+                session.total_iterations()
+            });
+            let speedup = t_seq / t_batch.max(1e-9);
+            // The parallel batch only wins when there are cores to fan
+            // out across; on a single-core host it is pure overhead, so
+            // the regression gate applies to multi-core trajectory runs
+            // (not CI smoke, whose shared runners make timing flaky).
+            // It also needs headroom: cold runs spend ~1.3× the warm
+            // chain's iterations, so at threads == host_cpus the ceiling
+            // is only ~1.5× and background load can push a healthy run
+            // under 1.0 — gate only where spare cores leave real margin.
+            if !smoke && threads >= 2 && threads * 2 <= host_cpus {
+                assert!(
+                    speedup > 1.0,
+                    "parallel cold batching lost to sequential on {host_cpus} cores: \
+                     {t_batch:.1}ms vs {t_seq:.1}ms at {threads} threads"
+                );
+            }
+            println!(
+                "{}",
+                row(&[
+                    num_objects.to_string(),
+                    epochs.to_string(),
+                    threads.to_string(),
+                    format!("{t_seq:.1}"),
+                    format!("{t_batch:.1}"),
+                    format!("{speedup:.2}x"),
+                    seq_iters.to_string(),
+                    batch_iters.to_string(),
+                ])
+            );
+            parallel_points.push(ParallelColdPoint {
+                objects: num_objects,
+                sources: history.num_sources(),
+                epochs,
+                threads,
+                sequential_warm_ms: t_seq,
+                sequential_warm_iterations: seq_iters,
+                batched_cold_ms: t_batch,
+                batched_cold_iterations: batch_iters,
+                speedup,
+            });
+        }
+    }
+
     let report = BenchReport {
         experiment: "exp_scalability",
-        schema: 2,
+        schema: 3,
         smoke,
         world: "specialist",
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus,
         worlds,
         timeline_warm_vs_cold: timeline_points,
+        persist_reuse: persist_points,
+        parallel_cold_epochs: parallel_points,
     };
     let file_name = if smoke {
         "BENCH_scalability.smoke.json"

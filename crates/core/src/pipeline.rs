@@ -79,6 +79,53 @@ impl PipelineResult {
         self.source_reports_with(snapshot, &self.dependence_matrix())
     }
 
+    /// Canonical JSON text of this result: field order and collection
+    /// order are fixed by the struct layout (no hash-map iteration
+    /// anywhere on the wire), and floats render in shortest-round-trip
+    /// form, so equal results produce byte-identical text and a parse of
+    /// the text reproduces every `f64` bit for bit. This is the payload
+    /// the persistent analysis store checksums and re-loads in place of a
+    /// cold discovery run.
+    pub fn to_canonical_json(&self) -> String {
+        serde::json::write(&self.serialize())
+    }
+
+    /// Parses a result back from its canonical JSON text. Inverse of
+    /// [`PipelineResult::to_canonical_json`]: posteriors, accuracies, and
+    /// the convergence record survive exactly ([`Self::content_digest`] is
+    /// invariant under the round-trip).
+    ///
+    /// # Errors
+    /// Returns the underlying parse/shape error; persistent-store readers
+    /// treat any error as a cold cache miss.
+    pub fn from_json_str(text: &str) -> Result<Self, serde::Error> {
+        Self::deserialize(&serde::json::parse(text)?)
+    }
+
+    /// An order-sensitive digest over everything a strategy could
+    /// legitimately warm-start from — accuracies, posterior distributions,
+    /// dependence count, and convergence. Two results digesting equal
+    /// present the same seed to a warm-started discovery run, so the
+    /// digest serves as the *provenance* half of analysis-cache and
+    /// persistent-store keys. Mixes with the same hash family as
+    /// [`SnapshotView::content_hash`] ([`sailing_model::fx_mix`]); not
+    /// cryptographic.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = sailing_model::fx_mix(0x70_72_69_6f_72, self.accuracies.len() as u64);
+        for a in &self.accuracies {
+            h = sailing_model::fx_mix(h, a.to_bits());
+        }
+        for o in self.probabilities.objects() {
+            h = sailing_model::fx_mix(h, u64::from(o.0));
+            for &(v, p) in self.probabilities.distribution(o) {
+                h = sailing_model::fx_mix(h, u64::from(v.0));
+                h = sailing_model::fx_mix(h, p.to_bits());
+            }
+        }
+        h = sailing_model::fx_mix(h, self.dependences.len() as u64);
+        sailing_model::fx_mix(h, u64::from(self.converged))
+    }
+
     /// Like [`PipelineResult::source_reports`], reusing an
     /// already-materialised dependence matrix instead of rebuilding it —
     /// the path the `sailing` facade's cached analysis takes.

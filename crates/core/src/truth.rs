@@ -222,6 +222,24 @@ impl Default for ValueProbabilities {
 }
 
 impl ValueProbabilities {
+    /// Builds from sparse `(object, distribution)` pairs in any order
+    /// (objects absent from `per_object` get empty distributions; the id
+    /// space is the largest object id named plus one). This is the
+    /// reconstruction entry external stores use — the persistent analysis
+    /// store's compact payload decodes through it.
+    pub fn from_object_distributions(per_object: Vec<(ObjectId, Vec<(ValueId, f64)>)>) -> Self {
+        let num_objects = per_object
+            .iter()
+            .map(|&(o, _)| o.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut dense: Vec<Vec<(ValueId, f64)>> = vec![Vec::new(); num_objects];
+        for (o, d) in per_object {
+            dense[o.index()] = d;
+        }
+        Self::from_ordered(num_objects, dense.into_iter())
+    }
+
     /// Builds from per-object distributions delivered in ascending object
     /// order (one call per object id, empty distributions allowed).
     fn from_ordered(
@@ -364,11 +382,12 @@ impl Deserialize for ValueProbabilities {
                 per_object.len()
             )));
         }
-        let mut dense: Vec<Vec<(ValueId, f64)>> = vec![Vec::new(); num_objects];
-        for (o, d) in per_object {
-            dense[o as usize] = d;
-        }
-        Ok(Self::from_ordered(num_objects, dense.into_iter()))
+        Ok(Self::from_object_distributions(
+            per_object
+                .into_iter()
+                .map(|(o, d)| (ObjectId(o), d))
+                .collect(),
+        ))
     }
 }
 

@@ -51,6 +51,17 @@ pub enum SailingError {
         /// Why the configuration is rejected.
         reason: String,
     },
+    /// A persistent-store operation failed at the filesystem level.
+    ///
+    /// Raised only for *infrastructure* failures (the directory cannot be
+    /// created, a write or rename fails); a damaged or stale store **file**
+    /// is never an error — readers degrade it to a cold cache miss.
+    Persist {
+        /// The path the operation targeted.
+        path: String,
+        /// The underlying I/O failure, rendered.
+        reason: String,
+    },
 }
 
 impl SailingError {
@@ -77,6 +88,14 @@ impl SailingError {
             reason: reason.into(),
         }
     }
+
+    /// Convenience constructor for [`SailingError::Persist`].
+    pub fn persist(path: impl Into<String>, reason: impl std::fmt::Display) -> Self {
+        SailingError::Persist {
+            path: path.into(),
+            reason: reason.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SailingError {
@@ -97,6 +116,9 @@ impl fmt::Display for SailingError {
             }
             SailingError::InvalidConfig { context, reason } => {
                 write!(f, "invalid {context}: {reason}")
+            }
+            SailingError::Persist { path, reason } => {
+                write!(f, "persistent store failure at {path}: {reason}")
             }
         }
     }

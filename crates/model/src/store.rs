@@ -607,6 +607,27 @@ impl SnapshotView {
         }
         h
     }
+
+    /// Canonical JSON text of this snapshot: the legacy map-per-source wire
+    /// shape, rendered deterministically (the CSR layout fixes the entry
+    /// order, and the writer emits floats in shortest-round-trip form).
+    /// Two snapshots holding the same assertions produce byte-identical
+    /// text, which is what the persistent store's checksums cover.
+    pub fn to_canonical_json(&self) -> String {
+        serde::json::write(&self.serialize())
+    }
+
+    /// Parses a snapshot back from its canonical (or any legacy
+    /// map-shaped) JSON text. Inverse of
+    /// [`SnapshotView::to_canonical_json`]; content hashes survive the
+    /// round-trip.
+    ///
+    /// # Errors
+    /// Returns the underlying parse/shape error; persistent-store readers
+    /// treat any error as a cold cache miss.
+    pub fn from_json_str(text: &str) -> Result<Self, SerdeError> {
+        Self::deserialize(&serde::json::parse(text)?)
+    }
 }
 
 /// One FxHash-style mixing step (rotate, xor, multiply by a large odd

@@ -1,0 +1,931 @@
+//! # sailing-persist
+//!
+//! The persistent cross-process analysis store: computed
+//! [`PipelineResult`]s written to disk in a **versioned, checksummed**
+//! format (whatever the strategy returned — like the in-memory tier, a
+//! capped-out non-converged result is stored too, with its `converged`
+//! flag intact, so downstream gates such as the timeline's
+//! converged-prior chain keep working across processes), keyed by the
+//! analyzed snapshot's
+//! [content hash](SnapshotView::content_hash) plus the computation's
+//! warm/cold provenance — so a second process (or a re-run after restart)
+//! over the same snapshots gets cheap disk hits instead of cold
+//! truth-discovery runs. This is the durable tier under the `sailing`
+//! facade's in-memory analysis cache.
+//!
+//! # Format (version 1)
+//!
+//! One file per entry, named after the key
+//! (`<snapshot_hash:016x>-<cold|provenance:016x>.sail`), laid out as:
+//!
+//! ```text
+//! sailing-analysis-store v1 <payload_len> <checksum:016x>\n
+//! { canonical JSON payload }
+//! ```
+//!
+//! The payload is deterministic canonical JSON of
+//! `{snapshot_hash, provenance, snapshot, result}`, with floats in
+//! shortest-round-trip form so a load reproduces every `f64` bit for
+//! bit. Unlike the model types' legacy wire shapes (map-per-source
+//! snapshots, map-keyed distributions), the store payload is **compact
+//! by design**: flat numeric arrays (`assertions: [s,o,v, s,o,v, …]`,
+//! `dists: [[v,p, v,p, …], …]`) with no string map keys and no redundant
+//! inverted index — entries are roughly half the legacy size and decode
+//! without a string allocation per assertion, which is what makes a disk
+//! hit decisively cheaper than a discovery re-run. The checksum is an
+//! FxHash-style digest of the payload bytes: not cryptographic, but it
+//! reliably catches truncation and bit rot.
+//!
+//! **Degradation contract:** a damaged, truncated, or
+//! wrong-format-version file is *never* an error on the read path — every
+//! validation failure degrades to a clean cold miss (counted in
+//! [`PersistStats::rejected`]), and the caller simply re-runs discovery.
+//! Only infrastructure failures (the directory cannot be created, a write
+//! or rename fails) surface as [`SailingError::Persist`]. The stored
+//! snapshot is replayed and compared against the requested one on every
+//! hit, so a 64-bit hash collision also degrades to a miss rather than
+//! serving another snapshot's analysis.
+//!
+//! **Version policy:** readers accept exactly [`FORMAT_VERSION`]. A
+//! format change bumps the version, old files then read as misses (and
+//! [`PersistentStore::compact`] sweeps them out); there is deliberately no
+//! in-place migration — entries are caches of recomputable work, never
+//! primary data.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sailing_core::AccuCopy;
+//! use sailing_model::fixtures;
+//! use sailing_persist::{PersistentStore, StoreKey};
+//!
+//! let dir = std::env::temp_dir().join(format!("sailing-doc-{}", std::process::id()));
+//! let (store_fixture, _) = fixtures::table1();
+//! let snapshot = Arc::new(store_fixture.snapshot());
+//! let result = Arc::new(AccuCopy::with_defaults().run(&snapshot));
+//! let key = StoreKey::cold(snapshot.content_hash());
+//!
+//! // First process: run discovery once, persist the converged result.
+//! let store = PersistentStore::open(&dir)?;
+//! store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+//! store.flush()?;
+//!
+//! // Second process: the same analysis is a disk hit — no discovery run.
+//! let reopened = PersistentStore::open(&dir)?;
+//! let (loaded_snap, loaded) = reopened.get(key, &snapshot).expect("disk hit");
+//! assert_eq!(*loaded_snap, *snapshot);
+//! assert_eq!(loaded.decisions_sorted(), result.decisions_sorted());
+//! assert_eq!(reopened.stats().disk_hits, 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), sailing_model::SailingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Content, Deserialize};
+
+use sailing_core::truth::ValueProbabilities;
+use sailing_core::{PairDependence, PipelineResult};
+use sailing_model::{fx_mix, ObjectId, SailingError, SnapshotView, SourceId, ValueId};
+
+/// The on-disk format version this build writes and accepts. Files
+/// carrying any other version read as cold misses.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic token opening every store file's header line.
+pub const MAGIC: &str = "sailing-analysis-store";
+
+/// File extension of store entries.
+pub const ENTRY_EXTENSION: &str = "sail";
+
+/// Pending writes buffered before [`PersistentStore::flush`] runs
+/// automatically.
+const AUTO_FLUSH_THRESHOLD: usize = 8;
+
+/// Key of one stored analysis: the snapshot's content hash plus the
+/// computation's provenance — `None` for a cold run, `Some(digest of the
+/// seeding prior)` for a warm-started one (see
+/// [`PipelineResult::content_digest`]). Mirrors the `sailing` facade's
+/// in-memory cache key, so the two tiers never confuse a warm-seeded
+/// result with a cold one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// [`SnapshotView::content_hash`] of the analyzed snapshot.
+    pub snapshot_hash: u64,
+    /// `None` for a cold run; the seeding prior's
+    /// [`PipelineResult::content_digest`] for a warm-started one.
+    pub provenance: Option<u64>,
+}
+
+impl StoreKey {
+    /// Key of a cold (unseeded) analysis.
+    pub fn cold(snapshot_hash: u64) -> Self {
+        Self {
+            snapshot_hash,
+            provenance: None,
+        }
+    }
+
+    /// Key of a warm-started analysis seeded from a prior with the given
+    /// content digest.
+    pub fn warm(snapshot_hash: u64, prior_digest: u64) -> Self {
+        Self {
+            snapshot_hash,
+            provenance: Some(prior_digest),
+        }
+    }
+
+    /// The entry file name this key maps to (the key is fully recoverable
+    /// from the name, which is what lets `compact` cross-check files
+    /// against their content).
+    pub fn file_name(&self) -> String {
+        match self.provenance {
+            None => format!("{:016x}-cold.{ENTRY_EXTENSION}", self.snapshot_hash),
+            Some(p) => format!("{:016x}-{p:016x}.{ENTRY_EXTENSION}", self.snapshot_hash),
+        }
+    }
+}
+
+/// Counters of one store handle's activity (in-memory; they reset with the
+/// process, while the entries themselves persist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PersistStats {
+    /// Lookups answered from disk (or the pending write buffer).
+    pub disk_hits: u64,
+    /// Lookups that found no usable entry.
+    pub disk_misses: u64,
+    /// Files that existed but failed validation (bad magic/version/
+    /// checksum, damaged payload, snapshot mismatch) — each also counted
+    /// as a miss.
+    pub rejected: u64,
+    /// Entries written to disk so far.
+    pub writes: u64,
+    /// Writes that failed at the filesystem level and were dropped.
+    pub write_errors: u64,
+}
+
+/// Outcome of a [`PersistentStore::compact`] sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// Entries that validated end to end and were kept.
+    pub kept: usize,
+    /// Damaged, stale-version, or misnamed entries removed.
+    pub removed: usize,
+}
+
+struct PendingEntry {
+    key: StoreKey,
+    snapshot: Arc<SnapshotView>,
+    result: Arc<PipelineResult>,
+}
+
+/// A durable store of computed analyses under one directory.
+///
+/// Handles are cheap to share behind an [`Arc`]; all methods take `&self`
+/// and writes are buffered behind a mutex ([`PersistentStore::put`] is
+/// write-behind with a small auto-flush threshold, so hot loops never
+/// block on the filesystem per analysis). Entries are written atomically
+/// (temp file + rename), so a reader in another process sees either the
+/// previous state or the complete new entry, never a torn write.
+pub struct PersistentStore {
+    dir: PathBuf,
+    pending: Mutex<Vec<PendingEntry>>,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    rejected: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl PersistentStore {
+    /// Opens (creating if necessary) a store rooted at `dir`.
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, SailingError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SailingError::persist(dir.display().to_string(), e))?;
+        Ok(Self {
+            dir,
+            pending: Mutex::new(Vec::new()),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory entries live under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// This handle's activity counters.
+    pub fn stats(&self) -> PersistStats {
+        PersistStats {
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entry files currently on disk (excluding buffered
+    /// writes; call [`PersistentStore::flush`] first for an exact total).
+    pub fn len(&self) -> usize {
+        entry_files(&self.dir).len()
+    }
+
+    /// `true` when no entry file is on disk.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the analysis stored under `key`, verifying the stored
+    /// snapshot equals `snapshot` (a hash collision or a damaged file
+    /// degrades to a miss, never a wrong hit or an error).
+    pub fn get(
+        &self,
+        key: StoreKey,
+        snapshot: &SnapshotView,
+    ) -> Option<(Arc<SnapshotView>, Arc<PipelineResult>)> {
+        // The write-behind buffer is part of the store's contents: an
+        // entry put moments ago must hit even before it reaches disk.
+        {
+            let pending = self.pending.lock().expect("persist pending poisoned");
+            if let Some(e) = pending.iter().rev().find(|e| e.key == key) {
+                if *e.snapshot == *snapshot {
+                    let hit = (Arc::clone(&e.snapshot), Arc::clone(&e.result));
+                    drop(pending);
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(hit);
+                }
+            }
+        }
+        let path = self.dir.join(key.file_name());
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry(&bytes) {
+            Ok(entry) if entry.key == key && entry.snapshot == *snapshot => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some((Arc::new(entry.snapshot), Arc::new(entry.result)))
+            }
+            _ => {
+                // Damaged, stale-version, or mismatched content: a clean
+                // cold miss by contract.
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Buffers an entry for writing. Write-behind: the entry is visible to
+    /// [`PersistentStore::get`] immediately and reaches disk on the next
+    /// [`PersistentStore::flush`] (run automatically once a handful of
+    /// writes accumulate, and on drop). Filesystem failures during an
+    /// automatic flush are counted in [`PersistStats::write_errors`] and
+    /// the affected entries dropped — the store is a cache of recomputable
+    /// work, so losing a write is a future cold miss, not data loss.
+    pub fn put(&self, key: StoreKey, snapshot: Arc<SnapshotView>, result: Arc<PipelineResult>) {
+        let should_flush = {
+            let mut pending = self.pending.lock().expect("persist pending poisoned");
+            pending.retain(|e| e.key != key);
+            pending.push(PendingEntry {
+                key,
+                snapshot,
+                result,
+            });
+            pending.len() >= AUTO_FLUSH_THRESHOLD
+        };
+        if should_flush {
+            // Errors are recorded in the stats by `flush` itself.
+            let _ = self.flush();
+        }
+    }
+
+    /// Writes every buffered entry to disk (atomic per entry: temp file +
+    /// rename). Returns the number of entries written.
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] carrying the first filesystem failure.
+    /// Failed entries are dropped either way (and counted in
+    /// [`PersistStats::write_errors`]) so a read-only directory cannot
+    /// grow the buffer without bound.
+    pub fn flush(&self) -> Result<usize, SailingError> {
+        let batch = {
+            let mut pending = self.pending.lock().expect("persist pending poisoned");
+            std::mem::take(&mut *pending)
+        };
+        let mut written = 0usize;
+        let mut first_error: Option<SailingError> = None;
+        for e in &batch {
+            match self.write_entry(e) {
+                Ok(()) => {
+                    written += 1;
+                    self.writes.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err) => {
+                    self.write_errors.fetch_add(1, Ordering::Relaxed);
+                    first_error.get_or_insert(err);
+                }
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(written),
+        }
+    }
+
+    /// Validates every entry file end to end — header, checksum, payload,
+    /// key-vs-content agreement — removing the ones that fail, along with
+    /// any orphaned temp files a crashed write left behind, so a store
+    /// that accumulated damage or pre-[`FORMAT_VERSION`] files shrinks
+    /// back to its valid core. Buffered writes are flushed first.
+    ///
+    /// A sweep racing a *different* handle's in-flight write may delete
+    /// that write's temp file; the writer's rename then fails and the
+    /// entry is dropped as a write error — a future cold miss, never a
+    /// torn entry.
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] when the flush, the directory scan, or a
+    /// removal fails at the filesystem level (validation failures are
+    /// what this sweep is *for* and are never errors).
+    pub fn compact(&self) -> Result<CompactReport, SailingError> {
+        self.flush()?;
+        let mut report = CompactReport::default();
+        for path in entry_files(&self.dir) {
+            let valid = std::fs::read(&path)
+                .ok()
+                .and_then(|bytes| decode_entry(&bytes).ok())
+                .is_some_and(|entry| {
+                    path.file_name().and_then(|n| n.to_str()) == Some(&entry.key.file_name()[..])
+                        && entry.snapshot.content_hash() == entry.key.snapshot_hash
+                });
+            if valid {
+                report.kept += 1;
+            } else {
+                std::fs::remove_file(&path)
+                    .map_err(|e| SailingError::persist(path.display().to_string(), e))?;
+                report.removed += 1;
+            }
+        }
+        // Orphaned temp files — a write that crashed between create and
+        // rename — are not entries (`entry_files` skips them), so sweep
+        // them here or repeated crashes would accumulate junk forever.
+        for path in std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+        {
+            let orphan = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(&format!(".{ENTRY_EXTENSION}.tmp-")));
+            if orphan {
+                std::fs::remove_file(&path)
+                    .map_err(|e| SailingError::persist(path.display().to_string(), e))?;
+                report.removed += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    fn write_entry(&self, e: &PendingEntry) -> Result<(), SailingError> {
+        // The temp name must be unique per *write*, not just per process:
+        // two in-process flushes can race on one key (an explicit flush
+        // against a put-triggered auto-flush, or two engines sharing a
+        // dir), and a shared temp path would let one write truncate the
+        // other mid-stream and publish a torn entry.
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let final_path = self.dir.join(e.key.file_name());
+        let tmp_path = self.dir.join(format!(
+            "{}.tmp-{}-{}",
+            e.key.file_name(),
+            std::process::id(),
+            WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = encode_entry(e.key, &e.snapshot, &e.result);
+        std::fs::write(&tmp_path, &bytes)
+            .map_err(|err| SailingError::persist(tmp_path.display().to_string(), err))?;
+        std::fs::rename(&tmp_path, &final_path).map_err(|err| {
+            let _ = std::fs::remove_file(&tmp_path);
+            SailingError::persist(final_path.display().to_string(), err)
+        })
+    }
+}
+
+impl Drop for PersistentStore {
+    fn drop(&mut self) {
+        // Best effort: a handle going away must not strand buffered
+        // entries; failures are already counted by `flush`.
+        let _ = self.flush();
+    }
+}
+
+impl std::fmt::Debug for PersistentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentStore")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// FxHash-style digest of a byte string, mixing 8-byte little-endian
+/// chunks (length-prefixed so trailing truncation always changes the
+/// digest). Corruption detection only — not cryptographic.
+pub fn checksum_bytes(bytes: &[u8]) -> u64 {
+    let mut h = fx_mix(0x63_68_65_63_6b, bytes.len() as u64); // "check"
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        h = fx_mix(
+            h,
+            u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")),
+        );
+    }
+    let mut last = [0u8; 8];
+    let rem = chunks.remainder();
+    last[..rem.len()].copy_from_slice(rem);
+    fx_mix(h, u64::from_le_bytes(last))
+}
+
+struct DecodedEntry {
+    key: StoreKey,
+    snapshot: SnapshotView,
+    result: PipelineResult,
+}
+
+/// The store's compact snapshot shape: dimensions plus one flat
+/// `[s,o,v, s,o,v, …]` array — half the legacy wire size (no redundant
+/// inverted index) and no string map keys to allocate on decode.
+fn snapshot_content(snapshot: &SnapshotView) -> Content {
+    let mut flat = Vec::with_capacity(snapshot.num_assertions() * 3);
+    for s in 0..snapshot.num_sources() {
+        let source = SourceId::from_index(s);
+        for (o, v) in snapshot.assertions_of(source) {
+            flat.push(Content::U64(u64::from(source.0)));
+            flat.push(Content::U64(u64::from(o.0)));
+            flat.push(Content::U64(u64::from(v.0)));
+        }
+    }
+    Content::Map(vec![
+        (
+            Content::Str("sources".to_string()),
+            Content::U64(snapshot.num_sources() as u64),
+        ),
+        (
+            Content::Str("objects".to_string()),
+            Content::U64(snapshot.num_objects() as u64),
+        ),
+        (Content::Str("assertions".to_string()), Content::Seq(flat)),
+    ])
+}
+
+fn snapshot_from_content(content: &Content) -> Result<SnapshotView, &'static str> {
+    let dim = |name| {
+        content
+            .field(name)
+            .and_then(|c| u64::deserialize(c).ok())
+            .map(|d| d as usize)
+            .ok_or("bad snapshot dimensions")
+    };
+    let (sources, objects) = (dim("sources")?, dim("objects")?);
+    let flat = match content.field("assertions") {
+        Some(Content::Seq(s)) => s,
+        _ => return Err("missing assertions"),
+    };
+    if flat.len() % 3 != 0 {
+        return Err("assertion array not a multiple of 3");
+    }
+    let entries = flat.len() / 3;
+    // The CSR offsets allocate per dense id: refuse implausible id spaces
+    // so a tiny hostile document cannot force a huge allocation.
+    if !serde::plausible_id_space(sources, entries) || !serde::plausible_id_space(objects, entries)
+    {
+        return Err("implausible snapshot id space");
+    }
+    let mut triples = Vec::with_capacity(entries);
+    for t in flat.chunks_exact(3) {
+        let id = |c: &Content| -> Result<u32, &'static str> {
+            u64::deserialize(c)
+                .ok()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or("bad assertion id")
+        };
+        let (s, o) = (id(&t[0])? as usize, id(&t[1])? as usize);
+        if s >= sources || o >= objects {
+            return Err("assertion outside declared dimensions");
+        }
+        triples.push((SourceId(s as u32), ObjectId(o as u32), ValueId(id(&t[2])?)));
+    }
+    Ok(SnapshotView::from_triples(sources, objects, triples))
+}
+
+/// The store's compact result shape: accuracies and per-object
+/// distributions as flat numeric arrays (`dists[i]` = `[v,p, v,p, …]`
+/// for `objects[i]`, kept in the reported descending-probability order so
+/// the encode→decode round-trip is byte-canonical); dependences reuse the
+/// small derived `PairDependence` shape.
+fn result_content(result: &PipelineResult) -> Content {
+    let objects = result.probabilities.objects();
+    let dists = Content::Seq(
+        objects
+            .iter()
+            .map(|&o| {
+                Content::Seq(
+                    result
+                        .probabilities
+                        .distribution(o)
+                        .iter()
+                        .flat_map(|&(v, p)| [Content::U64(u64::from(v.0)), Content::F64(p)])
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    let objects = Content::Seq(
+        objects
+            .iter()
+            .map(|o| Content::U64(u64::from(o.0)))
+            .collect(),
+    );
+    Content::Map(vec![
+        (
+            Content::Str("accuracies".to_string()),
+            serde::Serialize::serialize(&result.accuracies),
+        ),
+        (
+            Content::Str("probabilities".to_string()),
+            Content::Map(vec![
+                (Content::Str("objects".to_string()), objects),
+                (Content::Str("dists".to_string()), dists),
+            ]),
+        ),
+        (
+            Content::Str("dependences".to_string()),
+            serde::Serialize::serialize(&result.dependences),
+        ),
+        (
+            Content::Str("iterations".to_string()),
+            Content::U64(result.iterations as u64),
+        ),
+        (
+            Content::Str("converged".to_string()),
+            Content::Bool(result.converged),
+        ),
+    ])
+}
+
+fn result_from_content(content: &Content) -> Result<PipelineResult, &'static str> {
+    let accuracies = content
+        .field("accuracies")
+        .and_then(|c| <Vec<f64>>::deserialize(c).ok())
+        .ok_or("bad accuracies")?;
+    let probs = content
+        .field("probabilities")
+        .ok_or("missing probabilities")?;
+    let objects = match probs.field("objects") {
+        Some(Content::Seq(s)) => s,
+        _ => return Err("missing distribution objects"),
+    };
+    let dists = match probs.field("dists") {
+        Some(Content::Seq(s)) => s,
+        _ => return Err("missing distributions"),
+    };
+    if objects.len() != dists.len() {
+        return Err("objects/dists length mismatch");
+    }
+    let max_object = objects
+        .iter()
+        .map(|c| u64::deserialize(c).map(|o| o as usize + 1))
+        .try_fold(0usize, |m, o| o.map(|o| m.max(o)))
+        .map_err(|_| "bad distribution object id")?;
+    if !serde::plausible_id_space(max_object, objects.len()) {
+        return Err("implausible distribution id space");
+    }
+    let mut per_object = Vec::with_capacity(objects.len());
+    for (o, dist) in objects.iter().zip(dists) {
+        let o = u64::deserialize(o).map_err(|_| "bad distribution object id")?;
+        let flat = match dist {
+            Content::Seq(s) => s,
+            _ => return Err("distribution not an array"),
+        };
+        if flat.len() % 2 != 0 {
+            return Err("distribution array not value/probability pairs");
+        }
+        let mut d = Vec::with_capacity(flat.len() / 2);
+        for pair in flat.chunks_exact(2) {
+            let v = u64::deserialize(&pair[0])
+                .ok()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or("bad distribution value id")?;
+            let p = f64::deserialize(&pair[1]).map_err(|_| "bad probability")?;
+            d.push((ValueId(v), p));
+        }
+        per_object.push((ObjectId(o as u32), d));
+    }
+    let dependences = content
+        .field("dependences")
+        .and_then(|c| <Vec<PairDependence>>::deserialize(c).ok())
+        .ok_or("bad dependences")?;
+    let iterations = content
+        .field("iterations")
+        .and_then(|c| u64::deserialize(c).ok())
+        .ok_or("bad iterations")? as usize;
+    let converged = content
+        .field("converged")
+        .and_then(|c| bool::deserialize(c).ok())
+        .ok_or("bad converged flag")?;
+    Ok(PipelineResult {
+        probabilities: ValueProbabilities::from_object_distributions(per_object),
+        accuracies,
+        dependences,
+        iterations,
+        converged,
+    })
+}
+
+/// Renders one entry in format v1. Deterministic for equal inputs: the
+/// payload is canonical JSON over canonical layouts, so golden files can
+/// pin the format.
+fn encode_entry(key: StoreKey, snapshot: &SnapshotView, result: &PipelineResult) -> Vec<u8> {
+    let payload = serde::json::write(&Content::Map(vec![
+        (
+            Content::Str("snapshot_hash".to_string()),
+            Content::U64(key.snapshot_hash),
+        ),
+        (
+            Content::Str("provenance".to_string()),
+            match key.provenance {
+                Some(p) => Content::U64(p),
+                None => Content::Null,
+            },
+        ),
+        (
+            Content::Str("snapshot".to_string()),
+            snapshot_content(snapshot),
+        ),
+        (Content::Str("result".to_string()), result_content(result)),
+    ]));
+    let mut out = format!(
+        "{MAGIC} v{FORMAT_VERSION} {} {:016x}\n",
+        payload.len(),
+        checksum_bytes(payload.as_bytes())
+    )
+    .into_bytes();
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+/// Decodes and fully validates one entry. Every failure is a `&'static
+/// str` reason — the read path maps them all to a cold miss, `compact`
+/// to a removal.
+fn decode_entry(bytes: &[u8]) -> Result<DecodedEntry, &'static str> {
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("missing header line")?;
+    let header = std::str::from_utf8(&bytes[..newline]).map_err(|_| "header not UTF-8")?;
+    let mut fields = header.split(' ');
+    if fields.next() != Some(MAGIC) {
+        return Err("bad magic");
+    }
+    let version = fields
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or("unreadable version")?;
+    if version != FORMAT_VERSION {
+        return Err("wrong format version");
+    }
+    let declared_len: usize = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or("unreadable payload length")?;
+    let declared_checksum = fields
+        .next()
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or("unreadable checksum")?;
+    if fields.next().is_some() {
+        return Err("trailing header fields");
+    }
+    let payload = &bytes[newline + 1..];
+    if payload.len() != declared_len {
+        return Err("payload length mismatch (truncated or padded)");
+    }
+    if checksum_bytes(payload) != declared_checksum {
+        return Err("checksum mismatch");
+    }
+    let payload = std::str::from_utf8(payload).map_err(|_| "payload not UTF-8")?;
+    let content = serde::json::parse(payload).map_err(|_| "payload not JSON")?;
+    let snapshot_hash = content
+        .field("snapshot_hash")
+        .and_then(|c| u64::deserialize(c).ok())
+        .ok_or("missing snapshot_hash")?;
+    let provenance = match content.field("provenance") {
+        Some(Content::Null) | None => None,
+        Some(other) => Some(u64::deserialize(other).map_err(|_| "bad provenance")?),
+    };
+    let snapshot = content
+        .field("snapshot")
+        .ok_or("missing snapshot")
+        .and_then(snapshot_from_content)?;
+    let result = content
+        .field("result")
+        .ok_or("missing result")
+        .and_then(result_from_content)?;
+    if snapshot.content_hash() != snapshot_hash {
+        return Err("snapshot does not match its declared hash");
+    }
+    Ok(DecodedEntry {
+        key: StoreKey {
+            snapshot_hash,
+            provenance,
+        },
+        snapshot,
+        result,
+    })
+}
+
+fn entry_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(ENTRY_EXTENSION))
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_core::AccuCopy;
+    use sailing_model::fixtures;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sailing-persist-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table1_entry() -> (Arc<SnapshotView>, Arc<PipelineResult>, StoreKey) {
+        let (store, _) = fixtures::table1();
+        let snapshot = Arc::new(store.snapshot());
+        let result = Arc::new(AccuCopy::with_defaults().run(&snapshot));
+        let key = StoreKey::cold(snapshot.content_hash());
+        (snapshot, result, key)
+    }
+
+    #[test]
+    fn roundtrip_across_handles() {
+        let dir = temp_dir("roundtrip");
+        let (snapshot, result, key) = table1_entry();
+        {
+            let store = PersistentStore::open(&dir).unwrap();
+            store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+            // Visible before flush (write-behind buffer)…
+            assert!(store.get(key, &snapshot).is_some());
+            assert_eq!(store.flush().unwrap(), 1);
+            assert_eq!(store.len(), 1);
+        }
+        // …and from a fresh handle, i.e. another process.
+        let store = PersistentStore::open(&dir).unwrap();
+        let (snap, loaded) = store.get(key, &snapshot).expect("disk hit");
+        assert_eq!(*snap, *snapshot);
+        assert_eq!(loaded.decisions_sorted(), result.decisions_sorted());
+        assert_eq!(loaded.iterations, result.iterations);
+        assert_eq!(loaded.content_digest(), result.content_digest());
+        for (a, b) in loaded.accuracies.iter().zip(&result.accuracies) {
+            assert_eq!(a.to_bits(), b.to_bits(), "f64s must survive bit-exactly");
+        }
+        let stats = store.stats();
+        assert_eq!((stats.disk_hits, stats.disk_misses), (1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_and_cold_keys_are_distinct_entries() {
+        let dir = temp_dir("provenance");
+        let (snapshot, result, cold) = table1_entry();
+        let warm = StoreKey::warm(snapshot.content_hash(), result.content_digest());
+        assert_ne!(cold.file_name(), warm.file_name());
+        let store = PersistentStore::open(&dir).unwrap();
+        store.put(cold, Arc::clone(&snapshot), Arc::clone(&result));
+        store.flush().unwrap();
+        // The warm key must not be answered by the cold entry.
+        assert!(store.get(warm, &snapshot).is_none());
+        assert!(store.get(cold, &snapshot).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_a_miss_not_a_wrong_hit() {
+        let dir = temp_dir("collision");
+        let (snapshot, result, key) = table1_entry();
+        let store = PersistentStore::open(&dir).unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        store.flush().unwrap();
+        // Same key, different snapshot content (simulated collision):
+        // must miss, both from the buffer path and from disk.
+        let other = SnapshotView::from_triples(1, 1, vec![]);
+        assert!(store.get(key, &other).is_none());
+        assert_eq!(store.stats().disk_misses, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip_in_small_payloads() {
+        let payload = b"sailing checksum probe";
+        let base = checksum_bytes(payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut flipped = payload.to_vec();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(base, checksum_bytes(&flipped), "byte {byte} bit {bit}");
+            }
+        }
+        // Truncation changes the digest too (length is mixed in).
+        assert_ne!(base, checksum_bytes(&payload[..payload.len() - 1]));
+    }
+
+    #[test]
+    fn compact_keeps_valid_and_sweeps_damage() {
+        let dir = temp_dir("compact");
+        let (snapshot, result, key) = table1_entry();
+        let store = PersistentStore::open(&dir).unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        store.flush().unwrap();
+        // Plant damage: garbage file, stale version, misnamed valid entry.
+        std::fs::write(
+            dir.join(format!("deadbeef00000000-cold.{ENTRY_EXTENSION}")),
+            b"junk",
+        )
+        .unwrap();
+        let good = std::fs::read(dir.join(key.file_name())).unwrap();
+        let stale = String::from_utf8(good.clone())
+            .unwrap()
+            .replacen(" v1 ", " v0 ", 1);
+        std::fs::write(
+            dir.join(format!("00000000000000aa-cold.{ENTRY_EXTENSION}")),
+            stale,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(format!("badc0ffee0000000-cold.{ENTRY_EXTENSION}")),
+            good,
+        )
+        .unwrap();
+        // And an orphaned temp file from a "crashed" write: not an entry
+        // (invisible to len), but compact must sweep it.
+        std::fs::write(
+            dir.join(format!("00000000000000bb-cold.{ENTRY_EXTENSION}.tmp-123-0")),
+            b"half-written",
+        )
+        .unwrap();
+        assert_eq!(store.len(), 4);
+        let report = store.compact().unwrap();
+        assert_eq!(
+            report,
+            CompactReport {
+                kept: 1,
+                removed: 4
+            }
+        );
+        assert_eq!(store.len(), 1);
+        assert!(store.get(key, &snapshot).is_some());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1, "orphan swept");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_unwritable_location() {
+        // A path under a *file* cannot become a directory.
+        let blocker =
+            std::env::temp_dir().join(format!("sailing-persist-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"x").unwrap();
+        let err = PersistentStore::open(blocker.join("store")).unwrap_err();
+        assert!(matches!(err, SailingError::Persist { .. }), "{err}");
+        std::fs::remove_file(&blocker).ok();
+    }
+}

@@ -1,0 +1,82 @@
+//! Cross-process analysis reuse through the persistent store.
+//!
+//! Run this example **twice with the same `SAILING_PERSIST_DIR`** to see
+//! the paper's "series of analyses over an evolving ocean" amortised
+//! across processes: the first run cold-computes every epoch of a seeded
+//! temporal world and writes the converged results to disk; the second
+//! run serves every epoch from the store — zero truth-discovery
+//! iterations — and reports the disk hits.
+//!
+//! ```text
+//! export SAILING_PERSIST_DIR=$(mktemp -d)
+//! cargo run --release --example persist_reuse
+//! SAILING_PERSIST_EXPECT_HITS=1 cargo run --release --example persist_reuse
+//! ```
+//!
+//! With `SAILING_PERSIST_EXPECT_HITS=1` the run *asserts* the store
+//! served everything (non-zero disk hits, zero fresh iterations) and
+//! exits non-zero otherwise — the CI persistence round-trip step uses
+//! exactly this.
+
+use std::sync::Arc;
+
+use sailing::datagen::temporal::{table3_style, TemporalWorld};
+use sailing::engine::SailingEngine;
+
+fn main() -> Result<(), sailing::SailingError> {
+    let dir = std::env::var("SAILING_PERSIST_DIR")
+        .unwrap_or_else(|_| "target/persist-reuse-demo".to_string());
+    let expect_hits = std::env::var("SAILING_PERSIST_EXPECT_HITS").is_ok();
+
+    // A seeded world, so every process derives the identical timeline
+    // (and therefore identical store keys).
+    let (config, _) = table3_style(120, 2, 20);
+    let world = TemporalWorld::generate(&config);
+    let history = Arc::new(world.history.clone());
+
+    let engine = SailingEngine::builder().persist_dir(&dir).build()?;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("== Persistent analysis store: {dir} ==");
+    let mut session = engine.timeline_batched_owned(Arc::clone(&history), threads);
+    let epochs: Vec<_> = session.by_ref().collect();
+    let served = epochs.iter().filter(|e| e.from_cache()).count();
+    let spent = session.total_iterations();
+    let written = engine.flush_persist()?;
+    let stats = engine.cache_stats();
+
+    println!("  epochs analyzed:     {}", epochs.len());
+    println!("  served from store:   {served}");
+    println!("  fresh iterations:    {spent}");
+    println!("  entries flushed:     {written}");
+    println!(
+        "  disk hits / misses:  {} / {}",
+        stats.disk_hits, stats.disk_misses
+    );
+    println!(
+        "  store entries:       {}",
+        engine.persist_store().map_or(0, |s| s.len())
+    );
+
+    if expect_hits {
+        // Every epoch must be served without fresh work, with the disk
+        // tier involved — `disk_hits == epochs` would over-assert, since
+        // repeated epoch *content* is legitimately served from the
+        // promoted memory tier after its first disk hit.
+        assert_eq!(
+            served,
+            epochs.len(),
+            "expected every epoch to be store-served, got {served} of {}",
+            epochs.len()
+        );
+        assert!(stats.disk_hits > 0, "no disk hit at all — store unused?");
+        assert_eq!(
+            spent, 0,
+            "a store-warmed run must spend zero discovery iterations"
+        );
+        println!("  ✓ second process reused every analysis from disk");
+    } else if served == 0 {
+        println!("  (cold run — re-run with the same SAILING_PERSIST_DIR for disk hits)");
+    }
+    Ok(())
+}

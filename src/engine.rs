@@ -59,6 +59,18 @@
 //!   the same path (another cold `analyze`, a timeline re-walk) is free,
 //!   while a cold `analyze` never silently observes a warm-seeded result;
 //!   see [`SailingEngine::cache_stats`].
+//! * The cache can be backed by a **persistent store**
+//!   ([`SailingEngineBuilder::persist_dir`]): computed results are
+//!   written to disk in a versioned, checksummed format
+//!   ([`sailing_persist`]), and a second *process* over the same
+//!   snapshots gets disk hits instead of cold discovery runs — damaged
+//!   or stale files degrade to cold misses, never errors.
+//! * On multi-core machines [`SailingEngine::timeline_batched`] (or
+//!   [`TimelineSession::prefetch_cold`]) runs the timeline's cold epoch
+//!   analyses **in parallel** first — store-resident epochs are skipped,
+//!   the rest fan out under [`std::thread::scope`] in LPT-balanced
+//!   chunks — and the walk then consumes the precomputed results,
+//!   preserving the converged-prior gating semantics exactly.
 //!
 //! ```
 //! use sailing::engine::SailingEngine;
@@ -94,6 +106,7 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -105,6 +118,7 @@ use sailing_core::{
 use sailing_datagen::bookstores::BookCorpusConfig;
 use sailing_fusion::{FusionOutcome, ProbabilisticDatabase};
 use sailing_model::{History, ObjectId, SailingError, SnapshotView, SourceId, Timestamp, ValueId};
+use sailing_persist::{CompactReport, PersistentStore, StoreKey};
 use sailing_query::topk::{top_k_values_for_object, TopKResult};
 use sailing_query::{order_sources, OnlineSession, OrderingPolicy};
 use sailing_recommend::{
@@ -123,6 +137,7 @@ pub struct SailingEngineBuilder {
     trust_weights: TrustWeights,
     temporal_params: TemporalParams,
     cache_capacity: usize,
+    persist_dir: Option<PathBuf>,
 }
 
 impl SailingEngineBuilder {
@@ -135,6 +150,7 @@ impl SailingEngineBuilder {
             trust_weights: TrustWeights::default(),
             temporal_params: TemporalParams::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            persist_dir: None,
         }
     }
 
@@ -179,10 +195,26 @@ impl SailingEngineBuilder {
     }
 
     /// Bounds the engine's snapshot-keyed analysis cache (LRU). `0`
-    /// disables caching entirely; the default keeps 16 analyses.
+    /// disables in-memory caching entirely; the default keeps 16 analyses.
     #[must_use]
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Attaches a **persistent analysis store** rooted at `dir`
+    /// ([`sailing_persist::PersistentStore`]): every freshly computed
+    /// [`PipelineResult`] is written to disk in the versioned, checksummed
+    /// store format, and in-memory cache misses fall through to a disk
+    /// lookup — so a second process (or a re-run after restart) over the
+    /// same snapshots gets disk hits instead of cold discovery runs. Disk
+    /// traffic shows up as [`CacheStats::disk_hits`] /
+    /// [`CacheStats::disk_misses`]; damaged or wrong-version store files
+    /// degrade to cold misses, never errors. The directory is created on
+    /// [`SailingEngineBuilder::build`].
+    #[must_use]
+    pub fn persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
         self
     }
 
@@ -241,12 +273,17 @@ impl SailingEngineBuilder {
             None => Arc::new(AccuCopy::new(params.clone())?),
         };
         self.temporal_params.validate()?;
+        let persist = match self.persist_dir {
+            Some(dir) => Some(Arc::new(PersistentStore::open(dir)?)),
+            None => None,
+        };
         Ok(SailingEngine {
             params,
             strategy,
             trust_weights: self.trust_weights,
             temporal_params: self.temporal_params,
             cache: Arc::new(AnalysisCache::new(self.cache_capacity)),
+            persist,
         })
     }
 }
@@ -266,6 +303,9 @@ pub struct SailingEngine {
     trust_weights: TrustWeights,
     temporal_params: TemporalParams,
     cache: Arc<AnalysisCache>,
+    /// The durable tier under the in-memory cache, when configured —
+    /// shared by clones, like the cache itself.
+    persist: Option<Arc<PersistentStore>>,
 }
 
 impl SailingEngine {
@@ -297,10 +337,49 @@ impl SailingEngine {
         self.strategy.name()
     }
 
-    /// Hit/miss/occupancy counters of the snapshot-keyed analysis cache.
+    /// Hit/miss/occupancy counters of the snapshot-keyed analysis cache,
+    /// plus the persistent tier's disk counters when one is attached.
     /// Shared by all clones of this engine.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        if let Some(store) = &self.persist {
+            let disk = store.stats();
+            stats.disk_hits = disk.disk_hits;
+            stats.disk_misses = disk.disk_misses;
+        }
+        stats
+    }
+
+    /// The attached persistent analysis store, when
+    /// [`SailingEngineBuilder::persist_dir`] configured one.
+    pub fn persist_store(&self) -> Option<&PersistentStore> {
+        self.persist.as_deref()
+    }
+
+    /// Flushes the persistent store's buffered writes to disk; returns the
+    /// number of entries written (`0` when no store is attached — results
+    /// are also flushed automatically in small batches and when the last
+    /// engine clone drops).
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] on a filesystem failure.
+    pub fn flush_persist(&self) -> Result<usize, SailingError> {
+        match &self.persist {
+            Some(store) => store.flush(),
+            None => Ok(0),
+        }
+    }
+
+    /// Sweeps the persistent store, removing damaged or wrong-version
+    /// entries (a no-op report when no store is attached).
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] on a filesystem failure.
+    pub fn compact_persist(&self) -> Result<CompactReport, SailingError> {
+        match &self.persist {
+            Some(store) => store.compact(),
+            None => Ok(CompactReport::default()),
+        }
     }
 
     /// Runs the truth ↔ accuracy ↔ dependence loop once over `snapshot`
@@ -375,7 +454,24 @@ impl SailingEngine {
             prior: None,
             next: 0,
             total_iterations: 0,
+            batched: BTreeMap::new(),
         }
+    }
+
+    /// Opens a timeline session and immediately
+    /// [batches its cold epochs across `threads`
+    /// threads](TimelineSession::prefetch_cold) — the parallel alternative
+    /// to the sequential warm-start chain for multi-core boxes and
+    /// store-warmed re-runs.
+    pub fn timeline_batched(&self, history: &History, threads: usize) -> TimelineSession {
+        self.timeline_batched_owned(Arc::new(history.clone()), threads)
+    }
+
+    /// Owned variant of [`SailingEngine::timeline_batched`].
+    pub fn timeline_batched_owned(&self, history: Arc<History>, threads: usize) -> TimelineSession {
+        let mut session = self.timeline_owned(history);
+        session.prefetch_cold(threads);
+        session
     }
 
     /// The shared analysis path: consult the cache, run the strategy (warm
@@ -399,35 +495,79 @@ impl SailingEngine {
         history: Option<Arc<History>>,
         prior: Option<&PipelineResult>,
     ) -> (Analysis, bool) {
-        let run_fresh = |snapshot: SnapshotInput<'_>| {
+        // With both tiers disabled, skip key construction entirely —
+        // hashing the snapshot and digesting the prior are linear scans
+        // that would be pure waste when nothing can hit.
+        let (snapshot, result, from_cache) = if !self.cache.enabled() && self.persist.is_none() {
+            self.cache.note_miss();
             let snapshot = snapshot.into_arc();
             let fresh = Arc::new(self.strategy.run_warm(&snapshot, prior));
-            (snapshot, fresh)
-        };
-        // A disabled cache (capacity 0) skips key construction entirely —
-        // hashing the snapshot and digesting the prior are linear scans
-        // that would be pure waste when `get` cannot hit.
-        let (snapshot, result, from_cache) = if self.cache.enabled() {
+            (snapshot, fresh, false)
+        } else {
             let key = CacheKey {
                 hash: snapshot.view().content_hash(),
-                prior: prior.map(prior_digest),
+                prior: prior.map(PipelineResult::content_digest),
             };
-            match self.cache.get(key, snapshot.view()) {
+            match self.probe(key, snapshot.view()) {
                 Some((cached_snapshot, cached_result)) => (cached_snapshot, cached_result, true),
                 None => {
-                    let (snapshot, fresh) = run_fresh(snapshot);
-                    self.cache
-                        .insert(key, Arc::clone(&snapshot), Arc::clone(&fresh));
+                    let snapshot = snapshot.into_arc();
+                    let fresh = Arc::new(self.strategy.run_warm(&snapshot, prior));
+                    let (snapshot, fresh) = self.retain_result(key, snapshot, fresh);
                     (snapshot, fresh, false)
                 }
             }
+        };
+        let analysis = self.assemble_analysis(snapshot, history, result);
+        (analysis, from_cache)
+    }
+
+    /// Two-tier lookup, no discovery: the in-memory cache first, then the
+    /// persistent store (promoting a disk hit into memory). Counts exactly
+    /// one in-memory request; the disk counters move only when the memory
+    /// tier missed with a store attached.
+    fn probe(
+        &self,
+        key: CacheKey,
+        snapshot: &SnapshotView,
+    ) -> Option<(Arc<SnapshotView>, Arc<PipelineResult>)> {
+        if self.cache.enabled() {
+            if let Some(hit) = self.cache.get(key, snapshot) {
+                return Some(hit);
+            }
         } else {
             self.cache.note_miss();
-            let (snapshot, fresh) = run_fresh(snapshot);
-            (snapshot, fresh, false)
-        };
+        }
+        let store = self.persist.as_deref()?;
+        let (snap, result) = store.get(key.store_key(), snapshot)?;
+        Some(self.cache.insert_or_get(key, snap, result))
+    }
+
+    /// Retains a freshly computed result in both tiers. Returns the
+    /// allocations the memory cache actually holds, so concurrent missers
+    /// racing on the same snapshot converge on one `PipelineResult`.
+    fn retain_result(
+        &self,
+        key: CacheKey,
+        snapshot: Arc<SnapshotView>,
+        result: Arc<PipelineResult>,
+    ) -> (Arc<SnapshotView>, Arc<PipelineResult>) {
+        if let Some(store) = &self.persist {
+            store.put(key.store_key(), Arc::clone(&snapshot), Arc::clone(&result));
+        }
+        self.cache.insert_or_get(key, snapshot, result)
+    }
+
+    /// Builds the public [`Analysis`] handle around a (cached or fresh)
+    /// pipeline result.
+    fn assemble_analysis(
+        &self,
+        snapshot: Arc<SnapshotView>,
+        history: Option<Arc<History>>,
+        result: Arc<PipelineResult>,
+    ) -> Analysis {
         let matrix = result.dependence_matrix();
-        let analysis = Analysis {
+        Analysis {
             snapshot,
             history,
             result,
@@ -437,8 +577,7 @@ impl SailingEngine {
             strategy_name: self.strategy.name(),
             reports: OnceLock::new(),
             trust: OnceLock::new(),
-        };
-        (analysis, from_cache)
+        }
     }
 }
 
@@ -661,15 +800,23 @@ impl Analysis {
 /// Hit/miss/occupancy counters of an engine's analysis cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Analyses served without re-running the discovery loop.
+    /// Analyses served from the in-memory tier.
     pub hits: u64,
-    /// Analyses that ran the discovery loop (including the first analysis
-    /// of every distinct snapshot).
+    /// In-memory misses — every one of these either fell through to the
+    /// persistent tier (when attached) or ran the discovery loop, so
+    /// `hits + misses` always equals the number of analysis requests.
     pub misses: u64,
-    /// Pipeline results currently retained.
+    /// Pipeline results currently retained in memory.
     pub entries: usize,
-    /// Maximum retained results (`0` = caching disabled).
+    /// Maximum retained results (`0` = in-memory caching disabled).
     pub capacity: usize,
+    /// In-memory misses served from the persistent store instead of a
+    /// discovery run (`0` when no store is attached).
+    pub disk_hits: u64,
+    /// In-memory misses the persistent store could not serve — exactly
+    /// the requests that ran the discovery loop, when a store is attached
+    /// (`0` when none is).
+    pub disk_misses: u64,
 }
 
 /// Cache key: the snapshot's content hash plus the provenance of the
@@ -681,30 +828,22 @@ pub struct CacheStats {
 #[derive(Clone, Copy, PartialEq, Eq)]
 struct CacheKey {
     hash: u64,
+    /// Digest of the warm-start prior ([`PipelineResult::content_digest`]):
+    /// two priors digesting equal presented the same seed to
+    /// [`TruthDiscovery::run_warm`], so their results may share a slot.
     prior: Option<u64>,
 }
 
-/// Digest of a warm-start prior: two priors digesting equal presented the
-/// same seed to [`TruthDiscovery::run_warm`], so their results may share a
-/// cache slot. Covers everything a strategy could legitimately seed from —
-/// accuracies, posterior distributions, and convergence — not just the
-/// accuracy vector the default `AccuCopy` uses, so custom strategies stay
-/// safe. Mixes with the same hash family as
-/// [`SnapshotView::content_hash`] ([`sailing_model::fx_mix`]).
-fn prior_digest(prior: &PipelineResult) -> u64 {
-    let mut h = sailing_model::fx_mix(0x70_72_69_6f_72, prior.accuracies.len() as u64); // "prior"
-    for a in &prior.accuracies {
-        h = sailing_model::fx_mix(h, a.to_bits());
-    }
-    for o in prior.probabilities.objects() {
-        h = sailing_model::fx_mix(h, u64::from(o.0));
-        for &(v, p) in prior.probabilities.distribution(o) {
-            h = sailing_model::fx_mix(h, u64::from(v.0));
-            h = sailing_model::fx_mix(h, p.to_bits());
+impl CacheKey {
+    /// The persistent tier uses the same `(hash, provenance)` identity, so
+    /// the two tiers can never confuse a warm-seeded result with a cold
+    /// one.
+    fn store_key(self) -> StoreKey {
+        StoreKey {
+            snapshot_hash: self.hash,
+            provenance: self.prior,
         }
     }
-    h = sailing_model::fx_mix(h, prior.dependences.len() as u64);
-    sailing_model::fx_mix(h, u64::from(prior.converged))
 }
 
 /// One retained analysis: the snapshot it was computed from (kept both to
@@ -784,24 +923,44 @@ impl AnalysisCache {
         }
     }
 
-    /// Inserts (or refreshes) a result, evicting the least recently used
-    /// entry past capacity.
-    fn insert(&self, key: CacheKey, snapshot: Arc<SnapshotView>, result: Arc<PipelineResult>) {
+    /// Inserts a result — unless an equivalent entry (same key, same
+    /// snapshot content) is already resident, in which case the resident
+    /// allocations are returned and refreshed instead of replaced. This is
+    /// what keeps hits **pointer-identical under concurrency**: when two
+    /// threads miss on the same snapshot simultaneously and both compute,
+    /// the first writer wins and every later caller (including the losing
+    /// computer) adopts the winner's `PipelineResult` allocation. A
+    /// disabled cache returns the inputs unchanged; a same-key entry for
+    /// *different* content (a 64-bit hash collision) is replaced — the two
+    /// snapshots thrash one slot, which is slow but never wrong.
+    fn insert_or_get(
+        &self,
+        key: CacheKey,
+        snapshot: Arc<SnapshotView>,
+        result: Arc<PipelineResult>,
+    ) -> (Arc<SnapshotView>, Arc<PipelineResult>) {
         if self.capacity == 0 {
-            return;
+            return (snapshot, result);
         }
         let mut entries = self.entries.lock().expect("analysis cache poisoned");
         if let Some(pos) = entries.iter().position(|e| e.key == key) {
-            entries.remove(pos);
+            let entry = entries.remove(pos);
+            if *entry.snapshot == *snapshot {
+                let kept = (Arc::clone(&entry.snapshot), Arc::clone(&entry.result));
+                entries.push(entry);
+                return kept;
+            }
+            // Hash collision: fall through and let the new content win.
         }
         entries.push(CacheEntry {
             key,
-            snapshot,
-            result,
+            snapshot: Arc::clone(&snapshot),
+            result: Arc::clone(&result),
         });
         if entries.len() > self.capacity {
             entries.remove(0);
         }
+        (snapshot, result)
     }
 
     fn stats(&self) -> CacheStats {
@@ -810,6 +969,8 @@ impl AnalysisCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("analysis cache poisoned").len(),
             capacity: self.capacity,
+            disk_hits: 0,
+            disk_misses: 0,
         }
     }
 }
@@ -833,6 +994,19 @@ pub struct TimelineSession {
     prior: Option<Arc<PipelineResult>>,
     next: usize,
     total_iterations: usize,
+    /// Epoch analyses precomputed by [`TimelineSession::prefetch_cold`],
+    /// consumed (and removed) as the walk reaches them. Held in the
+    /// session rather than only the engine cache so LRU eviction cannot
+    /// drop a batch result before its epoch is yielded.
+    batched: BTreeMap<Timestamp, BatchSlot>,
+}
+
+/// One prefetched epoch: the cold analysis and whether this session's
+/// batch pass computed it (vs found it store-resident).
+struct BatchSlot {
+    snapshot: Arc<SnapshotView>,
+    result: Arc<PipelineResult>,
+    fresh: bool,
 }
 
 impl TimelineSession {
@@ -865,10 +1039,168 @@ impl TimelineSession {
         self.total_iterations
     }
 
+    /// **Batches the remaining epochs' cold analyses across `threads`
+    /// worker threads**, so the subsequent walk consumes precomputed
+    /// results instead of running discovery epoch by epoch. Returns the
+    /// number of epochs actually computed (the rest were already resident
+    /// in the engine's cache or its persistent store).
+    ///
+    /// The sequential warm-start chain amortises iterations but is
+    /// inherently serial — epoch *N+1*'s seed is epoch *N*'s posterior. A
+    /// **cold** analysis of every epoch needs no seed, so the cold runs
+    /// are embarrassingly parallel: this pass materialises each remaining
+    /// epoch's snapshot, skips the ones the store already holds (under
+    /// their cold key), and fans the rest out under
+    /// [`std::thread::scope`] in LPT-balanced chunks (weighted by
+    /// assertion count, the same discipline as the pairwise-detection
+    /// fan-out). Every computed result is retained through the normal
+    /// two-tier path, so other processes benefit via the persistent store.
+    ///
+    /// Cold runs trade the warm chain's iteration savings for
+    /// parallelism; posteriors agree with the sequential path within the
+    /// convergence tolerance (pinned by the timeline parity tests).
+    /// Accounting keeps the sequential discipline: epochs computed by
+    /// this pass report [`EpochAnalysis::from_cache`]` == false` (fresh
+    /// work spent by this session, counted in
+    /// [`TimelineSession::total_iterations`]), while store-resident
+    /// epochs report `from_cache == true` and cost nothing. One deliberate
+    /// divergence: a history that *revisits* earlier content (an update
+    /// reverting an object) is computed once per distinct snapshot, and
+    /// the repeat epochs report `from_cache == true` with nothing
+    /// counted — matching a cache-backed sequential walk, whereas a
+    /// `cache_capacity(0)` sequential walk would recompute the repeat and
+    /// count its spend. The converged-prior gating is preserved exactly —
+    /// the prior chain advances through the consumed epochs, and any
+    /// epoch missing from the batch falls back to the warm-started
+    /// sequential path unchanged.
+    pub fn prefetch_cold(&mut self, threads: usize) -> usize {
+        let threads = threads.max(1);
+        let mut pending: Vec<(Timestamp, Arc<SnapshotView>)> = Vec::new();
+        // A history can revisit earlier content (an update that reverts an
+        // object): such epochs share a content hash, and computing the
+        // analysis once per *distinct* snapshot — like the sequential
+        // walk's cache would — keeps the batch from duplicating whole
+        // discovery runs. Repeats ride along here and adopt the computed
+        // result below.
+        let mut repeats: Vec<(Timestamp, u64)> = Vec::new();
+        let mut pending_hashes: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for &at in &self.change_points[self.next..] {
+            if self.batched.contains_key(&at) {
+                continue;
+            }
+            let snapshot = Arc::new(self.history.snapshot_at(at));
+            let hash = snapshot.content_hash();
+            if pending_hashes.contains(&hash) {
+                repeats.push((at, hash));
+                continue;
+            }
+            let key = CacheKey { hash, prior: None };
+            match self.engine.probe(key, &snapshot) {
+                Some((snapshot, result)) => {
+                    self.batched.insert(
+                        at,
+                        BatchSlot {
+                            snapshot,
+                            result,
+                            fresh: false,
+                        },
+                    );
+                }
+                None => {
+                    pending_hashes.insert(hash);
+                    pending.push((at, snapshot));
+                }
+            }
+        }
+        let computed = pending.len();
+        // LPT over assertion counts: discovery cost scales with snapshot
+        // size, and equal-length contiguous chunks would let one fat chunk
+        // serialize the scope.
+        let chunks = balanced_epoch_chunks(&pending, threads);
+        let strategy = Arc::clone(&self.engine.strategy);
+        let results: Vec<Vec<(Timestamp, Arc<SnapshotView>, PipelineResult)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        let strategy = Arc::clone(&strategy);
+                        scope.spawn(move || {
+                            chunk
+                                .into_iter()
+                                .map(|(at, snapshot)| {
+                                    let result = strategy.run_warm(&snapshot, None);
+                                    (at, snapshot, result)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("cold-epoch worker panicked"))
+                    .collect()
+            });
+        let mut by_hash: BTreeMap<u64, (Arc<SnapshotView>, Arc<PipelineResult>)> = BTreeMap::new();
+        for (at, snapshot, result) in results.into_iter().flatten() {
+            let key = CacheKey {
+                hash: snapshot.content_hash(),
+                prior: None,
+            };
+            let (snapshot, result) = self.engine.retain_result(key, snapshot, Arc::new(result));
+            by_hash.insert(key.hash, (Arc::clone(&snapshot), Arc::clone(&result)));
+            self.batched.insert(
+                at,
+                BatchSlot {
+                    snapshot,
+                    result,
+                    fresh: true,
+                },
+            );
+        }
+        // Content-repeat epochs share the computed allocation, flagged
+        // like the cache hits they would have been on the sequential walk
+        // (the one fresh computation is already accounted above).
+        for (at, hash) in repeats {
+            let (snapshot, result) = by_hash
+                .get(&hash)
+                .expect("repeat epoch's content was scheduled for computation");
+            self.batched.insert(
+                at,
+                BatchSlot {
+                    snapshot: Arc::clone(snapshot),
+                    result: Arc::clone(result),
+                    fresh: false,
+                },
+            );
+        }
+        computed
+    }
+
     /// Analyzes the next epoch, or `None` once the timeline is exhausted.
     pub fn next_epoch(&mut self) -> Option<EpochAnalysis> {
         let at = *self.change_points.get(self.next)?;
         self.next += 1;
+        if let Some(slot) = self.batched.remove(&at) {
+            let analysis = self.engine.assemble_analysis(
+                slot.snapshot,
+                Some(Arc::clone(&self.history)),
+                slot.result,
+            );
+            // The converged-prior chain advances exactly as in the
+            // sequential walk, so an epoch that has to fall back to the
+            // warm path below still sees the gate it would have seen.
+            self.prior = analysis.result().converged.then(|| analysis.result_arc());
+            if slot.fresh {
+                self.total_iterations += analysis.result().iterations;
+            }
+            return Some(EpochAnalysis {
+                at,
+                warm_started: false,
+                from_cache: !slot.fresh,
+                analysis,
+                temporal: Arc::clone(&self.temporal),
+            });
+        }
         let prior_available = self.prior.is_some();
         let snapshot = Arc::new(self.history.snapshot_at(at));
         let (analysis, from_cache) = self.engine.analyze_inner(
@@ -891,6 +1223,29 @@ impl TimelineSession {
             temporal: Arc::clone(&self.temporal),
         })
     }
+}
+
+/// Greedy LPT assignment of epochs to at most `threads` buckets, weighted
+/// by snapshot assertion count: sort descending, place each epoch in the
+/// currently lightest bucket.
+fn balanced_epoch_chunks(
+    pending: &[(Timestamp, Arc<SnapshotView>)],
+    threads: usize,
+) -> Vec<Vec<(Timestamp, Arc<SnapshotView>)>> {
+    let buckets = threads.min(pending.len()).max(1);
+    let mut order: Vec<usize> = (0..pending.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(pending[i].1.num_assertions()));
+    let mut chunks: Vec<Vec<(Timestamp, Arc<SnapshotView>)>> = vec![Vec::new(); buckets];
+    let mut loads = vec![0usize; buckets];
+    for i in order {
+        let lightest = (0..buckets).min_by_key(|&b| loads[b]).expect("buckets > 0");
+        // Iteration cost is per-assertion per-round; +1 keeps empty
+        // snapshots from all landing in one bucket.
+        loads[lightest] += pending[i].1.num_assertions() + 1;
+        chunks[lightest].push((pending[i].0, Arc::clone(&pending[i].1)));
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
 }
 
 impl Iterator for TimelineSession {
@@ -1466,5 +1821,176 @@ mod tests {
         assert_eq!(session.num_epochs(), 0);
         assert!(session.next_epoch().is_none());
         assert_eq!(session.total_iterations(), 0);
+        // Batched construction over nothing is equally a no-op.
+        let mut batched = engine.timeline_batched(&History::new(3, 2), 4);
+        assert!(batched.next_epoch().is_none());
+    }
+
+    fn persist_temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sailing-engine-persist-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persist_dir_turns_a_second_engine_into_disk_hits() {
+        let dir = persist_temp_dir("second-engine");
+        let (store, _) = fixtures::table1();
+        let snapshot = Arc::new(store.snapshot());
+
+        let first = SailingEngine::builder().persist_dir(&dir).build().unwrap();
+        let a = first.analyze_owned(Arc::clone(&snapshot));
+        let stats = first.cache_stats();
+        assert_eq!((stats.disk_hits, stats.disk_misses), (0, 1));
+        first.flush_persist().unwrap();
+        assert_eq!(first.persist_store().unwrap().len(), 1);
+
+        // A brand-new engine over the same directory — a stand-in for a
+        // second process — serves the analysis from disk.
+        let second = SailingEngine::builder().persist_dir(&dir).build().unwrap();
+        let b = second.analyze_owned(Arc::clone(&snapshot));
+        let stats = second.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1), "memory tier is cold");
+        assert_eq!((stats.disk_hits, stats.disk_misses), (1, 0));
+        assert_eq!(a.decisions(), b.decisions());
+        for (x, y) in a.accuracies().iter().zip(b.accuracies()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "disk round-trip is bit-exact");
+        }
+        // The disk hit was promoted into memory: a third request is a
+        // pointer-identical memory hit.
+        let c = second.analyze_owned(snapshot);
+        assert!(std::ptr::eq(b.result(), c.result()));
+        assert_eq!(second.cache_stats().hits, 1);
+
+        // compact keeps the valid entry; an engine without a store
+        // reports the empty defaults.
+        assert_eq!(
+            second.compact_persist().unwrap(),
+            sailing_persist::CompactReport {
+                kept: 1,
+                removed: 0
+            }
+        );
+        let plain = SailingEngine::with_defaults();
+        assert!(plain.persist_store().is_none());
+        assert_eq!(plain.flush_persist().unwrap(), 0);
+        assert_eq!(plain.compact_persist().unwrap(), Default::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persist_keys_keep_warm_and_cold_results_apart_on_disk() {
+        let dir = persist_temp_dir("provenance");
+        let (_, history, _) = fixtures::table3();
+        let engine = SailingEngine::builder().persist_dir(&dir).build().unwrap();
+        let epochs: Vec<_> = engine.timeline(&history).collect();
+        let warm = epochs
+            .iter()
+            .find(|e| e.warm_started())
+            .expect("some epoch warm-started");
+        engine.flush_persist().unwrap();
+
+        // A cold analyze in a fresh engine over the same directory must
+        // not be answered by the warm-provenance entry.
+        let second = SailingEngine::builder().persist_dir(&dir).build().unwrap();
+        let cold = second.analyze_owned(warm.analysis().snapshot_arc());
+        assert_eq!(second.cache_stats().disk_misses, 1);
+        assert_eq!(cold.decisions(), warm.analysis().decisions());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_timeline_agrees_with_sequential_and_accounts_identically() {
+        let (_, history, _) = fixtures::table3();
+        let params = DetectionParams {
+            min_overlap: 1,
+            ..DetectionParams::default()
+        };
+        let seq_engine = SailingEngine::builder()
+            .params(params.clone())
+            .cache_capacity(0)
+            .build()
+            .unwrap();
+        let par_engine = SailingEngine::builder()
+            .params(params)
+            .cache_capacity(0)
+            .build()
+            .unwrap();
+
+        let sequential: Vec<_> = seq_engine.timeline(&history).collect();
+        let mut batched_session = par_engine.timeline_batched(&history, 4);
+        let batched: Vec<_> = batched_session.by_ref().collect();
+
+        assert_eq!(sequential.len(), batched.len());
+        let mut spent = 0usize;
+        for (s, b) in sequential.iter().zip(&batched) {
+            assert_eq!(s.timestamp(), b.timestamp());
+            assert_eq!(s.analysis().decisions(), b.analysis().decisions());
+            // Fresh engines: both walks did fresh work for every epoch.
+            assert!(!s.from_cache() && !b.from_cache());
+            assert!(!b.warm_started(), "batched epochs run cold");
+            spent += b.iterations();
+        }
+        // Same accounting discipline: total == sum of fresh epochs' spend.
+        assert_eq!(batched_session.total_iterations(), spent);
+    }
+
+    #[test]
+    fn prefetch_dedupes_content_repeat_epochs() {
+        // An update that reverts an object gives two change points the
+        // same snapshot content; the batch must compute that content once
+        // and fan it out, like the sequential walk's cache would.
+        let mut history = History::new(1, 1);
+        history.record(SourceId(0), ObjectId(0), 1, ValueId(1));
+        history.record(SourceId(0), ObjectId(0), 2, ValueId(2));
+        history.record(SourceId(0), ObjectId(0), 3, ValueId(1)); // revert
+        let engine = SailingEngine::with_defaults();
+        let mut session = engine.timeline_owned(Arc::new(history));
+        assert_eq!(session.num_epochs(), 3);
+        assert_eq!(session.prefetch_cold(2), 2, "two distinct contents");
+        let epochs: Vec<_> = session.by_ref().collect();
+        assert_eq!(epochs.len(), 3);
+        // The repeat shares the first epoch's allocation and reports as
+        // served rather than freshly computed.
+        assert!(std::ptr::eq(
+            epochs[0].analysis().result(),
+            epochs[2].analysis().result()
+        ));
+        assert!(!epochs[0].from_cache() && !epochs[1].from_cache());
+        assert!(epochs[2].from_cache());
+        assert_eq!(
+            session.total_iterations(),
+            epochs[0].iterations() + epochs[1].iterations()
+        );
+    }
+
+    #[test]
+    fn prefetch_against_a_warm_cache_computes_nothing() {
+        let (_, history, _) = fixtures::table3();
+        let engine = SailingEngine::builder()
+            .params(DetectionParams {
+                min_overlap: 1,
+                ..DetectionParams::default()
+            })
+            .cache_capacity(64)
+            .build()
+            .unwrap();
+        // A batched walk populates the cache with cold-keyed results…
+        let first: Vec<_> = engine.timeline_batched(&history, 2).collect();
+        assert!(first.iter().all(|e| !e.from_cache()));
+        // …so a second batched walk prefetches zero and serves everything
+        // as cache hits with no spend.
+        let mut rerun = engine.timeline_owned(Arc::new(history.clone()));
+        assert_eq!(rerun.prefetch_cold(2), 0);
+        let second: Vec<_> = rerun.by_ref().collect();
+        assert_eq!(first.len(), second.len());
+        assert!(second.iter().all(|e| e.from_cache()));
+        assert_eq!(rerun.total_iterations(), 0);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(std::ptr::eq(a.analysis().result(), b.analysis().result()));
+        }
     }
 }

@@ -19,6 +19,11 @@
 //!   the workspace reports;
 //! * [`model`] — the structured-source data model (claims, snapshots,
 //!   temporal update traces, ground truths);
+//! * [`persist`] — the **persistent cross-process analysis store**: a
+//!   versioned, checksummed on-disk format for converged pipeline
+//!   results, the durable tier under the engine's analysis cache
+//!   (attach one with
+//!   [`persist_dir`](SailingEngineBuilder::persist_dir));
 //! * [`core`] — **dependence discovery**: Bayesian snapshot copy detection,
 //!   dissimilarity-dependence detection on opinions, temporal (update-trace)
 //!   dependence with lazy-copier lag estimation, pluggable
@@ -94,5 +99,6 @@ pub use sailing_datagen as datagen;
 pub use sailing_fusion as fusion;
 pub use sailing_linkage as linkage;
 pub use sailing_model as model;
+pub use sailing_persist as persist;
 pub use sailing_query as query;
 pub use sailing_recommend as recommend;

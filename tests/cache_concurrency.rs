@@ -1,0 +1,161 @@
+//! Hammer one engine's shared analysis cache from many threads and pin
+//! its two concurrency guarantees:
+//!
+//! 1. **Counter coherence** — every analysis request increments exactly
+//!    one of `hits`/`misses`, so `hits + misses == requests` no matter
+//!    how the threads interleave (and, with a persistent store attached,
+//!    `disk_hits + disk_misses == misses`).
+//! 2. **Pointer-identical hits** — all analyses of one snapshot share a
+//!    single `PipelineResult` allocation, *including* when several
+//!    threads miss simultaneously and race to insert: the first writer
+//!    wins and every later caller adopts its allocation
+//!    (`AnalysisCache::insert_or_get`), so the cache never hands out two
+//!    diverging copies of "the same" converged result.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sailing::engine::SailingEngine;
+use sailing::model::{ObjectId, SnapshotView, SourceId, ValueId};
+
+/// Distinct small snapshots, one per value seed.
+fn snapshots(n: u32) -> Vec<Arc<SnapshotView>> {
+    (0..n)
+        .map(|i| {
+            let triples: Vec<(SourceId, ObjectId, ValueId)> = (0..4u32)
+                .flat_map(|s| {
+                    (0..6u32).map(move |o| (SourceId(s), ObjectId(o), ValueId(o * 100 + i + s % 2)))
+                })
+                .collect();
+            Arc::new(SnapshotView::from_triples(4, 6, triples))
+        })
+        .collect()
+}
+
+fn hammer(engine: &SailingEngine, snaps: &[Arc<SnapshotView>], threads: usize, rounds: usize) {
+    // Each thread analyzes every snapshot `rounds` times through its own
+    // engine clone (clones share the cache) and records the result
+    // allocation it was handed per snapshot hash.
+    let per_thread: Vec<Vec<(u64, usize)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    for r in 0..rounds {
+                        // Stagger starting points so threads collide on
+                        // different snapshots at different times.
+                        for i in 0..snaps.len() {
+                            let snap = &snaps[(i + t + r) % snaps.len()];
+                            let analysis = engine.analyze_owned(Arc::clone(snap));
+                            seen.push((
+                                snap.content_hash(),
+                                analysis.result() as *const _ as usize,
+                            ));
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Guarantee 2: one allocation per snapshot across every thread.
+    let mut by_hash: HashMap<u64, usize> = HashMap::new();
+    for (hash, ptr) in per_thread.into_iter().flatten() {
+        let first = *by_hash.entry(hash).or_insert(ptr);
+        assert_eq!(
+            first, ptr,
+            "two different PipelineResult allocations served for one snapshot"
+        );
+    }
+    assert_eq!(by_hash.len(), snaps.len());
+}
+
+#[test]
+fn shared_cache_counters_stay_coherent_and_hits_pointer_identical() {
+    let threads = 8;
+    let rounds = 25;
+    let snaps = snapshots(5);
+    let engine = SailingEngine::builder().cache_capacity(16).build().unwrap();
+    hammer(&engine, &snaps, threads, rounds);
+
+    let stats = engine.cache_stats();
+    let requests = (threads * rounds * snaps.len()) as u64;
+    assert_eq!(
+        stats.hits + stats.misses,
+        requests,
+        "every request must count exactly once: {stats:?}"
+    );
+    // All snapshots fit in the cache: at least one miss each (the first
+    // computation) and hits for the overwhelming rest. Racing first
+    // requests may legitimately compute a snapshot more than once, so
+    // misses can exceed the snapshot count — but never the thread budget.
+    assert!(stats.misses >= snaps.len() as u64, "{stats:?}");
+    assert!(stats.misses <= (snaps.len() * threads) as u64, "{stats:?}");
+    assert_eq!(stats.entries, snaps.len());
+    assert_eq!((stats.disk_hits, stats.disk_misses), (0, 0), "no store");
+}
+
+#[test]
+fn two_tier_counters_stay_coherent_under_concurrency() {
+    let dir =
+        std::env::temp_dir().join(format!("sailing-cache-concurrency-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let threads = 8;
+    let rounds = 10;
+    let snaps = snapshots(4);
+    let engine = SailingEngine::builder()
+        .cache_capacity(16)
+        .persist_dir(&dir)
+        .build()
+        .unwrap();
+    hammer(&engine, &snaps, threads, rounds);
+
+    let stats = engine.cache_stats();
+    let requests = (threads * rounds * snaps.len()) as u64;
+    assert_eq!(stats.hits + stats.misses, requests, "{stats:?}");
+    // Every memory miss goes to disk and is answered exactly once there.
+    assert_eq!(
+        stats.disk_hits + stats.disk_misses,
+        stats.misses,
+        "{stats:?}"
+    );
+    // Discovery ran only for disk misses; disk hits served the rest.
+    assert!(stats.disk_misses >= snaps.len() as u64, "{stats:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The eviction path under contention: a cache smaller than the working
+/// set must keep counters coherent even while entries churn.
+#[test]
+fn thrashing_cache_keeps_counter_coherence() {
+    let threads = 6;
+    let rounds = 20;
+    let snaps = snapshots(6);
+    let engine = SailingEngine::builder().cache_capacity(2).build().unwrap();
+
+    // Pointer identity is *not* guaranteed while evictions churn (a
+    // re-computed snapshot gets a new allocation), so only the counter
+    // invariant is asserted here.
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = engine.clone();
+            let snaps = &snaps;
+            scope.spawn(move || {
+                for r in 0..rounds {
+                    for i in 0..snaps.len() {
+                        let snap = &snaps[(i + t + r) % snaps.len()];
+                        let _ = engine.analyze_owned(Arc::clone(snap));
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = engine.cache_stats();
+    let requests = (threads * rounds * snaps.len()) as u64;
+    assert_eq!(stats.hits + stats.misses, requests, "{stats:?}");
+    assert!(stats.entries <= 2, "{stats:?}");
+}

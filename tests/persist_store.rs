@@ -1,0 +1,341 @@
+//! The persistent analysis store's end-to-end guarantees:
+//!
+//! 1. **Cross-process reuse** — a second engine over the same store
+//!    directory (the stand-in for a second process) performs **zero**
+//!    truth-discovery runs for store-resident analyses; a counting
+//!    strategy proves the loop never executes.
+//! 2. **Corruption tolerance** — truncated, bit-flipped, and
+//!    wrong-version store files degrade to clean cold misses: never an
+//!    error, never a wrong hit, and discovery simply re-runs.
+//! 3. **Format pinning** — a golden store directory committed under
+//!    `tests/golden/persist_v1/` must keep reading; regenerate only for a
+//!    deliberate format-version bump (`UPDATE_GOLDEN=1 cargo test --test
+//!    persist_store`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sailing::core::{AccuCopy, DetectionParams, PipelineResult, TruthDiscovery};
+use sailing::engine::SailingEngine;
+use sailing::model::{fixtures, SnapshotView};
+use sailing::persist::{CompactReport, PersistentStore, StoreKey, FORMAT_VERSION, MAGIC};
+
+/// A strategy that counts every discovery run it performs — the proof
+/// that store hits skip the loop entirely. Carries no parameters of its
+/// own, so it composes with the engine's defaults exactly like the stock
+/// ACCU-COPY strategy.
+struct CountingAccuCopy {
+    inner: AccuCopy,
+    runs: Arc<AtomicUsize>,
+}
+
+impl CountingAccuCopy {
+    fn new() -> (Self, Arc<AtomicUsize>) {
+        let runs = Arc::new(AtomicUsize::new(0));
+        (
+            Self {
+                inner: AccuCopy::with_defaults(),
+                runs: Arc::clone(&runs),
+            },
+            runs,
+        )
+    }
+}
+
+impl TruthDiscovery for CountingAccuCopy {
+    fn name(&self) -> &'static str {
+        "accu-copy"
+    }
+
+    fn discover(&self, snapshot: &SnapshotView) -> PipelineResult {
+        self.run_warm(snapshot, None)
+    }
+
+    fn run_warm(&self, snapshot: &SnapshotView, prior: Option<&PipelineResult>) -> PipelineResult {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        self.inner.run_warm(snapshot, prior)
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sailing-persist-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn table1_snapshot() -> Arc<SnapshotView> {
+    let (store, _) = fixtures::table1();
+    Arc::new(store.snapshot())
+}
+
+/// The acceptance criterion: a second engine process over the same
+/// snapshots performs zero truth-discovery runs for store-resident
+/// analyses.
+#[test]
+fn second_engine_over_the_store_runs_zero_discovery() {
+    let dir = temp_dir("zero-discovery");
+    let snapshot = table1_snapshot();
+
+    let writer = SailingEngine::builder().persist_dir(&dir).build().unwrap();
+    let first = writer.analyze_owned(Arc::clone(&snapshot));
+    writer.flush_persist().unwrap();
+    drop(writer);
+
+    let (strategy, runs) = CountingAccuCopy::new();
+    let reader = SailingEngine::builder()
+        .strategy(strategy)
+        .persist_dir(&dir)
+        .build()
+        .unwrap();
+    let served = reader.analyze_owned(Arc::clone(&snapshot));
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        0,
+        "a store-resident analysis must not run discovery"
+    );
+    let stats = reader.cache_stats();
+    assert_eq!((stats.disk_hits, stats.disk_misses), (1, 0), "{stats:?}");
+    assert_eq!(served.decisions(), first.decisions());
+    assert_eq!(served.result().iterations, first.result().iterations);
+    assert!(served.converged());
+
+    // An unseen snapshot still cold-runs exactly once, write-through.
+    let (other_store, _) = fixtures::table1_independent_only();
+    let fresh = reader.analyze(&other_store.snapshot());
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+    assert!(!fresh.decisions().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A whole timeline served from the store: the second process's batched
+/// walk spends zero iterations and flags every epoch as cache-served.
+#[test]
+fn second_engine_timeline_is_served_from_the_store() {
+    let dir = temp_dir("timeline");
+    let (_, history, _) = fixtures::table3();
+    let params = DetectionParams {
+        min_overlap: 1,
+        ..DetectionParams::default()
+    };
+
+    let writer = SailingEngine::builder()
+        .params(params.clone())
+        .persist_dir(&dir)
+        .build()
+        .unwrap();
+    // Batched walk so the store receives *cold-keyed* entries for every
+    // epoch (the warm chain's entries are provenance-specific).
+    let first: Vec<_> = writer.timeline_batched(&history, 2).collect();
+    writer.flush_persist().unwrap();
+    drop(writer);
+
+    let reader = SailingEngine::builder()
+        .params(params)
+        .persist_dir(&dir)
+        .build()
+        .unwrap();
+    let mut session = reader.timeline_batched(&history, 2);
+    let second: Vec<_> = session.by_ref().collect();
+    assert_eq!(first.len(), second.len());
+    assert!(second.iter().all(|e| e.from_cache()));
+    assert_eq!(session.total_iterations(), 0);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.analysis().decisions(), b.analysis().decisions());
+    }
+    assert_eq!(reader.cache_stats().disk_hits as usize, second.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Damage in every corruption class degrades to a clean cold miss: the
+/// engine re-runs discovery (exactly once), returns correct answers, and
+/// surfaces no error.
+#[test]
+fn corrupted_store_files_degrade_to_cold_misses() {
+    let snapshot = table1_snapshot();
+    let expected = SailingEngine::with_defaults()
+        .analyze_owned(Arc::clone(&snapshot))
+        .decisions();
+    let key = StoreKey::cold(snapshot.content_hash());
+
+    // A pristine entry to damage per case.
+    let pristine_dir = temp_dir("pristine");
+    {
+        let engine = SailingEngine::builder()
+            .persist_dir(&pristine_dir)
+            .build()
+            .unwrap();
+        engine.analyze_owned(Arc::clone(&snapshot));
+        engine.flush_persist().unwrap();
+    }
+    let pristine = std::fs::read(pristine_dir.join(key.file_name())).unwrap();
+    let header_end = pristine.iter().position(|&b| b == b'\n').unwrap();
+
+    let corruptions: Vec<(&str, Vec<u8>)> = vec![
+        ("truncated-payload", pristine[..pristine.len() / 2].to_vec()),
+        ("truncated-header", pristine[..header_end / 2].to_vec()),
+        ("bit-flip-payload", {
+            let mut b = pristine.clone();
+            let i = header_end + 1 + (b.len() - header_end - 1) / 2;
+            b[i] ^= 0x10;
+            b
+        }),
+        ("bit-flip-header-checksum", {
+            let mut b = pristine.clone();
+            b[header_end - 1] ^= 0x01;
+            b
+        }),
+        ("wrong-version", {
+            let text = String::from_utf8(pristine.clone()).unwrap();
+            text.replacen(
+                &format!("{MAGIC} v{FORMAT_VERSION} "),
+                &format!("{MAGIC} v{} ", FORMAT_VERSION + 1),
+                1,
+            )
+            .into_bytes()
+        }),
+        ("wrong-magic", {
+            let text = String::from_utf8(pristine.clone()).unwrap();
+            text.replacen(MAGIC, "sailing-somethingelse", 1)
+                .into_bytes()
+        }),
+        ("empty-file", Vec::new()),
+        ("garbage", b"not a store entry at all\n{}".to_vec()),
+    ];
+
+    for (tag, bytes) in corruptions {
+        let dir = temp_dir(&format!("corrupt-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(key.file_name()), &bytes).unwrap();
+
+        // Store-level: a miss, counted as rejected (except the truncated
+        // header cases which may fail magic parsing first — still a miss).
+        let store = PersistentStore::open(&dir).unwrap();
+        assert!(
+            store.get(key, &snapshot).is_none(),
+            "{tag}: must miss, not serve damage"
+        );
+        assert_eq!(store.stats().disk_misses, 1, "{tag}");
+
+        // Engine-level: discovery re-runs exactly once and the answers
+        // are correct; the overwritten entry is healthy again after.
+        let (strategy, runs) = CountingAccuCopy::new();
+        let engine = SailingEngine::builder()
+            .strategy(strategy)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+        let analysis = engine.analyze_owned(Arc::clone(&snapshot));
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "{tag}: one cold re-run");
+        assert_eq!(analysis.decisions(), expected, "{tag}");
+        engine.flush_persist().unwrap();
+        let healed = PersistentStore::open(&dir).unwrap();
+        assert!(healed.get(key, &snapshot).is_some(), "{tag}: healed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&pristine_dir).ok();
+}
+
+/// `compact` sweeps damaged and stale-version entries, keeps valid ones.
+#[test]
+fn compact_removes_damage_and_reports_counts() {
+    let dir = temp_dir("compact");
+    let snapshot = table1_snapshot();
+    let engine = SailingEngine::builder().persist_dir(&dir).build().unwrap();
+    engine.analyze_owned(Arc::clone(&snapshot));
+    engine.flush_persist().unwrap();
+    let key = StoreKey::cold(snapshot.content_hash());
+    let valid = std::fs::read(dir.join(key.file_name())).unwrap();
+
+    std::fs::write(dir.join("1111111111111111-cold.sail"), b"garbage").unwrap();
+    let stale = String::from_utf8(valid)
+        .unwrap()
+        .replacen(" v1 ", " v9 ", 1);
+    std::fs::write(dir.join("2222222222222222-cold.sail"), stale).unwrap();
+
+    assert_eq!(
+        engine.compact_persist().unwrap(),
+        CompactReport {
+            kept: 1,
+            removed: 2
+        }
+    );
+    assert!(engine
+        .persist_store()
+        .unwrap()
+        .get(key, &snapshot)
+        .is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// --- golden format pinning -------------------------------------------------
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/persist_v1")
+}
+
+/// The committed golden store directory pins format version 1: the file
+/// *name*, the header line, and the payload must keep decoding to the
+/// pinned Table 1 analysis. A format change must bump [`FORMAT_VERSION`]
+/// and regenerate deliberately (`UPDATE_GOLDEN=1`), not silently.
+#[test]
+fn golden_store_directory_keeps_reading() {
+    let snapshot = table1_snapshot();
+    let key = StoreKey::cold(snapshot.content_hash());
+    let live = Arc::new(AccuCopy::with_defaults().run(&snapshot));
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let _ = std::fs::remove_dir_all(golden_dir());
+        let store = PersistentStore::open(golden_dir()).unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&live));
+        store.flush().unwrap();
+        eprintln!("regenerated {}", golden_dir().display());
+    }
+
+    // The entry file exists under the name the key derives…
+    let path = golden_dir().join(key.file_name());
+    let bytes = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("golden store entry missing at {}: {e}", path.display()));
+    // …opens with the v1 header…
+    let header = String::from_utf8_lossy(&bytes[..bytes.iter().position(|&b| b == b'\n').unwrap()])
+        .into_owned();
+    assert!(
+        header.starts_with(&format!("{MAGIC} v{FORMAT_VERSION} ")),
+        "golden header drifted: {header:?}"
+    );
+    // …and round-trips through a read-only store handle to the same
+    // posteriors the live pipeline computes today (±1e-12, the goldens'
+    // standard tolerance).
+    let store = PersistentStore::open(golden_dir()).unwrap();
+    let (snap, loaded) = store.get(key, &snapshot).expect(
+        "golden entry must decode as a hit — did the format change without a version bump?",
+    );
+    assert_eq!(*snap, *snapshot);
+    assert_eq!(loaded.decisions_sorted(), live.decisions_sorted());
+    assert_eq!(loaded.converged, live.converged);
+    assert_eq!(loaded.accuracies.len(), live.accuracies.len());
+    for (g, l) in loaded.accuracies.iter().zip(&live.accuracies) {
+        assert!((g - l).abs() < 1e-12, "golden {g} vs live {l}");
+    }
+    for (g, l) in loaded.dependences.iter().zip(&live.dependences) {
+        assert_eq!((g.a, g.b), (l.a, l.b));
+        assert!((g.probability - l.probability).abs() < 1e-12);
+    }
+}
+
+/// The canonical serializations the store checksums are deterministic:
+/// equal inputs produce byte-identical text, and the digest survives the
+/// round-trip.
+#[test]
+fn canonical_serialization_is_deterministic_and_digest_stable() {
+    let snapshot = table1_snapshot();
+    let result = AccuCopy::with_defaults().run(&snapshot);
+    assert_eq!(snapshot.to_canonical_json(), snapshot.to_canonical_json());
+    assert_eq!(result.to_canonical_json(), result.to_canonical_json());
+
+    let snap_back = SnapshotView::from_json_str(&snapshot.to_canonical_json()).unwrap();
+    assert_eq!(snap_back.content_hash(), snapshot.content_hash());
+    let res_back = PipelineResult::from_json_str(&result.to_canonical_json()).unwrap();
+    assert_eq!(res_back.content_digest(), result.content_digest());
+    assert_eq!(res_back.to_canonical_json(), result.to_canonical_json());
+}

@@ -166,6 +166,86 @@ fn csr_snapshot_agrees_with_reference_hashmap() {
     }
 }
 
+/// `SnapshotView::content_hash` — the analysis cache's and persistent
+/// store's key — must be invariant under (a) source/claim insertion order
+/// and (b) a serde round-trip through the canonical JSON wire shape, for
+/// randomized worlds. It must also *change* whenever the assertion set
+/// changes, or distinct snapshots would silently share cache entries.
+#[test]
+fn content_hash_invariant_under_serde_and_insertion_order() {
+    for case in 0..CASES {
+        let mut r = rng(12_000 + case);
+        let n_triples = r.gen_range(1..150usize);
+        let mut triples: Vec<(SourceId, ObjectId, ValueId)> = (0..n_triples)
+            .map(|_| {
+                (
+                    SourceId(r.gen_range(0..8u32)),
+                    ObjectId(r.gen_range(0..12u32)),
+                    ValueId(r.gen_range(0..5u32)),
+                )
+            })
+            .collect();
+        // Duplicate (source, object) pairs make insertion order *matter*
+        // for content (last write wins), so compare permutations of the
+        // deduplicated assertion set, where order must NOT matter.
+        triples.sort_unstable();
+        triples.dedup_by_key(|&mut (s, o, _)| (s, o));
+        let snap = SnapshotView::from_triples(8, 12, triples.clone());
+        let hash = snap.content_hash();
+
+        let mut shuffled = triples.clone();
+        shuffled.shuffle(&mut r);
+        let reordered = SnapshotView::from_triples(8, 12, shuffled);
+        assert_eq!(
+            hash,
+            reordered.content_hash(),
+            "case {case}: insertion order leaked into the content hash"
+        );
+
+        let back = SnapshotView::from_json_str(&snap.to_canonical_json())
+            .unwrap_or_else(|e| panic!("case {case}: round-trip failed: {e}"));
+        assert_eq!(back, snap, "case {case}: serde round-trip changed content");
+        assert_eq!(
+            hash,
+            back.content_hash(),
+            "case {case}: serde round-trip changed the hash"
+        );
+
+        // Sensitivity: dropping one assertion must move the hash (else
+        // the cache would serve a stale analysis for the shrunk world).
+        if triples.len() > 1 {
+            let mut smaller = triples.clone();
+            smaller.remove(r.gen_range(0..smaller.len()));
+            let shrunk = SnapshotView::from_triples(8, 12, smaller);
+            assert_ne!(hash, shrunk.content_hash(), "case {case}");
+        }
+    }
+}
+
+/// The warm-start provenance digest must likewise survive the canonical
+/// serde round-trip — the persistent store keys warm entries by it, so a
+/// digest that drifted across save/load would turn every cross-process
+/// warm lookup into a miss (or worse, a false hit).
+#[test]
+fn pipeline_result_digest_survives_serde_round_trip() {
+    for case in 0..(CASES / 4) {
+        let snapshot = random_snapshot(13_000 + case);
+        let result = AccuCopy::with_defaults().run(&snapshot);
+        let json = result.to_canonical_json();
+        let back = sailing::core::PipelineResult::from_json_str(&json)
+            .unwrap_or_else(|e| panic!("case {case}: round-trip failed: {e}"));
+        assert_eq!(
+            back.content_digest(),
+            result.content_digest(),
+            "case {case}"
+        );
+        assert_eq!(back.to_canonical_json(), json, "case {case}: not canonical");
+        for (a, b) in back.accuracies.iter().zip(&result.accuracies) {
+            assert_eq!(a.to_bits(), b.to_bits(), "case {case}: f64 drifted");
+        }
+    }
+}
+
 #[test]
 fn value_probabilities_are_valid() {
     for case in 0..CASES {

@@ -227,6 +227,98 @@ fn timeline_rerun_is_served_from_the_cache() {
     assert_eq!(second_walk.total_iterations(), 0);
 }
 
+/// The parallel-cold-batched walk is a drop-in for the sequential PR 3
+/// path: identical change points, posteriors within ±1e-9 (both paths
+/// converge to the pinned fixpoint — batched epochs run cold, the
+/// sequential chain warm, and warm trades iterations, not answers), and
+/// the same accounting discipline — every epoch of a fresh walk reports
+/// `from_cache() == false` with its iterations counted, and
+/// `total_iterations()` is exactly the sum over non-cached epochs.
+#[test]
+fn batched_cold_timeline_matches_sequential_posteriors_and_accounting() {
+    let world = seeded_world();
+    let history = Arc::new(world.history.clone());
+
+    let seq_engine = SailingEngine::builder()
+        .params(pinned_params())
+        .cache_capacity(0)
+        .build()
+        .unwrap();
+    let par_engine = SailingEngine::builder()
+        .params(pinned_params())
+        .cache_capacity(0)
+        .build()
+        .unwrap();
+
+    let mut seq_session = seq_engine.timeline_owned(Arc::clone(&history));
+    let sequential: Vec<_> = seq_session.by_ref().collect();
+
+    let mut par_session = par_engine.timeline_owned(Arc::clone(&history));
+    let computed = par_session.prefetch_cold(4);
+    assert_eq!(
+        computed,
+        sequential.len(),
+        "cold engines: every epoch must be batch-computed"
+    );
+    let batched: Vec<_> = par_session.by_ref().collect();
+
+    assert_eq!(sequential.len(), batched.len());
+    let mut batched_spend = 0usize;
+    let mut seq_spend = 0usize;
+    for (s, b) in sequential.iter().zip(&batched) {
+        assert_eq!(s.timestamp(), b.timestamp());
+        assert_posterior_parity(b.analysis().result(), s.analysis().result(), s.timestamp());
+        // Identical from_cache accounting on fresh engines: all fresh.
+        assert_eq!(s.from_cache(), b.from_cache(), "at {}", s.timestamp());
+        assert!(!b.from_cache());
+        assert!(!b.warm_started(), "batched epochs run cold");
+        batched_spend += b.iterations();
+        seq_spend += s.iterations();
+    }
+    // Identical iteration accounting: total == sum over fresh epochs, on
+    // both paths.
+    assert_eq!(par_session.total_iterations(), batched_spend);
+    assert_eq!(seq_session.total_iterations(), seq_spend);
+    // Cold epochs cannot beat the warm chain on iterations — the batch
+    // trades rounds for cores, it must never *gain* rounds from nowhere.
+    assert!(
+        batched_spend >= seq_spend,
+        "batched {batched_spend} vs sequential {seq_spend}"
+    );
+}
+
+/// Re-walking a batched timeline against the now-warm cache mirrors the
+/// sequential rerun exactly: everything from_cache, zero spend, and
+/// prefetch finds nothing left to compute.
+#[test]
+fn batched_timeline_rerun_accounting_matches_sequential_rerun() {
+    let world = seeded_world();
+    let history = Arc::new(world.history.clone());
+    let engine = SailingEngine::builder()
+        .params(pinned_params())
+        .cache_capacity(64)
+        .build()
+        .unwrap();
+
+    let first: Vec<_> = engine
+        .timeline_batched_owned(Arc::clone(&history), 4)
+        .collect();
+    assert!(first.iter().all(|e| !e.from_cache()));
+
+    let mut rerun = engine.timeline_owned(Arc::clone(&history));
+    assert_eq!(rerun.prefetch_cold(4), 0, "everything is cache-resident");
+    let second: Vec<_> = rerun.by_ref().collect();
+    assert_eq!(first.len(), second.len());
+    assert!(second.iter().all(|e| e.from_cache() && !e.warm_started()));
+    assert_eq!(rerun.total_iterations(), 0);
+    for (a, b) in first.iter().zip(&second) {
+        assert!(
+            std::ptr::eq(a.analysis().result(), b.analysis().result()),
+            "cache-served epochs must be pointer-identical"
+        );
+    }
+}
+
 /// `History::snapshot_at` and the timeline agree epoch by epoch on what
 /// the snapshot *is* (content hash), so external epoch bookkeeping via
 /// `change_points()` composes with the session.
