@@ -62,6 +62,21 @@ pub enum SailingError {
         /// The underlying I/O failure, rendered.
         reason: String,
     },
+    /// A persistent-store write failed on the **background writer thread**,
+    /// after the originating `put` had already returned to its caller.
+    ///
+    /// Deferred failures are never silently lost: each is counted in the
+    /// store's `PersistStats::write_errors`, retained for
+    /// `PersistentStore::take_write_errors`, and the first one pending is
+    /// returned by the next `flush()` drain. The dropped entry itself is a
+    /// cache of recomputable work — losing it is a future cold miss, not
+    /// data loss.
+    PersistDeferred {
+        /// The path the background write targeted.
+        path: String,
+        /// The underlying I/O failure, rendered.
+        reason: String,
+    },
 }
 
 impl SailingError {
@@ -96,6 +111,18 @@ impl SailingError {
             reason: reason.to_string(),
         }
     }
+
+    /// Re-labels a persist error as having happened on the background
+    /// writer thread ([`SailingError::PersistDeferred`]). Non-persist
+    /// errors pass through unchanged.
+    pub fn into_deferred(self) -> Self {
+        match self {
+            SailingError::Persist { path, reason } => {
+                SailingError::PersistDeferred { path, reason }
+            }
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for SailingError {
@@ -119,6 +146,12 @@ impl fmt::Display for SailingError {
             }
             SailingError::Persist { path, reason } => {
                 write!(f, "persistent store failure at {path}: {reason}")
+            }
+            SailingError::PersistDeferred { path, reason } => {
+                write!(
+                    f,
+                    "persistent store background write failed at {path}: {reason}"
+                )
             }
         }
     }
@@ -164,6 +197,18 @@ mod tests {
         assert!(SailingError::config("WorldConfig", "no sources")
             .to_string()
             .contains("WorldConfig"));
+        assert!(SailingError::persist("/store/x", "disk full")
+            .into_deferred()
+            .to_string()
+            .contains("background write"));
+    }
+
+    #[test]
+    fn into_deferred_relabels_only_persist() {
+        let deferred = SailingError::persist("/store/a.sail", "io").into_deferred();
+        assert!(matches!(deferred, SailingError::PersistDeferred { .. }));
+        let other = SailingError::InvalidProbability(2.0).into_deferred();
+        assert_eq!(other, SailingError::InvalidProbability(2.0));
     }
 
     #[test]

@@ -13,6 +13,73 @@
 //! truth-discovery runs. This is the durable tier under the `sailing`
 //! facade's in-memory analysis cache.
 //!
+//! # Write modes
+//!
+//! A store opened with [`PersistentStore::open`] is **write-behind,
+//! synchronous**: `put` buffers, and the buffer reaches disk on
+//! [`PersistentStore::flush`] (run automatically every few writes and on
+//! drop) — the historical behaviour, where a hot analysis loop
+//! occasionally pays a filesystem batch.
+//!
+//! A store opened with [`StoreOptions::async_writer`] instead owns a
+//! **background writer thread**: `put` enqueues onto a bounded in-memory
+//! queue and returns **without any filesystem syscall**; the writer
+//! drains batches with the same atomic temp-file+rename discipline.
+//! Entries stay visible to [`PersistentStore::get`] from the moment
+//! `put` returns until they are durably renamed, so there is no window
+//! in which a just-put analysis reads as a miss. [`PersistentStore::flush`]
+//! is then a **drain barrier**: it returns once every entry enqueued
+//! before the call has been written (or failed). Dropping the last
+//! handle drains with a deadline ([`SHUTDOWN_DRAIN_DEADLINE`]); a
+//! filesystem that hangs past the deadline gets the writer detached
+//! rather than the process wedged — unwritten entries are caches of
+//! recomputable work.
+//!
+//! **Deferred errors are never silently lost.** A write that fails on
+//! the background thread (after its `put` already returned) is counted
+//! in [`PersistStats::write_errors`], retained as a
+//! [`SailingError::PersistDeferred`] for
+//! [`PersistentStore::take_write_errors`], and the first one pending is
+//! returned by the next `flush()`:
+//!
+//! ```
+//! use sailing_persist::{PersistentStore, StoreOptions};
+//!
+//! let dir = std::env::temp_dir().join(format!("sailing-doc-async-{}", std::process::id()));
+//! let store = PersistentStore::open_with(&dir, StoreOptions::async_writer(64))?;
+//! // … puts happen on the analysis path, syscall-free …
+//! store.flush()?; // drain barrier: everything enqueued is now on disk
+//! for err in store.take_write_errors() {
+//!     eprintln!("deferred store write failed: {err}");
+//! }
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), sailing_model::SailingError>(())
+//! ```
+//!
+//! # Sharing one directory across handles, processes, and machines
+//!
+//! Entry writes are atomic (unique temp file + rename), so a reader in
+//! another process — or on another machine over a shared POSIX
+//! filesystem — sees either the previous complete entry or the new one,
+//! never a torn write. [`PersistentStore::compact`] is safe to run while
+//! other handles keep reading and writing, via two mechanisms:
+//!
+//! * **One compactor at a time** — a `compact.lock` file taken with
+//!   `O_CREAT|O_EXCL` (atomic on local and modern network filesystems).
+//!   A contended `compact` returns [`CompactReport::contended`] instead
+//!   of racing; a lock left by a crashed compactor goes stale after
+//!   [`STALE_COMPACT_LOCK`] and is broken via a unique rename, so two
+//!   waiting compactors can never each delete a successor's fresh lock.
+//! * **Capture-validate-restore** — an entry that scans as invalid is
+//!   never unlinked in place (a racing writer may have just renamed a
+//!   fresh valid entry onto that very path). The compactor atomically
+//!   *captures* the file by renaming it to a unique side name,
+//!   re-validates the captured bytes, and either deletes them (still
+//!   damage) or renames them back ([`CompactReport::restored`]) — so a
+//!   concurrent `put` can never lose a valid just-written entry to the
+//!   sweep, and a concurrent `get` sees a complete entry or a clean
+//!   cold miss, never a half-swept one.
+//!
 //! # Format (version 1)
 //!
 //! One file per entry, named after the key
@@ -84,9 +151,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{JoinHandle, ThreadId};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use serde::{Content, Deserialize};
 
@@ -104,9 +174,30 @@ pub const MAGIC: &str = "sailing-analysis-store";
 /// File extension of store entries.
 pub const ENTRY_EXTENSION: &str = "sail";
 
-/// Pending writes buffered before [`PersistentStore::flush`] runs
-/// automatically.
+/// Pending writes buffered before a synchronous-mode
+/// [`PersistentStore::flush`] runs automatically.
 const AUTO_FLUSH_THRESHOLD: usize = 8;
+
+/// Default bound of the async write-behind queue (entries).
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// How long dropping the last handle of an async store waits for the
+/// writer thread to drain before detaching it. A filesystem hung past
+/// this deadline loses the unwritten tail — future cold misses, never a
+/// wedged process.
+pub const SHUTDOWN_DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Name of the advisory compaction lock file inside a store directory.
+const COMPACT_LOCK_NAME: &str = "compact.lock";
+
+/// Age after which a `compact.lock` is presumed abandoned by a crashed
+/// compactor and may be broken.
+pub const STALE_COMPACT_LOCK: Duration = Duration::from_secs(30);
+
+/// Cap on retained deferred write errors — beyond this only
+/// [`PersistStats::write_errors`] keeps counting, so a long-dead disk
+/// cannot grow an error list without bound.
+const MAX_DEFERRED_ERRORS: usize = 32;
 
 /// Key of one stored analysis: the snapshot's content hash plus the
 /// computation's provenance — `None` for a cold run, `Some(digest of the
@@ -152,6 +243,41 @@ impl StoreKey {
     }
 }
 
+/// How a [`PersistentStore`] moves buffered entries to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// `true` spawns a background writer thread owned by the store:
+    /// [`PersistentStore::put`] becomes a syscall-free enqueue and
+    /// [`PersistentStore::flush`] a drain barrier. `false` (the default)
+    /// keeps the historical synchronous write-behind buffer.
+    pub async_writer: bool,
+    /// Bound of the async queue, in entries. When the queue is full the
+    /// **oldest unwritten** entry is evicted (counted in
+    /// [`PersistStats::dropped`]) — a future cold miss, never a blocked
+    /// analysis thread. Clamped to at least 1; ignored in synchronous
+    /// mode.
+    pub queue_depth: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self {
+            async_writer: false,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Options for an async write-behind store with the given queue bound.
+    pub fn async_writer(queue_depth: usize) -> Self {
+        Self {
+            async_writer: true,
+            queue_depth,
+        }
+    }
+}
+
 /// Counters of one store handle's activity (in-memory; they reset with the
 /// process, while the entries themselves persist).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -166,8 +292,14 @@ pub struct PersistStats {
     pub rejected: u64,
     /// Entries written to disk so far.
     pub writes: u64,
-    /// Writes that failed at the filesystem level and were dropped.
+    /// Writes that failed at the filesystem level and were dropped. Each
+    /// failure is also retained (up to a cap) for
+    /// [`PersistentStore::take_write_errors`].
     pub write_errors: u64,
+    /// Entries evicted **unwritten** because the bounded async queue was
+    /// full — future cold misses taken instead of blocking the analysis
+    /// thread.
+    pub dropped: u64,
 }
 
 /// Outcome of a [`PersistentStore::compact`] sweep.
@@ -177,237 +309,125 @@ pub struct CompactReport {
     pub kept: usize,
     /// Damaged, stale-version, or misnamed entries removed.
     pub removed: usize,
+    /// Entries that scanned as invalid but re-validated after capture — a
+    /// racing writer republished the path mid-sweep — and were restored
+    /// instead of deleted. Also counted in
+    /// [`CompactReport::kept`].
+    pub restored: usize,
+    /// `true` when another compactor held the directory's `compact.lock`
+    /// and this call swept nothing (all other fields zero).
+    pub contended: bool,
 }
 
+#[derive(Clone)]
 struct PendingEntry {
     key: StoreKey,
     snapshot: Arc<SnapshotView>,
     result: Arc<PipelineResult>,
 }
 
-/// A durable store of computed analyses under one directory.
-///
-/// Handles are cheap to share behind an [`Arc`]; all methods take `&self`
-/// and writes are buffered behind a mutex ([`PersistentStore::put`] is
-/// write-behind with a small auto-flush threshold, so hot loops never
-/// block on the filesystem per analysis). Entries are written atomically
-/// (temp file + rename), so a reader in another process sees either the
-/// previous state or the complete new entry, never a torn write.
-pub struct PersistentStore {
+/// One queued entry plus its position in the global put order, so drain
+/// barriers can wait for "everything enqueued before me".
+struct SeqEntry {
+    seq: u64,
+    entry: PendingEntry,
+}
+
+/// Mutable queue state shared between callers and the writer thread.
+struct QueueState {
+    /// Entries visible to `get` and not yet durably renamed. Ascending
+    /// `seq` order (puts append; the writer removes written prefixes).
+    pending: Vec<SeqEntry>,
+    /// Next sequence number a `put` will take (first is 1).
+    next_seq: u64,
+    /// Every entry with `seq <= drained_through` has left the queue —
+    /// written, failed, or evicted.
+    drained_through: u64,
+    /// Highest seq the writer thread has snapshotted into its in-flight
+    /// batch. Queue-full eviction must skip claimed entries: they are
+    /// being written right now, so "evicting" one would count it both
+    /// written and dropped (and free no memory — the writer holds a
+    /// clone).
+    claimed_through: u64,
+    /// Set once by the dropping handle; the writer drains and exits.
+    shutdown: bool,
+    /// Cleared by the writer thread on exit.
+    writer_alive: bool,
+}
+
+/// The handle-shared core: everything but the writer's `JoinHandle`.
+struct StoreInner {
     dir: PathBuf,
-    pending: Mutex<Vec<PendingEntry>>,
+    options: StoreOptions,
+    state: Mutex<QueueState>,
+    /// Wakes the writer thread: new work or shutdown.
+    work_cv: Condvar,
+    /// Wakes drain barriers (`flush`, drop) after each writer batch.
+    drain_cv: Condvar,
     disk_hits: AtomicU64,
     disk_misses: AtomicU64,
     rejected: AtomicU64,
     writes: AtomicU64,
     write_errors: AtomicU64,
+    dropped: AtomicU64,
+    /// Deferred write failures, oldest first, capped at
+    /// [`MAX_DEFERRED_ERRORS`].
+    deferred: Mutex<Vec<SailingError>>,
+    /// Every thread that has performed an entry filesystem write through
+    /// this handle — the proof hook that the async path keeps analysis
+    /// threads syscall-free.
+    fs_write_threads: Mutex<Vec<ThreadId>>,
 }
 
-impl PersistentStore {
-    /// Opens (creating if necessary) a store rooted at `dir`.
-    ///
-    /// # Errors
-    /// [`SailingError::Persist`] when the directory cannot be created.
-    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, SailingError> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| SailingError::persist(dir.display().to_string(), e))?;
-        Ok(Self {
-            dir,
-            pending: Mutex::new(Vec::new()),
-            disk_hits: AtomicU64::new(0),
-            disk_misses: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
-            write_errors: AtomicU64::new(0),
-        })
+/// A durable store of computed analyses under one directory.
+///
+/// Handles are cheap to share behind an [`Arc`]; all methods take `&self`.
+/// See the [module docs](self) for the two write modes (synchronous
+/// write-behind vs a background writer thread), the drain-barrier `flush`
+/// semantics, and the multi-handle compaction protocol. Entries are
+/// written atomically (unique temp file + rename), so a reader in another
+/// process sees either the previous state or the complete new entry,
+/// never a torn write.
+pub struct PersistentStore {
+    inner: Arc<StoreInner>,
+    /// The background writer, when [`StoreOptions::async_writer`] is on.
+    writer: Option<JoinHandle<()>>,
+}
+
+/// Poison recovery: a panic on *another* thread while it held a store
+/// lock must not convert every later `get`/`put` on this shared cache
+/// into a panic cascade. The guarded data stays structurally valid across
+/// an unwind (worst case: an entry is re-written or re-reported, which
+/// the store format and stats contract already tolerate), so the poison
+/// flag is deliberately ignored.
+fn recover<'a, T>(
+    result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl StoreInner {
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        recover(self.state.lock())
     }
 
-    /// The directory entries live under.
-    pub fn dir(&self) -> &Path {
-        &self.dir
-    }
-
-    /// This handle's activity counters.
-    pub fn stats(&self) -> PersistStats {
-        PersistStats {
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            disk_misses: self.disk_misses.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            write_errors: self.write_errors.load(Ordering::Relaxed),
+    fn push_deferred(&self, err: SailingError) {
+        let mut deferred = recover(self.deferred.lock());
+        if deferred.len() < MAX_DEFERRED_ERRORS {
+            deferred.push(err);
         }
     }
 
-    /// Number of entry files currently on disk (excluding buffered
-    /// writes; call [`PersistentStore::flush`] first for an exact total).
-    pub fn len(&self) -> usize {
-        entry_files(&self.dir).len()
-    }
-
-    /// `true` when no entry file is on disk.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Looks up the analysis stored under `key`, verifying the stored
-    /// snapshot equals `snapshot` (a hash collision or a damaged file
-    /// degrades to a miss, never a wrong hit or an error).
-    pub fn get(
-        &self,
-        key: StoreKey,
-        snapshot: &SnapshotView,
-    ) -> Option<(Arc<SnapshotView>, Arc<PipelineResult>)> {
-        // The write-behind buffer is part of the store's contents: an
-        // entry put moments ago must hit even before it reaches disk.
-        {
-            let pending = self.pending.lock().expect("persist pending poisoned");
-            if let Some(e) = pending.iter().rev().find(|e| e.key == key) {
-                if *e.snapshot == *snapshot {
-                    let hit = (Arc::clone(&e.snapshot), Arc::clone(&e.result));
-                    drop(pending);
-                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                    return Some(hit);
-                }
-            }
-        }
-        let path = self.dir.join(key.file_name());
-        let bytes = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(_) => {
-                self.disk_misses.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
-        };
-        match decode_entry(&bytes) {
-            Ok(entry) if entry.key == key && entry.snapshot == *snapshot => {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                Some((Arc::new(entry.snapshot), Arc::new(entry.result)))
-            }
-            _ => {
-                // Damaged, stale-version, or mismatched content: a clean
-                // cold miss by contract.
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                self.disk_misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
-    }
-
-    /// Buffers an entry for writing. Write-behind: the entry is visible to
-    /// [`PersistentStore::get`] immediately and reaches disk on the next
-    /// [`PersistentStore::flush`] (run automatically once a handful of
-    /// writes accumulate, and on drop). Filesystem failures during an
-    /// automatic flush are counted in [`PersistStats::write_errors`] and
-    /// the affected entries dropped — the store is a cache of recomputable
-    /// work, so losing a write is a future cold miss, not data loss.
-    pub fn put(&self, key: StoreKey, snapshot: Arc<SnapshotView>, result: Arc<PipelineResult>) {
-        let should_flush = {
-            let mut pending = self.pending.lock().expect("persist pending poisoned");
-            pending.retain(|e| e.key != key);
-            pending.push(PendingEntry {
-                key,
-                snapshot,
-                result,
-            });
-            pending.len() >= AUTO_FLUSH_THRESHOLD
-        };
-        if should_flush {
-            // Errors are recorded in the stats by `flush` itself.
-            let _ = self.flush();
-        }
-    }
-
-    /// Writes every buffered entry to disk (atomic per entry: temp file +
-    /// rename). Returns the number of entries written.
-    ///
-    /// # Errors
-    /// [`SailingError::Persist`] carrying the first filesystem failure.
-    /// Failed entries are dropped either way (and counted in
-    /// [`PersistStats::write_errors`]) so a read-only directory cannot
-    /// grow the buffer without bound.
-    pub fn flush(&self) -> Result<usize, SailingError> {
-        let batch = {
-            let mut pending = self.pending.lock().expect("persist pending poisoned");
-            std::mem::take(&mut *pending)
-        };
-        let mut written = 0usize;
-        let mut first_error: Option<SailingError> = None;
-        for e in &batch {
-            match self.write_entry(e) {
-                Ok(()) => {
-                    written += 1;
-                    self.writes.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(err) => {
-                    self.write_errors.fetch_add(1, Ordering::Relaxed);
-                    first_error.get_or_insert(err);
-                }
-            }
-        }
-        match first_error {
-            Some(err) => Err(err),
-            None => Ok(written),
-        }
-    }
-
-    /// Validates every entry file end to end — header, checksum, payload,
-    /// key-vs-content agreement — removing the ones that fail, along with
-    /// any orphaned temp files a crashed write left behind, so a store
-    /// that accumulated damage or pre-[`FORMAT_VERSION`] files shrinks
-    /// back to its valid core. Buffered writes are flushed first.
-    ///
-    /// A sweep racing a *different* handle's in-flight write may delete
-    /// that write's temp file; the writer's rename then fails and the
-    /// entry is dropped as a write error — a future cold miss, never a
-    /// torn entry.
-    ///
-    /// # Errors
-    /// [`SailingError::Persist`] when the flush, the directory scan, or a
-    /// removal fails at the filesystem level (validation failures are
-    /// what this sweep is *for* and are never errors).
-    pub fn compact(&self) -> Result<CompactReport, SailingError> {
-        self.flush()?;
-        let mut report = CompactReport::default();
-        for path in entry_files(&self.dir) {
-            let valid = std::fs::read(&path)
-                .ok()
-                .and_then(|bytes| decode_entry(&bytes).ok())
-                .is_some_and(|entry| {
-                    path.file_name().and_then(|n| n.to_str()) == Some(&entry.key.file_name()[..])
-                        && entry.snapshot.content_hash() == entry.key.snapshot_hash
-                });
-            if valid {
-                report.kept += 1;
-            } else {
-                std::fs::remove_file(&path)
-                    .map_err(|e| SailingError::persist(path.display().to_string(), e))?;
-                report.removed += 1;
-            }
-        }
-        // Orphaned temp files — a write that crashed between create and
-        // rename — are not entries (`entry_files` skips them), so sweep
-        // them here or repeated crashes would accumulate junk forever.
-        for path in std::fs::read_dir(&self.dir)
-            .into_iter()
-            .flatten()
-            .flatten()
-            .map(|e| e.path())
-        {
-            let orphan = path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.contains(&format!(".{ENTRY_EXTENSION}.tmp-")));
-            if orphan {
-                std::fs::remove_file(&path)
-                    .map_err(|e| SailingError::persist(path.display().to_string(), e))?;
-                report.removed += 1;
-            }
-        }
-        Ok(report)
-    }
-
+    /// Writes one entry (unique temp file + atomic rename), recording the
+    /// calling thread in the syscall-proof hook.
     fn write_entry(&self, e: &PendingEntry) -> Result<(), SailingError> {
+        {
+            let mut threads = recover(self.fs_write_threads.lock());
+            let id = std::thread::current().id();
+            if !threads.contains(&id) {
+                threads.push(id);
+            }
+        }
         // The temp name must be unique per *write*, not just per process:
         // two in-process flushes can race on one key (an explicit flush
         // against a put-triggered auto-flush, or two engines sharing a
@@ -429,23 +449,713 @@ impl PersistentStore {
             SailingError::persist(final_path.display().to_string(), err)
         })
     }
+
+    /// Writes a batch inline on the current thread, counting successes and
+    /// failures. Returns the number written and the first error, which the
+    /// caller either returns (explicit `flush`) or defers (auto-flush,
+    /// writer thread).
+    fn write_batch(&self, batch: &[PendingEntry]) -> (usize, Option<SailingError>) {
+        let mut written = 0usize;
+        let mut first_error = None;
+        for e in batch {
+            match self.write_entry(e) {
+                Ok(()) => {
+                    written += 1;
+                    self.writes.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err) => {
+                    self.write_errors.fetch_add(1, Ordering::Relaxed);
+                    if first_error.is_none() {
+                        first_error = Some(err);
+                    } else {
+                        self.push_deferred(err.into_deferred());
+                    }
+                }
+            }
+        }
+        (written, first_error)
+    }
+
+    /// The background writer: repeatedly snapshots the whole pending
+    /// queue, writes it while the entries stay `get`-visible, then removes
+    /// the written prefix and advances the drain watermark.
+    fn writer_loop(self: &Arc<Self>) {
+        loop {
+            let batch: Vec<SeqEntry> = {
+                let mut st = self.lock_state();
+                while st.pending.is_empty() && !st.shutdown {
+                    st = recover(self.work_cv.wait(st));
+                }
+                if st.pending.is_empty() {
+                    break; // shutdown with nothing left to drain
+                }
+                let batch: Vec<SeqEntry> = st
+                    .pending
+                    .iter()
+                    .map(|p| SeqEntry {
+                        seq: p.seq,
+                        entry: p.entry.clone(),
+                    })
+                    .collect();
+                st.claimed_through = batch.last().map_or(st.claimed_through, |p| p.seq);
+                batch
+            };
+            let max_seq = batch.last().map_or(0, |p| p.seq);
+            for e in &batch {
+                match self.write_entry(&e.entry) {
+                    Ok(()) => {
+                        self.writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(err) => {
+                        self.write_errors.fetch_add(1, Ordering::Relaxed);
+                        self.push_deferred(err.into_deferred());
+                    }
+                }
+            }
+            {
+                // Every pending seq <= max_seq was in the batch (puts only
+                // append with larger seqs; dedupe only removes), so the
+                // written prefix is exactly that range.
+                let mut st = self.lock_state();
+                st.pending.retain(|p| p.seq > max_seq);
+                st.drained_through = st.drained_through.max(max_seq);
+            }
+            self.drain_cv.notify_all();
+        }
+        self.lock_state().writer_alive = false;
+        self.drain_cv.notify_all();
+    }
+}
+
+impl PersistentStore {
+    /// Opens (creating if necessary) a store rooted at `dir`, in the
+    /// default synchronous write-behind mode.
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, SailingError> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Opens a store with explicit [`StoreOptions`] — in particular the
+    /// async write-behind mode, which spawns the background writer thread
+    /// this call's handle owns.
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] when the directory cannot be created.
+    pub fn open_with(dir: impl Into<PathBuf>, options: StoreOptions) -> Result<Self, SailingError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SailingError::persist(dir.display().to_string(), e))?;
+        let options = StoreOptions {
+            queue_depth: options.queue_depth.max(1),
+            ..options
+        };
+        let inner = Arc::new(StoreInner {
+            dir,
+            options,
+            state: Mutex::new(QueueState {
+                pending: Vec::new(),
+                next_seq: 1,
+                drained_through: 0,
+                claimed_through: 0,
+                shutdown: false,
+                writer_alive: false,
+            }),
+            work_cv: Condvar::new(),
+            drain_cv: Condvar::new(),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            deferred: Mutex::new(Vec::new()),
+            fs_write_threads: Mutex::new(Vec::new()),
+        });
+        let writer = if options.async_writer {
+            inner.lock_state().writer_alive = true;
+            let thread_inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("sailing-persist-writer".into())
+                    .spawn(move || thread_inner.writer_loop())
+                    .map_err(|e| SailingError::persist("spawn persist writer", e))?,
+            )
+        } else {
+            None
+        };
+        Ok(Self { inner, writer })
+    }
+
+    /// The directory entries live under.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// The write-mode options this store was opened with.
+    pub fn options(&self) -> StoreOptions {
+        self.inner.options
+    }
+
+    /// This handle's activity counters.
+    pub fn stats(&self) -> PersistStats {
+        PersistStats {
+            disk_hits: self.inner.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.inner.disk_misses.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            writes: self.inner.writes.load(Ordering::Relaxed),
+            write_errors: self.inner.write_errors.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Takes (and clears) the deferred write errors accumulated so far —
+    /// failures that happened after their `put` had already returned
+    /// (background writes, auto-flush batches). Errors surface here
+    /// **and** in [`PersistStats::write_errors`]; retention is capped, so
+    /// under a long-dead disk the count keeps growing while the list
+    /// stays bounded.
+    ///
+    /// ```
+    /// # let dir = std::env::temp_dir().join(format!("sailing-doc-twe-{}", std::process::id()));
+    /// # let store = sailing_persist::PersistentStore::open(&dir)?;
+    /// assert!(store.take_write_errors().is_empty()); // healthy store
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), sailing_model::SailingError>(())
+    /// ```
+    pub fn take_write_errors(&self) -> Vec<SailingError> {
+        std::mem::take(&mut *recover(self.inner.deferred.lock()))
+    }
+
+    /// Threads that have performed entry filesystem writes through this
+    /// handle, in first-write order. With the async writer on, an
+    /// analysis thread that only ever calls `put` never appears here —
+    /// the proof hook used by the engine tests and the
+    /// `async_write_behind` bench section.
+    pub fn fs_write_threads(&self) -> Vec<ThreadId> {
+        recover(self.inner.fs_write_threads.lock()).clone()
+    }
+
+    /// Number of entry files currently on disk (excluding buffered
+    /// writes; call [`PersistentStore::flush`] first for an exact total).
+    pub fn len(&self) -> usize {
+        entry_files(&self.inner.dir).len()
+    }
+
+    /// `true` when no entry file is on disk.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the analysis stored under `key`, verifying the stored
+    /// snapshot equals `snapshot` (a hash collision or a damaged file
+    /// degrades to a miss, never a wrong hit or an error).
+    pub fn get(
+        &self,
+        key: StoreKey,
+        snapshot: &SnapshotView,
+    ) -> Option<(Arc<SnapshotView>, Arc<PipelineResult>)> {
+        // The write-behind buffer is part of the store's contents: an
+        // entry put moments ago must hit even before it reaches disk. In
+        // async mode entries stay in the buffer *until durably renamed*,
+        // so there is no put-visible-but-nowhere window.
+        {
+            let pending = self.inner.lock_state();
+            if let Some(e) = pending.pending.iter().rev().find(|e| e.entry.key == key) {
+                if *e.entry.snapshot == *snapshot {
+                    let hit = (Arc::clone(&e.entry.snapshot), Arc::clone(&e.entry.result));
+                    drop(pending);
+                    self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(hit);
+                }
+            }
+        }
+        let path = self.inner.dir.join(key.file_name());
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.inner.disk_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry(&bytes) {
+            Ok(entry) if entry.key == key && entry.snapshot == *snapshot => {
+                self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some((Arc::new(entry.snapshot), Arc::new(entry.result)))
+            }
+            _ => {
+                // Damaged, stale-version, or mismatched content: a clean
+                // cold miss by contract.
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                self.inner.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Buffers an entry for writing. The entry is visible to
+    /// [`PersistentStore::get`] immediately.
+    ///
+    /// * **Async mode:** a bounded enqueue with **no filesystem
+    ///   syscalls** — the background writer drains it. A full queue
+    ///   evicts the oldest unwritten entry ([`PersistStats::dropped`])
+    ///   rather than blocking.
+    /// * **Sync mode:** the historical write-behind buffer — the entry
+    ///   reaches disk on the next [`PersistentStore::flush`] (run
+    ///   automatically once a handful of writes accumulate, and on drop).
+    ///
+    /// Filesystem failures that happen after `put` returned are counted
+    /// in [`PersistStats::write_errors`] and retained for
+    /// [`PersistentStore::take_write_errors`] — the store is a cache of
+    /// recomputable work, so losing a write is a future cold miss, not
+    /// data loss.
+    pub fn put(&self, key: StoreKey, snapshot: Arc<SnapshotView>, result: Arc<PipelineResult>) {
+        let entry = PendingEntry {
+            key,
+            snapshot,
+            result,
+        };
+        if self.inner.options.async_writer {
+            {
+                let mut st = self.inner.lock_state();
+                st.pending.retain(|p| p.entry.key != key);
+                if st.pending.len() >= self.inner.options.queue_depth {
+                    // Evict the oldest *unclaimed* entry instead of
+                    // blocking the analysis thread — an entry the writer
+                    // already snapshotted into its in-flight batch is
+                    // being written right now, so evicting it would count
+                    // it both written and dropped. When every queued
+                    // entry is claimed, allow a transient overshoot; the
+                    // writer removes the whole claimed prefix momentarily.
+                    let claimed_through = st.claimed_through;
+                    if let Some(pos) = st.pending.iter().position(|p| p.seq > claimed_through) {
+                        st.pending.remove(pos);
+                        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.pending.push(SeqEntry { seq, entry });
+            }
+            self.inner.work_cv.notify_one();
+            return;
+        }
+        let should_flush = {
+            let mut st = self.inner.lock_state();
+            st.pending.retain(|p| p.entry.key != key);
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.pending.push(SeqEntry { seq, entry });
+            st.pending.len() >= AUTO_FLUSH_THRESHOLD
+        };
+        if should_flush {
+            // Counted in the stats and retained as deferred errors by the
+            // flush itself; nothing to return from `put`.
+            if let Err(err) = self.flush_sync() {
+                self.inner.push_deferred(err.into_deferred());
+            }
+        }
+    }
+
+    /// Drains every buffered entry to disk (atomic per entry: unique temp
+    /// file + rename). Returns the number of entries written during the
+    /// drain.
+    ///
+    /// * **Async mode:** a **drain barrier** — blocks until every entry
+    ///   enqueued before this call has been written (or failed) by the
+    ///   writer thread, then surfaces the oldest deferred error, if any.
+    /// * **Sync mode:** writes the buffer inline on the calling thread.
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] carrying the first inline filesystem
+    /// failure, or [`SailingError::PersistDeferred`] carrying the oldest
+    /// background failure. Failed entries are dropped either way (and
+    /// counted in [`PersistStats::write_errors`]) so a read-only
+    /// directory cannot grow the buffer without bound; remaining deferred
+    /// errors stay available via [`PersistentStore::take_write_errors`].
+    pub fn flush(&self) -> Result<usize, SailingError> {
+        if !self.inner.options.async_writer {
+            return self.flush_sync();
+        }
+        let writes_before = self.inner.writes.load(Ordering::Relaxed);
+        let target = {
+            let st = self.inner.lock_state();
+            st.next_seq - 1
+        };
+        self.inner.work_cv.notify_one();
+        {
+            let mut st = self.inner.lock_state();
+            while st.drained_through < target && st.writer_alive {
+                st = recover(self.inner.drain_cv.wait(st));
+            }
+            if st.drained_through < target {
+                // The writer is gone (shutdown raced this call): drain the
+                // remainder inline so the barrier contract still holds.
+                let batch: Vec<PendingEntry> = st.pending.drain(..).map(|p| p.entry).collect();
+                st.drained_through = st.drained_through.max(target);
+                drop(st);
+                let (_, first_error) = self.inner.write_batch(&batch);
+                if let Some(err) = first_error {
+                    self.inner.push_deferred(err.into_deferred());
+                }
+                self.inner.drain_cv.notify_all();
+            }
+        }
+        let written = (self.inner.writes.load(Ordering::Relaxed) - writes_before) as usize;
+        let oldest_deferred = {
+            let mut deferred = recover(self.inner.deferred.lock());
+            if deferred.is_empty() {
+                None
+            } else {
+                Some(deferred.remove(0))
+            }
+        };
+        match oldest_deferred {
+            Some(err) => Err(err),
+            None => Ok(written),
+        }
+    }
+
+    /// Empties the write buffer without surfacing write errors — they are
+    /// counted and retained as usual, but the caller (compaction) only
+    /// cares that the buffer is drained before the sweep.
+    fn drain_ignoring_write_errors(&self) {
+        if self.inner.options.async_writer {
+            let target = {
+                let st = self.inner.lock_state();
+                st.next_seq - 1
+            };
+            self.inner.work_cv.notify_one();
+            let mut st = self.inner.lock_state();
+            while st.drained_through < target && st.writer_alive {
+                st = recover(self.inner.drain_cv.wait(st));
+            }
+            if st.drained_through >= target {
+                return;
+            }
+            // Writer already shut down: drain inline.
+            let batch: Vec<PendingEntry> = st.pending.drain(..).map(|p| p.entry).collect();
+            st.drained_through = st.drained_through.max(target);
+            drop(st);
+            let (_, first_error) = self.inner.write_batch(&batch);
+            if let Some(err) = first_error {
+                self.inner.push_deferred(err.into_deferred());
+            }
+            self.inner.drain_cv.notify_all();
+            return;
+        }
+        if let Err(err) = self.flush_sync() {
+            self.inner.push_deferred(err.into_deferred());
+        }
+    }
+
+    /// The synchronous inline drain (also the fallback when the async
+    /// writer is already shut down).
+    fn flush_sync(&self) -> Result<usize, SailingError> {
+        let batch: Vec<PendingEntry> = {
+            let mut st = self.inner.lock_state();
+            let max_seq = st.pending.last().map_or(0, |p| p.seq);
+            st.drained_through = st.drained_through.max(max_seq);
+            st.pending.drain(..).map(|p| p.entry).collect()
+        };
+        let (written, first_error) = self.inner.write_batch(&batch);
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(written),
+        }
+    }
+
+    /// Validates every entry file end to end — header, checksum, payload,
+    /// key-vs-content agreement — removing the ones that fail, along with
+    /// any orphaned temp files a crashed write left behind, so a store
+    /// that accumulated damage or pre-[`FORMAT_VERSION`] files shrinks
+    /// back to its valid core. Buffered writes are flushed first.
+    ///
+    /// Safe to run while other handles (including other processes over a
+    /// shared filesystem) keep reading and writing the same directory:
+    /// the directory's `compact.lock` admits one compactor at a time
+    /// (a contended call returns [`CompactReport::contended`] without
+    /// sweeping), and an entry that scans as invalid is **captured by
+    /// rename and re-validated** before deletion — a racing writer that
+    /// republished the path mid-sweep gets its fresh entry restored
+    /// ([`CompactReport::restored`]), never deleted. Concurrent readers
+    /// see a complete entry or a clean cold miss throughout.
+    ///
+    /// A sweep racing a *different* handle's in-flight write may still
+    /// delete that write's not-yet-renamed temp file; the writer's rename
+    /// then fails and the entry is dropped as a write error — a future
+    /// cold miss, never a torn entry.
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] when the directory scan or a removal
+    /// fails at the filesystem level (validation failures are what this
+    /// sweep is *for* and are never errors). Per-entry **write** failures
+    /// during the pre-sweep drain are not compaction failures either:
+    /// they stay counted in [`PersistStats::write_errors`] and retained
+    /// for [`PersistentStore::take_write_errors`], exactly as if the
+    /// drain had happened on its own.
+    pub fn compact(&self) -> Result<CompactReport, SailingError> {
+        self.drain_ignoring_write_errors();
+        let dir = &self.inner.dir;
+        let Some(_lock) = CompactLock::acquire(dir)? else {
+            return Ok(CompactReport {
+                contended: true,
+                ..CompactReport::default()
+            });
+        };
+        let mut report = CompactReport::default();
+        for path in entry_files(dir) {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+                continue;
+            };
+            if entry_file_is_valid(&path, &name) {
+                report.kept += 1;
+                continue;
+            }
+            // Invalid as scanned — but a racing writer may have renamed a
+            // fresh valid entry onto this very path since we read it, so
+            // never unlink in place. Capture the file atomically under a
+            // unique side name, re-validate the captured bytes, and only
+            // then decide.
+            static CAPTURE_SEQ: AtomicU64 = AtomicU64::new(0);
+            let captured = dir.join(format!(
+                "{name}.trash-{}-{}",
+                std::process::id(),
+                CAPTURE_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            match std::fs::rename(&path, &captured) {
+                Ok(()) => {}
+                // Vanished between scan and capture (another handle's
+                // activity): nothing left to sweep here.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(SailingError::persist(path.display().to_string(), e)),
+            }
+            if entry_file_is_valid(&captured, &name) {
+                // We raced a writer and captured its fresh valid entry:
+                // put it back. (If an even newer write landed meanwhile,
+                // this restore overwrites a same-key valid entry with a
+                // same-key valid entry — last-writer-wins, as always.)
+                std::fs::rename(&captured, &path)
+                    .map_err(|e| SailingError::persist(path.display().to_string(), e))?;
+                report.restored += 1;
+                report.kept += 1;
+            } else {
+                std::fs::remove_file(&captured)
+                    .map_err(|e| SailingError::persist(captured.display().to_string(), e))?;
+                report.removed += 1;
+            }
+        }
+        // Orphaned side files — a write that crashed between create and
+        // rename, a compactor that crashed between capture and decision,
+        // or a broken stale lock — are not entries (`entry_files` skips
+        // them), so sweep them here or repeated crashes would accumulate
+        // junk forever.
+        for path in std::fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+        {
+            let orphan = path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.contains(&format!(".{ENTRY_EXTENSION}.tmp-"))
+                    || n.contains(&format!(".{ENTRY_EXTENSION}.trash-"))
+                    || n.contains(&format!("{COMPACT_LOCK_NAME}.stale-"))
+            });
+            if orphan {
+                match std::fs::remove_file(&path) {
+                    Ok(()) => report.removed += 1,
+                    // The orphan vanished between the scan and the
+                    // removal — a racing writer renamed its temp into
+                    // place (or finished cleaning up). Not an error.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(SailingError::persist(path.display().to_string(), e)),
+                }
+            }
+        }
+        Ok(report)
+    }
 }
 
 impl Drop for PersistentStore {
     fn drop(&mut self) {
+        if self.inner.options.async_writer {
+            {
+                let mut st = self.inner.lock_state();
+                st.shutdown = true;
+            }
+            self.inner.work_cv.notify_all();
+            let handle = self.writer.take();
+            if std::thread::panicking() {
+                // Already unwinding: never block (or risk a second panic)
+                // in a destructor. The detached writer still drains what
+                // it holds and exits on its own.
+                return;
+            }
+            // Deadline drain: wait for the writer to empty the queue, but
+            // never wedge the process on a hung filesystem — past the
+            // deadline the writer is detached and the unwritten tail
+            // becomes future cold misses.
+            let deadline = Instant::now() + SHUTDOWN_DRAIN_DEADLINE;
+            let mut st = self.inner.lock_state();
+            while !st.pending.is_empty() && st.writer_alive {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let (guard, _timeout) = self
+                    .inner
+                    .drain_cv
+                    .wait_timeout(st, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+            let drained = st.pending.is_empty();
+            drop(st);
+            if drained {
+                if let Some(handle) = handle {
+                    let _ = handle.join();
+                }
+            }
+            return;
+        }
+        // A panic unwinding through this frame must not run a best-effort
+        // flush: a second panic (or even an abort-on-double-panic) would
+        // escalate the original failure. Buffered entries are caches of
+        // recomputable work — losing them is a future cold miss.
+        if std::thread::panicking() {
+            return;
+        }
         // Best effort: a handle going away must not strand buffered
         // entries; failures are already counted by `flush`.
-        let _ = self.flush();
+        let _ = self.flush_sync();
     }
 }
 
 impl std::fmt::Debug for PersistentStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PersistentStore")
-            .field("dir", &self.dir)
+            .field("dir", &self.inner.dir)
+            .field("options", &self.inner.options)
             .field("stats", &self.stats())
             .finish()
     }
+}
+
+/// The single-compactor advisory lock: a `compact.lock` file created with
+/// `O_CREAT|O_EXCL`, carrying a unique `"<pid> <unix-millis> <seq>"`
+/// token so an abandoned lock can be recognised as stale and broken — and
+/// so release can verify ownership first: a sweep that ran *longer* than
+/// [`STALE_COMPACT_LOCK`] may have had its lock broken by a successor,
+/// and unconditionally unlinking here would delete the successor's fresh
+/// lock and admit a third concurrent compactor. (The read-then-unlink
+/// window is microseconds, vs the whole sweep duration without the
+/// check.)
+struct CompactLock {
+    path: PathBuf,
+    token: String,
+}
+
+impl CompactLock {
+    /// Tries to take the directory's compaction lock. `Ok(None)` means
+    /// another compactor holds a fresh lock (the caller reports
+    /// contention); a stale lock is broken via a unique rename so two
+    /// breakers can never each delete a successor's fresh lock.
+    fn acquire(dir: &Path) -> Result<Option<Self>, SailingError> {
+        static BREAK_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = dir.join(COMPACT_LOCK_NAME);
+        for attempt in 0..3 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let token = format!(
+                        "{} {} {}",
+                        std::process::id(),
+                        unix_millis(),
+                        BREAK_SEQ.fetch_add(1, Ordering::Relaxed)
+                    );
+                    // Best effort: an unreadable stamp just means the lock
+                    // is judged by its file age instead.
+                    let _ = file.write_all(token.as_bytes());
+                    return Ok(Some(Self { path, token }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if attempt == 2 || !lock_is_stale(&path) {
+                        return Ok(None);
+                    }
+                    // Break the stale lock by renaming it away under a
+                    // unique name: of two concurrent breakers only one
+                    // rename succeeds, so the loser retries against the
+                    // winner's *fresh* lock instead of deleting it.
+                    let tomb = dir.join(format!(
+                        "{COMPACT_LOCK_NAME}.stale-{}-{}",
+                        std::process::id(),
+                        BREAK_SEQ.fetch_add(1, Ordering::Relaxed)
+                    ));
+                    if std::fs::rename(&path, &tomb).is_ok() {
+                        let _ = std::fs::remove_file(&tomb);
+                    }
+                }
+                Err(e) => return Err(SailingError::persist(path.display().to_string(), e)),
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Drop for CompactLock {
+    fn drop(&mut self) {
+        // Release only a lock we still own: if the sweep outlived
+        // STALE_COMPACT_LOCK, a successor may have broken this lock and
+        // taken its own — deleting that would cascade into concurrent
+        // compactors.
+        let still_ours =
+            std::fs::read_to_string(&self.path).is_ok_and(|content| content == self.token);
+        if still_ours {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+fn unix_millis() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis())
+}
+
+/// A lock is stale when its embedded timestamp (preferred) or, failing
+/// that, its file mtime is older than [`STALE_COMPACT_LOCK`]. A lock
+/// whose stamp cannot be read *and* whose mtime is unavailable is left
+/// alone — breaking a live compactor's lock is the one mistake this
+/// protocol must never make.
+fn lock_is_stale(path: &Path) -> bool {
+    let age_from_stamp = std::fs::read_to_string(path).ok().and_then(|text| {
+        let stamp: u128 = text.split(' ').nth(1)?.trim().parse().ok()?;
+        Some(unix_millis().saturating_sub(stamp))
+    });
+    if let Some(age_ms) = age_from_stamp {
+        return age_ms > STALE_COMPACT_LOCK.as_millis();
+    }
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+        .is_some_and(|age| age > STALE_COMPACT_LOCK)
+}
+
+/// Full validation of one entry file: readable, decodable, and the
+/// content agrees with the file name it is (or was) published under.
+fn entry_file_is_valid(path: &Path, expected_name: &str) -> bool {
+    std::fs::read(path)
+        .ok()
+        .and_then(|bytes| decode_entry(&bytes).ok())
+        .is_some_and(|entry| {
+            expected_name == entry.key.file_name()
+                && entry.snapshot.content_hash() == entry.key.snapshot_hash
+        })
 }
 
 /// FxHash-style digest of a byte string, mixing 8-byte little-endian
@@ -825,6 +1535,137 @@ mod tests {
     }
 
     #[test]
+    fn async_put_is_fs_free_on_the_calling_thread() {
+        let dir = temp_dir("async-putter");
+        let (snapshot, result, key) = table1_entry();
+        let store = PersistentStore::open_with(&dir, StoreOptions::async_writer(16)).unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        // Visible immediately, before any disk write necessarily happened.
+        assert!(store.get(key, &snapshot).is_some());
+        // Drain barrier: after flush the entry is durably on disk.
+        store.flush().unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().writes, 1);
+        // The proof hook: only the writer thread ever touched the
+        // filesystem — the calling thread never appears.
+        let writers = store.fs_write_threads();
+        assert!(
+            !writers.contains(&std::thread::current().id()),
+            "{writers:?}"
+        );
+        assert_eq!(writers.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn async_drop_drains_with_deadline() {
+        let dir = temp_dir("async-drop");
+        let (snapshot, result, key) = table1_entry();
+        {
+            let store = PersistentStore::open_with(&dir, StoreOptions::async_writer(16)).unwrap();
+            store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+            // No explicit flush: drop must drain within the deadline.
+        }
+        let reopened = PersistentStore::open(&dir).unwrap();
+        assert!(reopened.get(key, &snapshot).is_some(), "drop must drain");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn async_queue_overflow_evicts_oldest_and_counts_dropped() {
+        let dir = temp_dir("async-overflow");
+        let (snapshot, result, _) = table1_entry();
+        let store = PersistentStore::open_with(&dir, StoreOptions::async_writer(1)).unwrap();
+        // Hold the writer back so the queue genuinely overflows: the
+        // writer only wakes on notify, but it may also grab entries fast —
+        // a depth-1 queue with several distinct keys forces evictions
+        // regardless of writer pacing (each put either evicts or the
+        // writer already drained; both keep the invariants below).
+        for i in 0..8u64 {
+            let key = StoreKey::warm(snapshot.content_hash(), i);
+            store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        }
+        store.flush().unwrap();
+        let stats = store.stats();
+        assert_eq!(
+            stats.writes + stats.dropped,
+            8,
+            "every put is either written or dropped: {stats:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deferred_write_errors_surface_in_flush_take_and_stats() {
+        let dir = temp_dir("deferred-errors");
+        let (snapshot, result, _) = table1_entry();
+        let store = PersistentStore::open_with(&dir, StoreOptions::async_writer(16)).unwrap();
+        // Kill the directory out from under the writer: every background
+        // write now fails after its `put` already returned.
+        std::fs::remove_dir_all(&dir).unwrap();
+        for i in 0..3u64 {
+            let key = StoreKey::warm(snapshot.content_hash(), i);
+            store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        }
+        let err = store.flush().expect_err("deferred failure must surface");
+        assert!(
+            matches!(err, SailingError::PersistDeferred { .. }),
+            "{err:?}"
+        );
+        let stats = store.stats();
+        assert_eq!(stats.write_errors, 3, "{stats:?}");
+        assert_eq!(stats.writes, 0, "{stats:?}");
+        // flush took the oldest; the remainder is still retrievable.
+        let remaining = store.take_write_errors();
+        assert_eq!(remaining.len(), 2);
+        assert!(remaining
+            .iter()
+            .all(|e| matches!(e, SailingError::PersistDeferred { .. })));
+        assert!(store.take_write_errors().is_empty(), "take clears");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let dir = temp_dir("poison");
+        let (snapshot, result, key) = table1_entry();
+        let store = PersistentStore::open(&dir).unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        // Poison the queue mutex: panic on another thread while holding it.
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = store.inner.state.lock().unwrap();
+            panic!("poison the persist queue");
+        }));
+        assert!(poisoner.is_err());
+        assert!(store.inner.state.is_poisoned());
+        // Every path over the lock must keep working: the buffer is
+        // structurally valid, so the poison flag is recovered, not obeyed.
+        assert!(store.get(key, &snapshot).is_some(), "get after poison");
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        assert_eq!(store.flush().unwrap(), 1, "flush after poison");
+        assert!(store.compact().is_ok(), "compact after poison");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_during_unwind_skips_the_flush() {
+        let dir = temp_dir("unwind-drop");
+        let (snapshot, result, key) = table1_entry();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let store = PersistentStore::open(&dir).unwrap();
+            store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+            panic!("unwind with a buffered entry");
+            // `store` drops here, mid-unwind: the guard must skip the
+            // best-effort flush instead of risking a double panic.
+        }));
+        assert!(unwound.is_err());
+        // The flush was skipped, so nothing reached disk — proof the
+        // destructor did no best-effort I/O while unwinding.
+        let reopened = PersistentStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 0, "unwind drop must not flush");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn warm_and_cold_keys_are_distinct_entries() {
         let dir = temp_dir("provenance");
         let (snapshot, result, cold) = table1_entry();
@@ -909,12 +1750,68 @@ mod tests {
             report,
             CompactReport {
                 kept: 1,
-                removed: 4
+                removed: 4,
+                restored: 0,
+                contended: false,
             }
         );
         assert_eq!(store.len(), 1);
         assert!(store.get(key, &snapshot).is_some());
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1, "orphan swept");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_contends_on_a_fresh_lock_and_breaks_a_stale_one() {
+        let dir = temp_dir("compact-lock");
+        let (snapshot, result, key) = table1_entry();
+        let store = PersistentStore::open(&dir).unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        store.flush().unwrap();
+
+        // A fresh lock held by "another compactor": contended, no sweep.
+        let lock_path = dir.join(COMPACT_LOCK_NAME);
+        std::fs::write(&lock_path, format!("99999 {}", unix_millis())).unwrap();
+        let report = store.compact().unwrap();
+        assert!(report.contended, "{report:?}");
+        assert_eq!((report.kept, report.removed), (0, 0));
+
+        // A stale lock (ancient stamp) is broken and the sweep proceeds.
+        std::fs::write(&lock_path, "99999 5").unwrap();
+        let report = store.compact().unwrap();
+        assert!(!report.contended, "{report:?}");
+        assert_eq!(report.kept, 1);
+        // The lock is released afterwards (and no stale tomb lingers).
+        assert!(!lock_path.exists(), "lock must be released");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_restores_an_entry_republished_mid_sweep() {
+        // Deterministic re-creation of the capture-validate-restore race:
+        // a file that scans as invalid but holds *valid* bytes by the time
+        // it is captured must be restored, not deleted. We simulate the
+        // racing writer by planting a valid entry under its correct name
+        // with a device of the sweep: scan-validity is checked against the
+        // same bytes, so instead we pin the primitive directly — a valid
+        // captured file round-trips back to its path.
+        let dir = temp_dir("compact-restore");
+        let (snapshot, result, key) = table1_entry();
+        let store = PersistentStore::open(&dir).unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        store.flush().unwrap();
+        let path = dir.join(key.file_name());
+        let name = key.file_name();
+        // The capture side-name a compactor would use.
+        let captured = dir.join(format!("{name}.trash-{}-77", std::process::id()));
+        std::fs::rename(&path, &captured).unwrap();
+        assert!(
+            entry_file_is_valid(&captured, &name),
+            "captured bytes revalidate against the original name"
+        );
+        std::fs::rename(&captured, &path).unwrap();
+        assert!(store.get(key, &snapshot).is_some(), "restored entry serves");
         std::fs::remove_dir_all(&dir).ok();
     }
 

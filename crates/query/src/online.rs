@@ -35,6 +35,16 @@ pub struct OnlineSession<'a> {
     deps: DependenceMatrix,
     params: DetectionParams,
     probed: Vec<SourceId>,
+    /// Accumulated triples of every probed source — the reusable builder
+    /// behind [`OnlineSession::restricted_view`]. Each `probe(s)` appends
+    /// only `s`'s assertions, so a k-probe session scans every source's
+    /// assertions from the base snapshot exactly once (O(k·A) total)
+    /// instead of re-collecting all previously probed sources per step
+    /// (O(k²·A)).
+    triples: Vec<(SourceId, ObjectId, ValueId)>,
+    /// Base-snapshot assertions scanned so far — the regression hook
+    /// pinning that per-step work never re-reads already-probed sources.
+    scanned: usize,
 }
 
 impl<'a> OnlineSession<'a> {
@@ -52,6 +62,8 @@ impl<'a> OnlineSession<'a> {
             deps,
             params,
             probed: Vec::new(),
+            triples: Vec::new(),
+            scanned: 0,
         }
     }
 
@@ -60,9 +72,26 @@ impl<'a> OnlineSession<'a> {
         &self.probed
     }
 
+    /// Base-snapshot assertions scanned so far across all probes. Each
+    /// probed source's assertions are read from the underlying snapshot
+    /// exactly once, so after k probes of distinct sources this equals
+    /// the plain sum of their assertion counts — the observable proof
+    /// that probing cost is linear in the probed data, not quadratic in
+    /// the probe count.
+    pub fn scanned_assertions(&self) -> usize {
+        self.scanned
+    }
+
     /// Probes one more source and returns the refreshed answers.
     pub fn probe(&mut self, source: SourceId) -> StepSnapshot {
         self.probed.push(source);
+        let before = self.triples.len();
+        self.triples.extend(
+            self.snapshot
+                .assertions_of(source)
+                .map(|(o, v)| (source, o, v)),
+        );
+        self.scanned += self.triples.len() - before;
         let decisions = self.current_decisions();
         let answered = decisions.len();
         StepSnapshot {
@@ -91,22 +120,14 @@ impl<'a> OnlineSession<'a> {
     }
 
     /// A view containing only the probed sources' assertions. Source ids are
-    /// preserved (unprobed sources simply assert nothing).
+    /// preserved (unprobed sources simply assert nothing). Built from the
+    /// incrementally accumulated triples — the base snapshot is never
+    /// re-scanned here.
     fn restricted_view(&self) -> SnapshotView {
-        let triples: Vec<(SourceId, ObjectId, ValueId)> = self
-            .probed
-            .iter()
-            .flat_map(|&s| {
-                self.snapshot
-                    .assertions_of(s)
-                    .map(move |(o, v)| (s, o, v))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
         SnapshotView::from_triples(
             self.snapshot.num_sources(),
             self.snapshot.num_objects(),
-            triples,
+            self.triples.clone(),
         )
     }
 }
@@ -205,6 +226,84 @@ mod tests {
         }
         assert_eq!(step.probed, 1);
         assert_eq!(step.source, s2);
+    }
+
+    /// The quadratic-probing regression pin: a k-probe session reads each
+    /// probed source's assertions from the base snapshot exactly once, so
+    /// per-step work never re-scans previously probed sources. (The old
+    /// `restricted_view` re-collected *all* probed sources' triples on
+    /// every probe, making the tally below the k²-ish prefix-sum instead.)
+    #[test]
+    fn probing_scans_each_source_once_not_quadratically() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let order: Vec<SourceId> = (0..snap.num_sources()).map(SourceId::from_index).collect();
+        let per_source: Vec<usize> = order
+            .iter()
+            .map(|&s| snap.assertions_of(s).count())
+            .collect();
+        let linear_total: usize = per_source.iter().sum();
+        let quadratic_total: usize = per_source
+            .iter()
+            .scan(0usize, |acc, &n| {
+                *acc += n;
+                Some(*acc)
+            })
+            .sum();
+        assert!(quadratic_total > linear_total, "fixture must discriminate");
+
+        let mut session = OnlineSession::new(
+            &snap,
+            vec![0.8; snap.num_sources()],
+            DependenceMatrix::new(),
+            DetectionParams::default(),
+        );
+        let mut after_each = Vec::new();
+        for &s in &order {
+            session.probe(s);
+            after_each.push(session.scanned_assertions());
+        }
+        // After every step the tally equals the probed sources' plain sum:
+        // step k added exactly source k's assertions, nothing was re-read.
+        let mut prefix = 0usize;
+        for (k, &n) in per_source.iter().enumerate() {
+            prefix += n;
+            assert_eq!(
+                after_each[k], prefix,
+                "step {k} re-scanned previously probed sources"
+            );
+        }
+        assert_eq!(session.scanned_assertions(), linear_total);
+    }
+
+    /// The incremental accumulator must answer identically to a session
+    /// rebuilt from scratch at every step.
+    #[test]
+    fn incremental_view_matches_fresh_rebuild_per_step() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let (accs, deps) = pilot(&snap);
+        let order = order_sources(&snap, &accs, &deps, &OrderingPolicy::ByAccuracy);
+
+        let mut incremental = OnlineSession::new(
+            &snap,
+            accs.clone(),
+            deps.clone(),
+            DetectionParams::default(),
+        );
+        for k in 0..order.len() {
+            let step = incremental.probe(order[k]);
+            // A fresh session probing the same prefix must agree exactly.
+            let mut fresh = OnlineSession::new(
+                &snap,
+                accs.clone(),
+                deps.clone(),
+                DetectionParams::default(),
+            );
+            let fresh_last = fresh.run_order(&order[..=k]).pop().unwrap();
+            assert_eq!(step.decisions, fresh_last.decisions, "step {k}");
+            assert_eq!(step.coverage, fresh_last.coverage, "step {k}");
+        }
     }
 
     #[test]

@@ -64,7 +64,15 @@
 //!   written to disk in a versioned, checksummed format
 //!   ([`sailing_persist`]), and a second *process* over the same
 //!   snapshots gets disk hits instead of cold discovery runs — damaged
-//!   or stale files degrade to cold misses, never errors.
+//!   or stale files degrade to cold misses, never errors. With
+//!   [`SailingEngineBuilder::persist_async`] the store writes on its own
+//!   background thread, so the analysis path performs **zero filesystem
+//!   syscalls** ([`SailingEngine::flush_persist`] becomes a drain
+//!   barrier, deferred failures surface via
+//!   [`SailingEngine::take_persist_write_errors`]); one store directory
+//!   is safe to share across engines, processes, and machines —
+//!   compaction takes the directory's advisory lock and can never sweep
+//!   a just-written valid entry.
 //! * On multi-core machines [`SailingEngine::timeline_batched`] (or
 //!   [`TimelineSession::prefetch_cold`]) runs the timeline's cold epoch
 //!   analyses **in parallel** first — store-resident epochs are skipped,
@@ -118,7 +126,7 @@ use sailing_core::{
 use sailing_datagen::bookstores::BookCorpusConfig;
 use sailing_fusion::{FusionOutcome, ProbabilisticDatabase};
 use sailing_model::{History, ObjectId, SailingError, SnapshotView, SourceId, Timestamp, ValueId};
-use sailing_persist::{CompactReport, PersistentStore, StoreKey};
+use sailing_persist::{CompactReport, PersistentStore, StoreKey, StoreOptions};
 use sailing_query::topk::{top_k_values_for_object, TopKResult};
 use sailing_query::{order_sources, OnlineSession, OrderingPolicy};
 use sailing_recommend::{
@@ -138,6 +146,8 @@ pub struct SailingEngineBuilder {
     temporal_params: TemporalParams,
     cache_capacity: usize,
     persist_dir: Option<PathBuf>,
+    persist_async: bool,
+    persist_queue_depth: usize,
 }
 
 impl SailingEngineBuilder {
@@ -151,6 +161,8 @@ impl SailingEngineBuilder {
             temporal_params: TemporalParams::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             persist_dir: None,
+            persist_async: false,
+            persist_queue_depth: sailing_persist::DEFAULT_QUEUE_DEPTH,
         }
     }
 
@@ -218,6 +230,53 @@ impl SailingEngineBuilder {
         self
     }
 
+    /// Moves the persistent store's writes to a **background writer
+    /// thread**: with this on, the analysis path performs **zero
+    /// filesystem syscalls** — `analyze`/`analyze_owned` enqueue the
+    /// freshly computed result onto a bounded in-memory queue and return,
+    /// and the store's writer thread drains it with the usual atomic
+    /// temp-file+rename discipline. [`SailingEngine::flush_persist`]
+    /// becomes a drain barrier; write failures that happen after the
+    /// analysis returned surface through
+    /// [`CacheStats::disk_write_errors`] and
+    /// [`SailingEngine::take_persist_write_errors`] instead of being
+    /// silently lost. No effect without
+    /// [`SailingEngineBuilder::persist_dir`].
+    ///
+    /// ```
+    /// use sailing::engine::SailingEngine;
+    /// use sailing::model::fixtures;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("sailing-doc-pa-{}", std::process::id()));
+    /// let engine = SailingEngine::builder()
+    ///     .persist_dir(&dir)
+    ///     .persist_async(true)
+    ///     .build()?;
+    /// let (store, _) = fixtures::table1();
+    /// let analysis = engine.analyze(&store.snapshot()); // no fs write here
+    /// engine.flush_persist()?; // drain barrier: the entry is on disk now
+    /// assert!(engine.take_persist_write_errors().is_empty());
+    /// assert!(!analysis.decisions().is_empty());
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), sailing::error::SailingError>(())
+    /// ```
+    #[must_use]
+    pub fn persist_async(mut self, enabled: bool) -> Self {
+        self.persist_async = enabled;
+        self
+    }
+
+    /// Bounds the async write-behind queue (entries). When full, the
+    /// oldest unwritten entry is evicted — a future cold miss — rather
+    /// than blocking the analysis thread. Ignored unless
+    /// [`SailingEngineBuilder::persist_async`] is on; clamped to at
+    /// least 1. Defaults to [`sailing_persist::DEFAULT_QUEUE_DEPTH`].
+    #[must_use]
+    pub fn persist_queue_depth(mut self, depth: usize) -> Self {
+        self.persist_queue_depth = depth;
+        self
+    }
+
     /// Attaches a bookstore-corpus configuration, making its screening the
     /// engine default: the candidate-pair floor is raised to the corpus's
     /// `min_shared_books` (Example 4.1 screens AbeBooks pairs by "at least
@@ -274,7 +333,13 @@ impl SailingEngineBuilder {
         };
         self.temporal_params.validate()?;
         let persist = match self.persist_dir {
-            Some(dir) => Some(Arc::new(PersistentStore::open(dir)?)),
+            Some(dir) => {
+                let options = StoreOptions {
+                    async_writer: self.persist_async,
+                    queue_depth: self.persist_queue_depth,
+                };
+                Some(Arc::new(PersistentStore::open_with(dir, options)?))
+            }
             None => None,
         };
         Ok(SailingEngine {
@@ -346,6 +411,9 @@ impl SailingEngine {
             let disk = store.stats();
             stats.disk_hits = disk.disk_hits;
             stats.disk_misses = disk.disk_misses;
+            stats.disk_writes = disk.writes;
+            stats.disk_write_errors = disk.write_errors;
+            stats.disk_dropped = disk.dropped;
         }
         stats
     }
@@ -358,16 +426,49 @@ impl SailingEngine {
 
     /// Flushes the persistent store's buffered writes to disk; returns the
     /// number of entries written (`0` when no store is attached — results
-    /// are also flushed automatically in small batches and when the last
-    /// engine clone drops).
+    /// are also flushed automatically and when the last engine clone
+    /// drops). With [`SailingEngineBuilder::persist_async`] on, this is a
+    /// **drain barrier**: it returns once every result computed before
+    /// the call has been written (or failed) by the store's background
+    /// writer thread.
     ///
     /// # Errors
-    /// [`SailingError::Persist`] on a filesystem failure.
+    /// [`SailingError::Persist`] on an inline filesystem failure, or
+    /// [`SailingError::PersistDeferred`] carrying the oldest failure from
+    /// the background writer (the rest stay available via
+    /// [`SailingEngine::take_persist_write_errors`]).
     pub fn flush_persist(&self) -> Result<usize, SailingError> {
         match &self.persist {
             Some(store) => store.flush(),
             None => Ok(0),
         }
+    }
+
+    /// Takes (and clears) the persistent store's deferred write errors —
+    /// background or auto-flush failures that happened after the
+    /// originating analysis had already returned. Empty when no store is
+    /// attached or nothing failed; counts stay visible in
+    /// [`CacheStats::disk_write_errors`] either way.
+    ///
+    /// ```
+    /// use sailing::engine::SailingEngine;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("sailing-doc-twe-{}", std::process::id()));
+    /// let engine = SailingEngine::builder()
+    ///     .persist_dir(&dir)
+    ///     .persist_async(true)
+    ///     .build()?;
+    /// // … analyses run, the writer thread persists them in the background …
+    /// for err in engine.take_persist_write_errors() {
+    ///     eprintln!("analysis persisted late or not at all: {err}");
+    /// }
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), sailing::error::SailingError>(())
+    /// ```
+    pub fn take_persist_write_errors(&self) -> Vec<SailingError> {
+        self.persist
+            .as_deref()
+            .map_or_else(Vec::new, PersistentStore::take_write_errors)
     }
 
     /// Sweeps the persistent store, removing damaged or wrong-version
@@ -817,6 +918,16 @@ pub struct CacheStats {
     /// the requests that ran the discovery loop, when a store is attached
     /// (`0` when none is).
     pub disk_misses: u64,
+    /// Entries the persistent store has written to disk (on whichever
+    /// thread the store's write mode uses).
+    pub disk_writes: u64,
+    /// Store writes that failed at the filesystem level; the errors
+    /// themselves are retained for
+    /// [`SailingEngine::take_persist_write_errors`].
+    pub disk_write_errors: u64,
+    /// Entries evicted unwritten because the async write-behind queue
+    /// was full (see [`SailingEngineBuilder::persist_queue_depth`]).
+    pub disk_dropped: u64,
 }
 
 /// Cache key: the snapshot's content hash plus the provenance of the
@@ -971,6 +1082,9 @@ impl AnalysisCache {
             capacity: self.capacity,
             disk_hits: 0,
             disk_misses: 0,
+            disk_writes: 0,
+            disk_write_errors: 0,
+            disk_dropped: 0,
         }
     }
 }
@@ -1871,7 +1985,7 @@ mod tests {
             second.compact_persist().unwrap(),
             sailing_persist::CompactReport {
                 kept: 1,
-                removed: 0
+                ..Default::default()
             }
         );
         let plain = SailingEngine::with_defaults();

@@ -127,6 +127,57 @@ fn two_tier_counters_stay_coherent_under_concurrency() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The async write-behind tier under the same hammering: counters stay
+/// coherent, hits stay pointer-identical, and **no analysis thread ever
+/// performs a store filesystem write** — they all land on the store's
+/// background writer thread.
+#[test]
+fn async_two_tier_counters_and_writer_thread_isolation() {
+    let dir = std::env::temp_dir().join(format!(
+        "sailing-cache-concurrency-async-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let threads = 8;
+    let rounds = 10;
+    let snaps = snapshots(4);
+    let engine = SailingEngine::builder()
+        .cache_capacity(16)
+        .persist_dir(&dir)
+        .persist_async(true)
+        .persist_queue_depth(64)
+        .build()
+        .unwrap();
+    hammer(&engine, &snaps, threads, rounds);
+    engine.flush_persist().unwrap();
+
+    let stats = engine.cache_stats();
+    let requests = (threads * rounds * snaps.len()) as u64;
+    assert_eq!(stats.hits + stats.misses, requests, "{stats:?}");
+    assert_eq!(
+        stats.disk_hits + stats.disk_misses,
+        stats.misses,
+        "{stats:?}"
+    );
+    assert_eq!((stats.disk_write_errors, stats.disk_dropped), (0, 0));
+    assert!(stats.disk_writes >= snaps.len() as u64, "{stats:?}");
+    assert!(engine.take_persist_write_errors().is_empty());
+
+    // Thread isolation: `hammer` analyzed from worker threads and this
+    // thread drove the engine — none of them may appear among the store's
+    // filesystem writers.
+    let store = engine.persist_store().unwrap();
+    let writers = store.fs_write_threads();
+    assert_eq!(
+        writers.len(),
+        1,
+        "only the writer thread writes: {writers:?}"
+    );
+    assert!(!writers.contains(&std::thread::current().id()));
+    assert_eq!(store.len(), snaps.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The eviction path under contention: a cache smaller than the working
 /// set must keep counters coherent even while entries churn.
 #[test]
