@@ -1,0 +1,192 @@
+//! Fixed-bucket latency histograms: lock-free to record, cheap to
+//! snapshot, good enough to quote p50/p99.
+//!
+//! Buckets are powers of two in **nanoseconds**: bucket `i` covers
+//! `[2^i, 2^(i+1))` ns (bucket 0 also absorbs 0 ns). Forty buckets reach
+//! `2^40` ns ≈ 18 minutes — far beyond any sane request latency — so no
+//! request is ever dropped; the last bucket clamps. Recording is one
+//! relaxed `fetch_add`; quantiles walk the 40 counters and interpolate
+//! linearly inside the winning bucket. The error bound is the bucket
+//! width (≤ 2× the true value), which is the standard trade for a
+//! histogram whose record path must cost nanoseconds and whose memory
+//! must not grow with the number of requests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Number of power-of-two buckets. `2^40` ns ≈ 18 minutes.
+pub const NUM_BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram with lock-free recording.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    /// Total recorded nanoseconds — exact, for mean latency.
+    total_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            // `Default` for arrays stops at 32 elements; build the 40
+            // explicitly.
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `nanos` nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn bucket_of(nanos: u64) -> usize {
+        if nanos < 2 {
+            return 0;
+        }
+        ((63 - nanos.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, linearly
+    /// interpolated inside the winning bucket; `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// A consistent-enough copy of the counters (individual loads are
+    /// atomic; a record racing the snapshot lands in one or the other).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            total_nanos: self.total_nanos.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An owned copy of a [`LatencyHistogram`]'s counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    /// Exact sum of all recorded durations, in nanoseconds.
+    pub total_nanos: u64,
+    /// Per-bucket observation counts; bucket `i` covers `[2^i, 2^(i+1))`
+    /// nanoseconds.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean latency in nanoseconds; `None` while empty.
+    pub fn mean_nanos(&self) -> Option<f64> {
+        let count = self.count();
+        (count > 0).then(|| self.total_nanos as f64 / count as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, linearly
+    /// interpolated inside the winning bucket; `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if seen + count >= rank {
+                let lower = if i == 0 { 0u64 } else { 1u64 << i };
+                let upper = 1u64 << (i + 1);
+                let into = (rank - seen) as f64 / count as f64;
+                return Some(lower as f64 + into * (upper - lower) as f64);
+            }
+            seen += count;
+        }
+        unreachable!("rank {rank} <= total {total} must land in a bucket");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(4), 2);
+        assert_eq!(LatencyHistogram::bucket_of(1023), 9);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_bound_the_truth() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for nanos in 1..=1000u64 {
+            h.record(nanos);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        // True median is 500; the bucket [512, 1024) below it means the
+        // estimate can be off by at most one bucket width.
+        assert!((256.0..=1024.0).contains(&p50), "{p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((512.0..=1024.0).contains(&p99), "{p99}");
+        assert!(p50 <= p99);
+        // The mean is exact.
+        let snap = h.snapshot();
+        assert!((snap.mean_nanos().unwrap() - 500.5).abs() < 1e-9);
+        // Quantiles are monotone in q.
+        let mut last = 0.0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+    }
+}

@@ -1,0 +1,251 @@
+//! The serve-level metrics layer: per-endpoint request counters and
+//! latency histograms, folded together with the engine's cache/disk
+//! counters into one cheap [`MetricsSnapshot`].
+//!
+//! Recording is lock-free (one relaxed counter bump plus one histogram
+//! bucket bump per request) so the metrics layer never becomes the
+//! serialization point the epoch pointer was designed to avoid.
+//! Snapshotting reads ~200 atomics — cheap enough to poll from a stats
+//! endpoint or after every benchmark phase.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use sailing::CacheStats;
+use serde::Serialize;
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// The serving tier's instrumented endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// [`ServeHandle::top_k`](crate::ServeHandle::top_k) — dependence-aware
+    /// top-k answering for one object.
+    TopK,
+    /// [`ServeHandle::fuse`](crate::ServeHandle::fuse) — the full fusion
+    /// outcome of the current epoch.
+    Fuse,
+    /// [`ServeHandle::recommend`](crate::ServeHandle::recommend) —
+    /// goal-directed source recommendation.
+    Recommend,
+    /// [`ServeHandle::source_reports`](crate::ServeHandle::source_reports)
+    /// — per-source accuracy/coverage/copier summaries.
+    SourceReports,
+    /// [`ServeHandle::admit`](crate::ServeHandle::admit) — snapshot
+    /// admission (analysis + epoch publication).
+    Admit,
+}
+
+impl Endpoint {
+    /// Every instrumented endpoint, in display order.
+    pub const ALL: [Endpoint; 5] = [
+        Endpoint::TopK,
+        Endpoint::Fuse,
+        Endpoint::Recommend,
+        Endpoint::SourceReports,
+        Endpoint::Admit,
+    ];
+
+    /// Stable display/serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::TopK => "top_k",
+            Endpoint::Fuse => "fuse",
+            Endpoint::Recommend => "recommend",
+            Endpoint::SourceReports => "source_reports",
+            Endpoint::Admit => "admit",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::TopK => 0,
+            Endpoint::Fuse => 1,
+            Endpoint::Recommend => 2,
+            Endpoint::SourceReports => 3,
+            Endpoint::Admit => 4,
+        }
+    }
+}
+
+/// One endpoint's live counters.
+#[derive(Debug, Default)]
+struct EndpointRecorder {
+    requests: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// The live metrics a [`ServeHandle`](crate::ServeHandle) records into.
+#[derive(Debug, Default)]
+pub(crate) struct ServeMetrics {
+    endpoints: [EndpointRecorder; 5],
+    epoch_swaps: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Records one request against `endpoint`.
+    pub(crate) fn record(&self, endpoint: Endpoint, elapsed: Duration) {
+        let recorder = &self.endpoints[endpoint.index()];
+        recorder.requests.fetch_add(1, Ordering::Relaxed);
+        recorder
+            .latency
+            .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records an epoch publication that actually swapped the pointer.
+    pub(crate) fn note_swap(&self) {
+        self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter, folding in the engine's cache stats.
+    pub(crate) fn snapshot(&self, cache: &CacheStats) -> MetricsSnapshot {
+        let endpoints = Endpoint::ALL
+            .iter()
+            .map(|&e| {
+                let recorder = &self.endpoints[e.index()];
+                let latency = recorder.latency.snapshot();
+                let to_us = |q: Option<f64>| q.map_or(0.0, |nanos| nanos / 1000.0);
+                EndpointStats {
+                    endpoint: e.name(),
+                    requests: recorder.requests.load(Ordering::Relaxed),
+                    p50_us: to_us(latency.quantile(0.5)),
+                    p99_us: to_us(latency.quantile(0.99)),
+                    mean_us: to_us(latency.mean_nanos()),
+                    latency,
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            endpoints,
+            epoch_swaps: self.epoch_swaps.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            inflight_waits: cache.inflight_waits,
+            disk_hits: cache.disk_hits,
+            disk_misses: cache.disk_misses,
+            disk_writes: cache.disk_writes,
+            disk_write_errors: cache.disk_write_errors,
+            disk_dropped: cache.disk_dropped,
+        }
+    }
+}
+
+/// One endpoint's counters at snapshot time.
+#[derive(Debug, Clone, Serialize)]
+pub struct EndpointStats {
+    /// Endpoint name ([`Endpoint::name`]).
+    pub endpoint: &'static str,
+    /// Requests served since the handle was created.
+    pub requests: u64,
+    /// Median latency in microseconds (0 while unused).
+    pub p50_us: f64,
+    /// 99th-percentile latency in microseconds (0 while unused).
+    pub p99_us: f64,
+    /// Mean latency in microseconds — exact, not bucketed (0 while
+    /// unused).
+    pub mean_us: f64,
+    /// The full fixed-bucket histogram, for callers that want other
+    /// quantiles.
+    pub latency: HistogramSnapshot,
+}
+
+/// Everything the serving tier can tell you about itself, in one cheap
+/// value: per-endpoint request counts and latency quantiles, epoch swap
+/// count, the engine's cache/single-flight counters, and the persist
+/// tier's write/deferred-error counters.
+///
+/// `disk_write_errors` / `disk_dropped` surface the **deferred
+/// persistence failures** — background writes that failed (or were
+/// evicted unwritten) after the originating analysis had already been
+/// served. The counts live here so a dashboard sees them; the retained
+/// errors themselves come from
+/// [`ServeHandle::take_persist_write_errors`](crate::ServeHandle::take_persist_write_errors).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Per-endpoint stats, in [`Endpoint::ALL`] order.
+    pub endpoints: Vec<EndpointStats>,
+    /// Number of [`ServeHandle::admit`](crate::ServeHandle::admit) calls
+    /// that actually changed the current epoch pointer.
+    pub epoch_swaps: u64,
+    /// Engine analysis-cache hits (memory tier).
+    pub cache_hits: u64,
+    /// Engine analysis-cache misses (memory tier).
+    pub cache_misses: u64,
+    /// Misses that adopted a concurrent in-flight computation instead of
+    /// running discovery — the single-flight counter.
+    pub inflight_waits: u64,
+    /// Misses served by the persistent store.
+    pub disk_hits: u64,
+    /// Misses the persistent store could not serve (discovery ran).
+    pub disk_misses: u64,
+    /// Entries the persistent store has written.
+    pub disk_writes: u64,
+    /// Store writes that failed at the filesystem level (deferred errors
+    /// retained for `take_persist_write_errors`).
+    pub disk_write_errors: u64,
+    /// Entries evicted unwritten from the async write-behind queue.
+    pub disk_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// The stats for one endpoint.
+    ///
+    /// # Panics
+    /// Never — every [`Endpoint`] is present in every snapshot.
+    pub fn endpoint(&self, endpoint: Endpoint) -> &EndpointStats {
+        &self.endpoints[endpoint.index()]
+    }
+
+    /// Total requests across the four *query* endpoints (admissions not
+    /// included).
+    pub fn query_requests(&self) -> u64 {
+        Endpoint::ALL
+            .iter()
+            .filter(|e| !matches!(e, Endpoint::Admit))
+            .map(|&e| self.endpoint(e).requests)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let metrics = ServeMetrics::default();
+        metrics.record(Endpoint::TopK, Duration::from_micros(10));
+        metrics.record(Endpoint::TopK, Duration::from_micros(20));
+        metrics.record(Endpoint::Fuse, Duration::from_micros(5));
+        metrics.note_swap();
+
+        let cache = {
+            // Engine stats to fold in; only the counters matter here.
+            let engine = sailing::engine::SailingEngine::with_defaults();
+            engine.cache_stats()
+        };
+        let snap = metrics.snapshot(&cache);
+        assert_eq!(snap.endpoint(Endpoint::TopK).requests, 2);
+        assert_eq!(snap.endpoint(Endpoint::Fuse).requests, 1);
+        assert_eq!(snap.endpoint(Endpoint::Recommend).requests, 0);
+        assert_eq!(snap.endpoint(Endpoint::Recommend).p99_us, 0.0);
+        assert_eq!(snap.epoch_swaps, 1);
+        assert_eq!(snap.query_requests(), 3);
+        let topk = snap.endpoint(Endpoint::TopK);
+        assert!(topk.p50_us > 0.0 && topk.p50_us <= topk.p99_us);
+        assert!((topk.mean_us - 15.0).abs() < 1.0);
+
+        // The snapshot serializes (the bench and loadgen print it).
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"top_k\""), "{json}");
+    }
+
+    #[test]
+    fn endpoint_names_are_stable_and_indexed() {
+        for (i, e) in Endpoint::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+        assert_eq!(Endpoint::TopK.name(), "top_k");
+        assert_eq!(Endpoint::Admit.name(), "admit");
+    }
+}

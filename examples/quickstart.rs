@@ -124,5 +124,31 @@ fn main() -> Result<(), sailing::SailingError> {
     let again = engine.analyze_owned(analysis.snapshot_arc());
     assert!(std::ptr::eq(analysis.result(), again.result()));
     println!("\n== Analysis cache ==\n  {:?}", engine.cache_stats());
+
+    // Serving tier: wrap the engine in a ServeHandle to answer the same
+    // queries from many threads — readers revalidate the published
+    // analysis with one atomic load per request, and every endpoint is
+    // timed (see `cargo run --example serve_loadgen` for the full loop).
+    let handle = sailing_serve::ServeHandle::new(engine, analysis.snapshot_arc());
+    let answers: Vec<_> = std::thread::scope(|scope| {
+        (0..2)
+            .map(|_| {
+                let mut reader = handle.reader();
+                let dong = store.object_id("Dong").unwrap();
+                scope.spawn(move || reader.top_k(dong, 1, &OrderingPolicy::ByAccuracy).top)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(answers[0], answers[1]);
+    let metrics = handle.metrics();
+    println!(
+        "\n== Serving tier ==\n  top_k requests: {}, p99: {:.1} us (epoch generation {})",
+        metrics.endpoint(sailing_serve::Endpoint::TopK).requests,
+        metrics.endpoint(sailing_serve::Endpoint::TopK).p99_us,
+        handle.generation()
+    );
     Ok(())
 }

@@ -59,6 +59,13 @@
 //!   the same path (another cold `analyze`, a timeline re-walk) is free,
 //!   while a cold `analyze` never silently observes a warm-seeded result;
 //!   see [`SailingEngine::cache_stats`].
+//! * Cache misses are admitted with **single-flight** semantics: when many
+//!   threads miss on the same snapshot concurrently, exactly one runs the
+//!   discovery loop (and the persistent-store lookup) while the rest block
+//!   on the in-flight computation and adopt its pointer-identical result —
+//!   a thundering herd performs one unit of work, counted in
+//!   [`CacheStats::inflight_waits`]. The `sailing-serve` crate builds its
+//!   concurrent query-serving tier on exactly this admission path.
 //! * The cache can be backed by a **persistent store**
 //!   ([`SailingEngineBuilder::persist_dir`]): computed results are
 //!   written to disk in a versioned, checksummed format
@@ -116,7 +123,7 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use sailing_core::truth::{DependenceMatrix, ValueProbabilities};
 use sailing_core::{
@@ -609,18 +616,56 @@ impl SailingEngine {
                 hash: snapshot.view().content_hash(),
                 prior: prior.map(PipelineResult::content_digest),
             };
-            match self.probe(key, snapshot.view()) {
-                Some((cached_snapshot, cached_result)) => (cached_snapshot, cached_result, true),
-                None => {
-                    let snapshot = snapshot.into_arc();
-                    let fresh = Arc::new(self.strategy.run_warm(&snapshot, prior));
-                    let (snapshot, fresh) = self.retain_result(key, snapshot, fresh);
-                    (snapshot, fresh, false)
-                }
-            }
+            self.lookup_or_compute(key, snapshot, prior)
         };
         let analysis = self.assemble_analysis(snapshot, history, result);
         (analysis, from_cache)
+    }
+
+    /// The full miss path with **single-flight admission**: memory hit →
+    /// adopt an identical in-flight computation → disk hit → compute, in
+    /// that order. Only the flight's *leader* probes the persistent tier
+    /// and (on a disk miss) runs discovery; every concurrent request for
+    /// the same key blocks on the leader and adopts its result, so a
+    /// thundering herd of identical cache-missing requests performs one
+    /// disk lookup and at most one discovery run between them
+    /// (`CacheStats::inflight_waits` counts the adopters).
+    fn lookup_or_compute(
+        &self,
+        key: CacheKey,
+        snapshot: SnapshotInput<'_>,
+        prior: Option<&PipelineResult>,
+    ) -> (Arc<SnapshotView>, Arc<PipelineResult>, bool) {
+        if let Some((snap, result)) = self.cache.get(key, snapshot.view()) {
+            return (snap, result, true);
+        }
+        match self.cache.admit(key, snapshot.view()) {
+            Admission::Served(snap, result) => (snap, result, true),
+            Admission::Lead(guard) => {
+                if let Some(store) = self.persist.as_deref() {
+                    if let Some((snap, result)) = store.get(key.store_key(), snapshot.view()) {
+                        let (snap, result) = self.cache.insert_or_get(key, snap, result);
+                        guard.complete(&snap, &result);
+                        return (snap, result, true);
+                    }
+                }
+                let snapshot = snapshot.into_arc();
+                let fresh = Arc::new(self.strategy.run_warm(&snapshot, prior));
+                let (snap, result) = self.retain_result(key, snapshot, fresh);
+                guard.complete(&snap, &result);
+                (snap, result, false)
+            }
+            Admission::Collision => {
+                // The in-flight computation under this 64-bit key is for
+                // *different* snapshot content; waiting again could adopt
+                // the wrong analysis, so compute outside the flight (the
+                // two contents thrash one slot — slow, never wrong).
+                let snapshot = snapshot.into_arc();
+                let fresh = Arc::new(self.strategy.run_warm(&snapshot, prior));
+                let (snap, result) = self.retain_result(key, snapshot, fresh);
+                (snap, result, false)
+            }
+        }
     }
 
     /// Two-tier lookup, no discovery: the in-memory cache first, then the
@@ -903,10 +948,20 @@ impl Analysis {
 pub struct CacheStats {
     /// Analyses served from the in-memory tier.
     pub hits: u64,
-    /// In-memory misses — every one of these either fell through to the
-    /// persistent tier (when attached) or ran the discovery loop, so
-    /// `hits + misses` always equals the number of analysis requests.
+    /// In-memory misses — every one of these fell through to the
+    /// persistent tier (when attached), ran the discovery loop, or
+    /// adopted another request's in-flight computation
+    /// ([`CacheStats::inflight_waits`]), so `hits + misses` always equals
+    /// the number of analysis requests.
     pub misses: u64,
+    /// In-memory misses that did **not** run discovery (or touch the
+    /// persistent tier) because an identical computation was already in
+    /// flight: the request blocked on — or arrived just as it landed and
+    /// adopted — the leader's result. Single-flight admission means a
+    /// thundering herd of `K` concurrent misses on one snapshot runs
+    /// discovery once and reports `K - 1` waits here; with a store
+    /// attached, `disk_hits + disk_misses + inflight_waits == misses`.
+    pub inflight_waits: u64,
     /// Pipeline results currently retained in memory.
     pub entries: usize,
     /// Maximum retained results (`0` = in-memory caching disabled).
@@ -978,8 +1033,18 @@ struct CacheEntry {
 /// scan-and-rotate beats a hash map plus intrusive list at this size.
 struct AnalysisCache {
     entries: Mutex<Vec<CacheEntry>>,
+    /// Computations currently in flight, keyed like the entries: the
+    /// **single-flight admission table**. The first request to miss on a
+    /// key registers a flight and becomes its leader; every concurrent
+    /// miss on the same key blocks on the flight instead of recomputing,
+    /// and adopts the leader's allocations when it lands. Flights are
+    /// registered even when `capacity == 0` with a persistent store
+    /// attached — single-flight dedupes concurrent *work*, which is
+    /// orthogonal to how many finished results are retained.
+    flights: Mutex<Vec<(CacheKey, Arc<Inflight>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    inflight_waits: AtomicU64,
     capacity: usize,
 }
 
@@ -987,8 +1052,10 @@ impl AnalysisCache {
     fn new(capacity: usize) -> Self {
         Self {
             entries: Mutex::new(Vec::with_capacity(capacity.min(64))),
+            flights: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            inflight_waits: AtomicU64::new(0),
             capacity,
         }
     }
@@ -1037,13 +1104,16 @@ impl AnalysisCache {
     /// Inserts a result — unless an equivalent entry (same key, same
     /// snapshot content) is already resident, in which case the resident
     /// allocations are returned and refreshed instead of replaced. This is
-    /// what keeps hits **pointer-identical under concurrency**: when two
-    /// threads miss on the same snapshot simultaneously and both compute,
-    /// the first writer wins and every later caller (including the losing
-    /// computer) adopts the winner's `PipelineResult` allocation. A
-    /// disabled cache returns the inputs unchanged; a same-key entry for
-    /// *different* content (a 64-bit hash collision) is replaced — the two
-    /// snapshots thrash one slot, which is slow but never wrong.
+    /// the retention half of what keeps hits **pointer-identical under
+    /// concurrency**: [`AnalysisCache::admit`]'s single-flight table
+    /// ensures at most one request *computes* per key, and on the rare
+    /// paths where two computations do land (a hash-collision
+    /// [`Admission::Collision`], or a timeline prefetch racing a serve
+    /// request), the first writer wins and every later caller adopts the
+    /// winner's `PipelineResult` allocation. A disabled cache returns the
+    /// inputs unchanged; a same-key entry for *different* content (a
+    /// 64-bit hash collision) is replaced — the two snapshots thrash one
+    /// slot, which is slow but never wrong.
     fn insert_or_get(
         &self,
         key: CacheKey,
@@ -1074,10 +1144,78 @@ impl AnalysisCache {
         (snapshot, result)
     }
 
+    /// Joins or opens the single-flight admission for `key` after a miss.
+    /// Exactly one concurrent caller per key becomes the leader
+    /// ([`Admission::Lead`]) and must finish its [`FlightGuard`]; everyone
+    /// else blocks until the leader lands and adopts its result. A request
+    /// that finds the result already resident (the leader completed
+    /// between this caller's miss and its admit) adopts it the same way —
+    /// either way the adoption is counted in
+    /// [`CacheStats::inflight_waits`]. An abandoned flight (leader
+    /// panicked) wakes the waiters to retry, so one of them leads next.
+    fn admit(&self, key: CacheKey, snapshot: &SnapshotView) -> Admission<'_> {
+        loop {
+            let flight = {
+                let mut flights = self.flights.lock().expect("analysis flights poisoned");
+                match flights.iter().find(|(k, _)| *k == key) {
+                    Some((_, flight)) => Arc::clone(flight),
+                    None => {
+                        // Re-check residency before leading: a previous
+                        // leader may have completed (and deregistered its
+                        // flight) between this request's miss and now.
+                        let entries = self.entries.lock().expect("analysis cache poisoned");
+                        if let Some(entry) = entries
+                            .iter()
+                            .find(|e| e.key == key && *e.snapshot == *snapshot)
+                        {
+                            let hit = (Arc::clone(&entry.snapshot), Arc::clone(&entry.result));
+                            drop(entries);
+                            drop(flights);
+                            self.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                            return Admission::Served(hit.0, hit.1);
+                        }
+                        drop(entries);
+                        let flight = Arc::new(Inflight::new());
+                        flights.push((key, Arc::clone(&flight)));
+                        return Admission::Lead(FlightGuard {
+                            cache: self,
+                            key,
+                            flight,
+                            completed: false,
+                        });
+                    }
+                }
+            };
+            self.inflight_waits.fetch_add(1, Ordering::Relaxed);
+            match flight.wait() {
+                FlightState::Done(snap, result) => {
+                    if *snap == *snapshot {
+                        return Admission::Served(snap, result);
+                    }
+                    return Admission::Collision;
+                }
+                FlightState::Abandoned => continue,
+                FlightState::Pending => unreachable!("wait() returns only settled states"),
+            }
+        }
+    }
+
+    /// Deregisters a flight and publishes its outcome to every waiter.
+    fn finish_flight(&self, key: CacheKey, flight: &Arc<Inflight>, outcome: FlightState) {
+        let mut flights = self.flights.lock().expect("analysis flights poisoned");
+        flights.retain(|(k, f)| !(*k == key && Arc::ptr_eq(f, flight)));
+        drop(flights);
+        let mut state = flight.state.lock().expect("analysis flight poisoned");
+        *state = outcome;
+        drop(state);
+        flight.landed.notify_all();
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            inflight_waits: self.inflight_waits.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("analysis cache poisoned").len(),
             capacity: self.capacity,
             disk_hits: 0,
@@ -1085,6 +1223,85 @@ impl AnalysisCache {
             disk_writes: 0,
             disk_write_errors: 0,
             disk_dropped: 0,
+        }
+    }
+}
+
+/// Outcome of [`AnalysisCache::admit`]: lead the computation, or adopt a
+/// concurrent one's result.
+enum Admission<'a> {
+    /// This request leads: probe the persistent tier, compute on a disk
+    /// miss, and land the flight via [`FlightGuard::complete`].
+    Lead(FlightGuard<'a>),
+    /// Another request's computation (in flight or just landed) served
+    /// this one — counted in [`CacheStats::inflight_waits`].
+    Served(Arc<SnapshotView>, Arc<PipelineResult>),
+    /// The in-flight computation under this key is for different snapshot
+    /// content (a 64-bit hash collision): compute outside the flight.
+    Collision,
+}
+
+/// One in-flight computation: waiters block on `landed` until the leader
+/// publishes a settled [`FlightState`].
+struct Inflight {
+    state: Mutex<FlightState>,
+    landed: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(FlightState::Pending),
+            landed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the flight settles; never returns `Pending`.
+    fn wait(&self) -> FlightState {
+        let mut state = self.state.lock().expect("analysis flight poisoned");
+        while matches!(*state, FlightState::Pending) {
+            state = self.landed.wait(state).expect("analysis flight poisoned");
+        }
+        state.clone()
+    }
+}
+
+#[derive(Clone)]
+enum FlightState {
+    Pending,
+    Done(Arc<SnapshotView>, Arc<PipelineResult>),
+    /// The leader dropped its guard without completing (a strategy panic):
+    /// waiters retry, and one of them becomes the next leader.
+    Abandoned,
+}
+
+/// The leader's obligation: either [`FlightGuard::complete`] is called
+/// with the retained allocations, or dropping the guard abandons the
+/// flight and wakes the waiters to retry — a panicking strategy can never
+/// wedge a herd of waiters.
+struct FlightGuard<'a> {
+    cache: &'a AnalysisCache,
+    key: CacheKey,
+    flight: Arc<Inflight>,
+    completed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn complete(mut self, snapshot: &Arc<SnapshotView>, result: &Arc<PipelineResult>) {
+        self.cache.finish_flight(
+            self.key,
+            &self.flight,
+            FlightState::Done(Arc::clone(snapshot), Arc::clone(result)),
+        );
+        self.completed = true;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.cache
+                .finish_flight(self.key, &self.flight, FlightState::Abandoned);
         }
     }
 }

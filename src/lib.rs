@@ -41,6 +41,16 @@
 //! * [`datagen`] — seeded synthetic worlds, including the AbeBooks-like
 //!   corpus of the paper's Example 4.1.
 //!
+//! For read-heavy, multi-threaded deployments, the companion crate
+//! `sailing-serve` wraps the engine in a **concurrent query-serving
+//! tier**: a `ServeHandle` publishes the current [`Analysis`] behind an
+//! epoch pointer (readers revalidate with one atomic load per request,
+//! no lock on the hot path), admission of new snapshots is single-flight
+//! through the engine's cache ([`CacheStats::inflight_waits`]), and every
+//! endpoint is counted and timed into p50/p99 latency histograms. It is
+//! a separate crate because it *depends on* this one; see its crate docs
+//! and `examples/serve_loadgen.rs`.
+//!
 //! ## Quickstart
 //!
 //! Build an engine once, analyze a snapshot once, and derive every

@@ -4,13 +4,14 @@
 //! 1. **Counter coherence** — every analysis request increments exactly
 //!    one of `hits`/`misses`, so `hits + misses == requests` no matter
 //!    how the threads interleave (and, with a persistent store attached,
-//!    `disk_hits + disk_misses == misses`).
+//!    `disk_hits + disk_misses + inflight_waits == misses`).
 //! 2. **Pointer-identical hits** — all analyses of one snapshot share a
 //!    single `PipelineResult` allocation, *including* when several
-//!    threads miss simultaneously and race to insert: the first writer
-//!    wins and every later caller adopts its allocation
-//!    (`AnalysisCache::insert_or_get`), so the cache never hands out two
-//!    diverging copies of "the same" converged result.
+//!    threads miss simultaneously: single-flight admission makes the
+//!    first one the leader and parks the rest on its in-flight
+//!    computation, so the cache never hands out two diverging copies of
+//!    "the same" converged result — and never runs discovery twice for
+//!    one snapshot.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -90,10 +91,16 @@ fn shared_cache_counters_stay_coherent_and_hits_pointer_identical() {
     );
     // All snapshots fit in the cache: at least one miss each (the first
     // computation) and hits for the overwhelming rest. Racing first
-    // requests may legitimately compute a snapshot more than once, so
-    // misses can exceed the snapshot count — but never the thread budget.
+    // requests miss too, but single-flight admission parks them on the
+    // leader's computation (counted as inflight waits) rather than
+    // recomputing, so discovery ran exactly once per snapshot.
     assert!(stats.misses >= snaps.len() as u64, "{stats:?}");
     assert!(stats.misses <= (snaps.len() * threads) as u64, "{stats:?}");
+    assert_eq!(
+        stats.misses,
+        snaps.len() as u64 + stats.inflight_waits,
+        "every racing miss waited instead of recomputing: {stats:?}"
+    );
     assert_eq!(stats.entries, snaps.len());
     assert_eq!((stats.disk_hits, stats.disk_misses), (0, 0), "no store");
 }
@@ -116,9 +123,10 @@ fn two_tier_counters_stay_coherent_under_concurrency() {
     let stats = engine.cache_stats();
     let requests = (threads * rounds * snaps.len()) as u64;
     assert_eq!(stats.hits + stats.misses, requests, "{stats:?}");
-    // Every memory miss goes to disk and is answered exactly once there.
+    // Every memory miss either went to disk (leaders, answered exactly
+    // once there) or adopted a leader's in-flight computation (waiters).
     assert_eq!(
-        stats.disk_hits + stats.disk_misses,
+        stats.disk_hits + stats.disk_misses + stats.inflight_waits,
         stats.misses,
         "{stats:?}"
     );
@@ -155,7 +163,7 @@ fn async_two_tier_counters_and_writer_thread_isolation() {
     let requests = (threads * rounds * snaps.len()) as u64;
     assert_eq!(stats.hits + stats.misses, requests, "{stats:?}");
     assert_eq!(
-        stats.disk_hits + stats.disk_misses,
+        stats.disk_hits + stats.disk_misses + stats.inflight_waits,
         stats.misses,
         "{stats:?}"
     );
@@ -209,4 +217,88 @@ fn thrashing_cache_keeps_counter_coherence() {
     let requests = (threads * rounds * snaps.len()) as u64;
     assert_eq!(stats.hits + stats.misses, requests, "{stats:?}");
     assert!(stats.entries <= 2, "{stats:?}");
+}
+
+/// A strategy that counts (and deliberately stretches) every discovery
+/// run — the single-flight proof instrument. The sleep widens the window
+/// in which the herd's losers would historically have recomputed.
+struct CountingSlowStrategy {
+    inner: sailing::core::AccuCopy,
+    runs: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl sailing::core::TruthDiscovery for CountingSlowStrategy {
+    fn name(&self) -> &'static str {
+        "accu-copy"
+    }
+
+    fn discover(&self, snapshot: &SnapshotView) -> sailing::core::PipelineResult {
+        self.run_warm(snapshot, None)
+    }
+
+    fn run_warm(
+        &self,
+        snapshot: &SnapshotView,
+        prior: Option<&sailing::core::PipelineResult>,
+    ) -> sailing::core::PipelineResult {
+        self.runs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        self.inner.run_warm(snapshot, prior)
+    }
+}
+
+/// **The single-flight contract** (the serving tier's admission path): K
+/// threads missing the same snapshot concurrently trigger exactly one
+/// discovery run; the other K-1 block on the in-flight computation and
+/// adopt its pointer-identical result, visible as `inflight_waits` (or,
+/// for a straggler that arrives just after the leader lands, a plain
+/// cache hit).
+#[test]
+fn concurrent_misses_on_one_key_run_discovery_exactly_once() {
+    let threads = 8;
+    let runs = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let engine = SailingEngine::builder()
+        .strategy(CountingSlowStrategy {
+            inner: sailing::core::AccuCopy::with_defaults(),
+            runs: Arc::clone(&runs),
+        })
+        .build()
+        .unwrap();
+    let snap = snapshots(1).pop().unwrap();
+
+    let barrier = std::sync::Barrier::new(threads);
+    let results: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let engine = engine.clone();
+                let snap = Arc::clone(&snap);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    engine.analyze_owned(snap).result() as *const _ as usize
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        runs.load(std::sync::atomic::Ordering::SeqCst),
+        1,
+        "a thundering herd must run discovery exactly once"
+    );
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "all threads must adopt one PipelineResult allocation"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.misses, threads as u64, "{stats:?}");
+    // One leader computed; everyone else either waited on the flight or
+    // hit the cache right after it landed.
+    assert_eq!(
+        stats.hits + stats.inflight_waits,
+        threads as u64 - 1,
+        "{stats:?}"
+    );
+    assert!(stats.inflight_waits >= 1, "someone must have waited");
 }

@@ -1,0 +1,153 @@
+//! Contention tests for the serving tier: many reader threads hammering
+//! a [`ServeHandle`] while a writer swaps the epoch pointer mid-read.
+//!
+//! The property under test is the serving tier's consistency contract:
+//! every request is answered from exactly one *published* `Analysis` —
+//! pointer-identical to one of the admitted epochs, with its snapshot and
+//! pipeline result never mixed across epochs — and every counter stays
+//! coherent (`hits + misses` equals the number of analysis requests,
+//! `generation` equals the number of epoch swaps).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sailing::datagen::{SnapshotWorld, WorldConfig};
+use sailing::engine::SailingEngine;
+use sailing_serve::{Endpoint, ServeHandle, Workload};
+
+#[test]
+fn readers_stay_consistent_while_the_epoch_swaps() {
+    let world_a = SnapshotWorld::generate(&WorldConfig::specialist(8, 32, 16, 11));
+    let world_b = SnapshotWorld::generate(&WorldConfig::specialist(8, 32, 16, 12));
+    let snap_a = Arc::new(world_a.snapshot);
+    let snap_b = Arc::new(world_b.snapshot);
+
+    let handle = ServeHandle::new(SailingEngine::with_defaults(), Arc::clone(&snap_a));
+    // Pin the canonical shared pipeline results for both snapshots; the
+    // engine cache hands the same Arcs back on every later admission.
+    let result_a = handle.current().result_arc();
+    let result_b = handle.admit(Arc::clone(&snap_b)).result_arc();
+    assert!(!Arc::ptr_eq(&result_a, &result_b));
+
+    const READERS: usize = 4;
+    const QUERIES: usize = 2_000;
+    let stop = AtomicBool::new(false);
+
+    let (fingerprints, writer_admits) = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|t| {
+                let handle = handle.clone();
+                let (snap_a, snap_b) = (&snap_a, &snap_b);
+                let (result_a, result_b) = (&result_a, &result_b);
+                scope.spawn(move || {
+                    let mut reader = handle.reader();
+                    let mut workload = Workload::new(t as u64, 32);
+                    let mut fingerprint = 0u64;
+                    for _ in 0..QUERIES {
+                        let current = Arc::clone(reader.current());
+                        // The served analysis is exactly one of the two
+                        // published epochs — snapshot and result always
+                        // travel together, even mid-swap.
+                        let snap = current.snapshot_arc();
+                        let result = current.result_arc();
+                        if Arc::ptr_eq(&result, result_a) {
+                            assert!(
+                                Arc::ptr_eq(&snap, snap_a),
+                                "epoch A served with foreign snapshot"
+                            );
+                        } else {
+                            assert!(
+                                Arc::ptr_eq(&result, result_b),
+                                "served an analysis that was never published"
+                            );
+                            assert!(
+                                Arc::ptr_eq(&snap, snap_b),
+                                "epoch B served with foreign snapshot"
+                            );
+                        }
+                        let query = workload.next_query();
+                        fingerprint += Workload::execute(&mut reader, &query) as u64;
+                    }
+                    fingerprint
+                })
+            })
+            .collect();
+
+        // The writer hammers the pointer: every admission toggles the
+        // epoch, so readers refresh constantly under load.
+        let writer = {
+            let handle = handle.clone();
+            let stop = &stop;
+            let (snap_a, snap_b) = (Arc::clone(&snap_a), Arc::clone(&snap_b));
+            scope.spawn(move || {
+                let mut admits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    handle.admit(Arc::clone(&snap_a));
+                    handle.admit(Arc::clone(&snap_b));
+                    admits += 2;
+                }
+                admits
+            })
+        };
+
+        let fingerprints: Vec<u64> = readers.into_iter().map(|h| h.join().unwrap()).collect();
+        stop.store(true, Ordering::Relaxed);
+        (fingerprints, writer.join().unwrap())
+    });
+
+    // Every query did observable work.
+    assert_eq!(fingerprints.len(), READERS);
+    assert!(fingerprints.iter().all(|&f| f > 0));
+
+    let metrics = handle.metrics();
+    // Analysis requests: the constructor's, epoch B's, and the writer's.
+    let requests = 2 + writer_admits;
+    assert_eq!(
+        metrics.cache_hits + metrics.cache_misses,
+        requests,
+        "hits + misses must equal analysis requests"
+    );
+    assert_eq!(metrics.endpoint(Endpoint::Admit).requests, requests);
+    // Reads never go through the engine cache: the query volume shows up
+    // only in the endpoint counters.
+    assert_eq!(metrics.query_requests(), (READERS * QUERIES) as u64);
+    // Swap accounting: the generation counter and the swap metric move in
+    // lockstep (the initial publication counts as swap 1 / generation 1),
+    // and identical re-admissions (there are none here — the writer
+    // always toggles) would not inflate either.
+    assert_eq!(handle.generation(), metrics.epoch_swaps);
+    assert!(
+        metrics.epoch_swaps >= 2 + writer_admits,
+        "every toggling admission must swap the epoch"
+    );
+    // No persistent store attached: the deferred-error channel is empty.
+    assert_eq!(metrics.disk_write_errors, 0);
+    assert_eq!(metrics.disk_dropped, 0);
+    assert!(handle.take_persist_write_errors().is_empty());
+
+    // Latency accounting: the hammered endpoint has sane quantiles.
+    let topk = metrics.endpoint(Endpoint::TopK);
+    assert!(topk.requests > 0);
+    assert!(topk.p50_us > 0.0 && topk.p50_us <= topk.p99_us);
+    assert_eq!(topk.latency.count(), topk.requests);
+}
+
+#[test]
+fn a_fresh_reader_joins_mid_stream_at_the_current_epoch() {
+    let world = SnapshotWorld::generate(&WorldConfig::specialist(6, 16, 8, 21));
+    let handle = ServeHandle::new(SailingEngine::with_defaults(), Arc::new(world.snapshot));
+    let mut early = handle.reader();
+    assert_eq!(early.seen_generation(), 1);
+
+    let world2 = SnapshotWorld::generate(&WorldConfig::specialist(6, 16, 8, 22));
+    let published = handle.admit(Arc::new(world2.snapshot));
+    assert_eq!(handle.generation(), 2);
+
+    // A reader created after the swap starts at the new epoch; the old
+    // reader converges on its next request.
+    let mut late = handle.reader();
+    assert_eq!(late.seen_generation(), 2);
+    assert!(Arc::ptr_eq(late.current(), &published));
+    assert!(Arc::ptr_eq(early.current(), &published));
+    assert_eq!(early.seen_generation(), 2);
+}
