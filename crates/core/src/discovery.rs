@@ -13,7 +13,7 @@
 use sailing_model::{SailingError, SnapshotView};
 
 use crate::params::DetectionParams;
-use crate::pipeline::{AccuCopy, PipelineResult};
+use crate::pipeline::{AccuCopy, PipelineResult, Termination};
 use crate::truth::naive_probabilities;
 
 /// A truth-discovery strategy: everything that can turn a snapshot of
@@ -92,6 +92,7 @@ impl TruthDiscovery for NaiveVote {
             dependences: Vec::new(),
             iterations: 1,
             converged: true,
+            termination: Termination::Converged,
         }
     }
 

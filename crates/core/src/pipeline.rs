@@ -9,10 +9,11 @@
 //! experiments).
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use sailing_model::{ObjectId, SailingError, SnapshotView, SourceId, ValueId};
+use sailing_model::{fx_mix, ObjectId, SailingError, SnapshotView, SourceId, ValueId};
 
 use crate::accuracy::{estimate_accuracies, max_delta};
 use crate::pairs::{candidate_pairs, detect_all_with_pairs};
@@ -25,6 +26,103 @@ use crate::truth::{naive_probabilities, weighted_vote, DependenceMatrix, ValuePr
 #[derive(Debug, Clone)]
 pub struct AccuCopy {
     params: DetectionParams,
+    watchdog: Watchdog,
+}
+
+/// Why a discovery run stopped iterating. Richer than the boolean
+/// [`PipelineResult::converged`] (which stays the source of truth for
+/// warm-start gating): the watchdog outcomes distinguish a run that
+/// burned its whole iteration budget from one that was *ended early* as
+/// provably spinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Termination {
+    /// The accuracy fixpoint was reached (`converged == true`).
+    Converged,
+    /// `max_iterations` elapsed without convergence — the historical
+    /// non-converged outcome, and the default when no richer record
+    /// exists (deserialized legacy results, hand-built values).
+    #[default]
+    IterationCap,
+    /// The [`Watchdog`] recognised an exact recurrence of the iteration
+    /// state: the loop is in a cycle of this period and would spin until
+    /// the cap without ever converging, so it was ended immediately.
+    LimitCycle {
+        /// Iterations between the two identical states (≥ 2; a
+        /// period-1 recurrence is a fixpoint and reports `Converged`).
+        period: usize,
+    },
+    /// The [`Watchdog`] wall-clock deadline elapsed mid-run.
+    DeadlineExceeded,
+}
+
+impl Termination {
+    /// The record implied by a bare convergence flag — what legacy
+    /// carriers (the persist wire, fusion outcomes) can reconstruct.
+    pub fn from_converged(converged: bool) -> Self {
+        if converged {
+            Termination::Converged
+        } else {
+            Termination::IterationCap
+        }
+    }
+
+    /// `true` for the two watchdog outcomes ([`Termination::LimitCycle`],
+    /// [`Termination::DeadlineExceeded`]).
+    pub fn is_watchdog_stop(self) -> bool {
+        matches!(
+            self,
+            Termination::LimitCycle { .. } | Termination::DeadlineExceeded
+        )
+    }
+}
+
+/// Runaway-run protection for the discovery loop: a wall-clock deadline
+/// and/or limit-cycle detection. Off by default — the historical
+/// behaviour is to iterate until convergence or `max_iterations`.
+///
+/// The numerics caution in this workspace's roadmap is real: with the
+/// default hard damping threshold the vote map is discontinuous, and
+/// sparse snapshots can oscillate between states forever instead of
+/// converging. A watchdogged run ends such a spin as a **typed
+/// non-converged outcome** ([`Termination::LimitCycle`] /
+/// [`Termination::DeadlineExceeded`], with `converged == false` so the
+/// warm-start gate keeps rejecting it) instead of silently burning the
+/// whole iteration budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Watchdog {
+    /// Wall-clock budget for one `run`/`run_warm` call; checked between
+    /// iterations, so one iteration always completes.
+    pub deadline: Option<Duration>,
+    /// Record a digest of each iteration's end state and stop the moment
+    /// a state recurs exactly. Costs one hash of the accuracy and
+    /// posterior vectors per iteration and O(iterations) memory.
+    pub detect_limit_cycles: bool,
+}
+
+impl Watchdog {
+    /// The inert watchdog (no deadline, no cycle detection).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables limit-cycle detection.
+    #[must_use]
+    pub fn limit_cycles(mut self) -> Self {
+        self.detect_limit_cycles = true;
+        self
+    }
+
+    /// `true` when any protection is armed.
+    pub fn is_active(self) -> bool {
+        self.deadline.is_some() || self.detect_limit_cycles
+    }
 }
 
 /// Everything the pipeline learned about a snapshot.
@@ -40,6 +138,13 @@ pub struct PipelineResult {
     pub iterations: usize,
     /// Whether the accuracy fixpoint was reached before the iteration cap.
     pub converged: bool,
+    /// Why the run stopped — convergence, the iteration cap, or a
+    /// [`Watchdog`] stop. Not on the canonical wire (the persist format
+    /// and [`PipelineResult::content_digest`] are pinned by golden
+    /// fixtures); a deserialized result carries the record implied by its
+    /// `converged` flag.
+    #[serde(skip)]
+    pub termination: Termination,
 }
 
 impl PipelineResult {
@@ -99,7 +204,11 @@ impl PipelineResult {
     /// Returns the underlying parse/shape error; persistent-store readers
     /// treat any error as a cold cache miss.
     pub fn from_json_str(text: &str) -> Result<Self, serde::Error> {
-        Self::deserialize(&serde::json::parse(text)?)
+        let mut result = Self::deserialize(&serde::json::parse(text)?)?;
+        // The wire deliberately carries only `converged` (format pinned
+        // by golden fixtures); rebuild the equivalent termination record.
+        result.termination = Termination::from_converged(result.converged);
+        Ok(result)
     }
 
     /// An order-sensitive digest over everything a strategy could
@@ -163,13 +272,17 @@ impl AccuCopy {
     /// Creates a pipeline after validating the parameters.
     pub fn new(params: DetectionParams) -> Result<Self, SailingError> {
         params.validate()?;
-        Ok(Self { params })
+        Ok(Self {
+            params,
+            watchdog: Watchdog::off(),
+        })
     }
 
     /// Creates the dependence-aware pipeline with default parameters.
     pub fn with_defaults() -> Self {
         Self {
             params: DetectionParams::default(),
+            watchdog: Watchdog::off(),
         }
     }
 
@@ -177,12 +290,25 @@ impl AccuCopy {
     pub fn baseline() -> Self {
         Self {
             params: DetectionParams::accu_baseline(),
+            watchdog: Watchdog::off(),
         }
+    }
+
+    /// Arms the discovery watchdog (see [`Watchdog`]). Off by default.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
     }
 
     /// The parameters in force.
     pub fn params(&self) -> &DetectionParams {
         &self.params
+    }
+
+    /// The watchdog in force ([`Watchdog::off`] unless armed).
+    pub fn watchdog(&self) -> Watchdog {
+        self.watchdog
     }
 
     /// Runs the loop to convergence on `snapshot`.
@@ -257,6 +383,11 @@ impl AccuCopy {
         let mut probabilities = naive_probabilities(snapshot);
         let mut iterations = 0;
         let mut converged = false;
+        let mut termination = Termination::IterationCap;
+        let started = Instant::now();
+        // Digests of each iteration's end state, in order — empty (and
+        // cost-free) unless limit-cycle detection is armed.
+        let mut seen_states: Vec<u64> = Vec::new();
 
         while iterations < p.max_iterations {
             iterations += 1;
@@ -272,9 +403,32 @@ impl AccuCopy {
             accuracies = new_accuracies;
             if delta < p.convergence_epsilon {
                 converged = true;
+                termination = Termination::Converged;
                 break;
             }
             probabilities = weighted_vote(snapshot, &accuracies, &matrix, p);
+            // Watchdog checks run between iterations, so one iteration
+            // always completes and a converged run is never interrupted.
+            if self.watchdog.detect_limit_cycles {
+                let digest = state_digest(&accuracies, &probabilities);
+                if let Some(seen_at) = seen_states.iter().position(|&d| d == digest) {
+                    // The full iteration state (accuracies + posteriors,
+                    // from which the next dependence pass derives
+                    // deterministically) recurred exactly: the loop is in
+                    // a cycle and will never converge. End it now.
+                    termination = Termination::LimitCycle {
+                        period: seen_states.len() - seen_at,
+                    };
+                    break;
+                }
+                seen_states.push(digest);
+            }
+            if let Some(deadline) = self.watchdog.deadline {
+                if started.elapsed() >= deadline {
+                    termination = Termination::DeadlineExceeded;
+                    break;
+                }
+            }
         }
 
         PipelineResult {
@@ -283,8 +437,31 @@ impl AccuCopy {
             dependences,
             iterations,
             converged,
+            termination,
         }
     }
+}
+
+/// Order-sensitive digest of one iteration's end state: every accuracy
+/// bit and every posterior (object, value, probability) bit. Exact
+/// recurrence of this digest means the deterministic loop has entered a
+/// cycle. Same hash family as [`SnapshotView::content_hash`]; a 64-bit
+/// collision would end a run a few iterations early as a (correctly
+/// non-converged) `LimitCycle` — a wrong *diagnosis label* at worst,
+/// never a wrong posterior served.
+fn state_digest(accuracies: &[f64], probabilities: &ValueProbabilities) -> u64 {
+    let mut h = fx_mix(0x63_79_63_6c_65, accuracies.len() as u64); // "cycle"
+    for a in accuracies {
+        h = fx_mix(h, a.to_bits());
+    }
+    for o in probabilities.objects() {
+        h = fx_mix(h, u64::from(o.0));
+        for &(v, p) in probabilities.distribution(o) {
+            h = fx_mix(h, u64::from(v.0));
+            h = fx_mix(h, p.to_bits());
+        }
+    }
+    h
 }
 
 /// Blends the likelihood-based direction posterior with the
@@ -478,6 +655,7 @@ mod tests {
             dependences: Vec::new(),
             iterations: 1,
             converged: true,
+            termination: Termination::Converged,
         };
         let cold = pipeline.run(&snap);
         let warm = pipeline.run_warm(&snap, Some(&naive_prior));
@@ -505,5 +683,73 @@ mod tests {
         for (x, y) in back.accuracies.iter().zip(&result.accuracies) {
             assert!((x - y).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn termination_is_not_on_the_wire_and_rebuilds_from_converged() {
+        let (store, _) = fixtures::table1();
+        let result = AccuCopy::with_defaults().run(&store.snapshot());
+        assert_eq!(result.termination, Termination::Converged);
+        let json = result.to_canonical_json();
+        assert!(
+            !json.contains("termination"),
+            "the pinned wire must not grow a field"
+        );
+        let back = PipelineResult::from_json_str(&json).unwrap();
+        assert_eq!(back.termination, Termination::Converged);
+        // A non-converged record rebuilds as the iteration cap.
+        let mut capped = result.clone();
+        capped.converged = false;
+        capped.termination = Termination::DeadlineExceeded;
+        let back = PipelineResult::from_json_str(&capped.to_canonical_json()).unwrap();
+        assert_eq!(back.termination, Termination::IterationCap);
+        assert_eq!(
+            capped.content_digest(),
+            {
+                let mut t = capped.clone();
+                t.termination = Termination::IterationCap;
+                t.content_digest()
+            },
+            "termination must not leak into the provenance digest"
+        );
+    }
+
+    #[test]
+    fn watchdog_deadline_stops_a_run_as_a_typed_outcome() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        // A zero deadline elapses after the very first iteration — the
+        // deterministic way to pin the deadline path without sleeping.
+        let watchdogged =
+            AccuCopy::with_defaults().with_watchdog(Watchdog::off().deadline(Duration::ZERO));
+        let result = watchdogged.run(&snap);
+        assert_eq!(result.iterations, 1, "one iteration always completes");
+        assert!(!result.converged);
+        assert_eq!(result.termination, Termination::DeadlineExceeded);
+        assert!(result.termination.is_watchdog_stop());
+        // A generous deadline never interferes with convergence.
+        let relaxed = AccuCopy::with_defaults().with_watchdog(
+            Watchdog::off()
+                .deadline(Duration::from_secs(3600))
+                .limit_cycles(),
+        );
+        let result = relaxed.run(&snap);
+        assert!(result.converged);
+        assert_eq!(result.termination, Termination::Converged);
+    }
+
+    #[test]
+    fn watchdog_off_is_the_historical_loop() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let plain = AccuCopy::with_defaults().run(&snap);
+        let armed = AccuCopy::with_defaults()
+            .with_watchdog(Watchdog::off().limit_cycles())
+            .run(&snap);
+        assert_eq!(plain.iterations, armed.iterations);
+        assert_eq!(plain.accuracies, armed.accuracies);
+        assert_eq!(plain.content_digest(), armed.content_digest());
+        assert!(!Watchdog::off().is_active());
+        assert!(Watchdog::off().limit_cycles().is_active());
     }
 }

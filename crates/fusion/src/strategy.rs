@@ -163,6 +163,7 @@ impl Deserialize for FusionOutcome {
             // not claimed) rather than fabricating a settled run.
             iterations: 0,
             converged: false,
+            termination: sailing_core::Termination::from_converged(false),
         };
         Ok(FusionOutcome {
             decisions: HashMap::deserialize(field("decisions")?)?,

@@ -80,6 +80,41 @@
 //!   sweep, and a concurrent `get` sees a complete entry or a clean
 //!   cold miss, never a half-swept one.
 //!
+//! # Failure semantics
+//!
+//! Every filesystem touch goes through the [`StoreFs`] trait
+//! ([`RealFs`] in production, [`FaultyFs`] under a scripted
+//! [`FaultPlan`] in chaos tests), and the store layers three policies on
+//! top of the raw syscalls:
+//!
+//! * **Retry with bounded exponential backoff** —
+//!   [`StoreOptions::retry`]`(max_attempts, base_delay)` re-attempts a
+//!   failed entry write up to `max_attempts` times total, sleeping
+//!   `base_delay * 2^(attempt-1)` between attempts (a zero base delay
+//!   retries immediately, which is what deterministic tests use). Each
+//!   re-attempt is counted in [`PersistStats::retries`]; a write that
+//!   eventually succeeds is **zero user-visible errors**.
+//! * **Circuit breaker** — [`StoreOptions::breaker`]`(threshold,
+//!   cooldown)` trips after `threshold` *consecutive* exhausted-retry
+//!   failures: the breaker **opens** and `put` stops enqueueing (each
+//!   refused entry counts in [`PersistStats::breaker_fast_fails`] — a
+//!   future cold miss, but no queue churn and no doomed syscalls against
+//!   a dead disk). After `cooldown`, the next `put` is admitted as a
+//!   **half-open probe**: if its write succeeds the breaker closes and
+//!   normal service resumes; if it fails the breaker re-opens for
+//!   another cooldown. [`PersistentStore::breaker_state`] exposes the
+//!   current [`BreakerState`]; the `sailing` facade folds it into
+//!   `CacheStats` and the serve tier into its `MetricsSnapshot`.
+//! * **Bounded shutdown** — dropping the last handle of an async store
+//!   drains with a deadline ([`StoreOptions::shutdown_deadline`],
+//!   default [`SHUTDOWN_DRAIN_DEADLINE`]); a filesystem hung past the
+//!   deadline gets the writer detached rather than the process wedged.
+//!
+//! All three compose with the standing degradation contract: entries are
+//! caches of recomputable work, so every contained failure is a future
+//! cold miss — never data loss, never a torn entry served, never a
+//! wedged analysis thread.
+//!
 //! # Format (version 1)
 //!
 //! One file per entry, named after the key
@@ -151,7 +186,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::io::Write as _;
+pub mod fs;
+
+pub use fs::{FaultPlan, FaultyFs, Gate, RealFs, RenameFault, StoreFs, WriteFault};
+
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -181,11 +219,19 @@ const AUTO_FLUSH_THRESHOLD: usize = 8;
 /// Default bound of the async write-behind queue (entries).
 pub const DEFAULT_QUEUE_DEPTH: usize = 256;
 
-/// How long dropping the last handle of an async store waits for the
-/// writer thread to drain before detaching it. A filesystem hung past
-/// this deadline loses the unwritten tail — future cold misses, never a
-/// wedged process.
+/// Default of [`StoreOptions::shutdown_deadline`]: how long dropping the
+/// last handle of an async store waits for the writer thread to drain
+/// before detaching it. A filesystem hung past the deadline loses the
+/// unwritten tail — future cold misses, never a wedged process.
 pub const SHUTDOWN_DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Age a stray side file (`.tmp-`, `.trash-`, stale-lock tomb) must reach
+/// before [`PersistentStore::compact`] sweeps it as an orphan. A younger
+/// side file may be another handle's *in-flight* write parked between
+/// temp-file creation and rename — deleting it would fail that write for
+/// no reason. Crash debris ages past this in seconds; a live write never
+/// does.
+pub const ORPHAN_SWEEP_AGE: Duration = Duration::from_secs(30);
 
 /// Name of the advisory compaction lock file inside a store directory.
 const COMPACT_LOCK_NAME: &str = "compact.lock";
@@ -257,6 +303,23 @@ pub struct StoreOptions {
     /// analysis thread. Clamped to at least 1; ignored in synchronous
     /// mode.
     pub queue_depth: usize,
+    /// Total write attempts per entry (first try included). `1` — the
+    /// default — means no retry; see [`StoreOptions::retry`].
+    pub retry_max_attempts: u32,
+    /// Backoff before the first re-attempt; doubles each further attempt.
+    /// [`Duration::ZERO`] retries immediately (deterministic tests).
+    pub retry_base_delay: Duration,
+    /// Consecutive exhausted-retry failures that trip the circuit
+    /// breaker. `0` — the default — disables the breaker entirely; see
+    /// [`StoreOptions::breaker`].
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses writes before admitting one
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+    /// How long dropping the last handle of an async store waits for the
+    /// writer to drain before detaching it. Defaults to
+    /// [`SHUTDOWN_DRAIN_DEADLINE`].
+    pub shutdown_deadline: Duration,
 }
 
 impl Default for StoreOptions {
@@ -264,6 +327,11 @@ impl Default for StoreOptions {
         Self {
             async_writer: false,
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            retry_max_attempts: 1,
+            retry_base_delay: Duration::ZERO,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::ZERO,
+            shutdown_deadline: SHUTDOWN_DRAIN_DEADLINE,
         }
     }
 }
@@ -274,8 +342,83 @@ impl StoreOptions {
         Self {
             async_writer: true,
             queue_depth,
+            ..Self::default()
         }
     }
+
+    /// Retries each failed entry write up to `max_attempts` total
+    /// attempts (clamped to at least 1), backing off
+    /// `base_delay * 2^(attempt-1)` between attempts. Re-attempts are
+    /// counted in [`PersistStats::retries`]; a write that eventually
+    /// succeeds surfaces no error anywhere.
+    #[must_use]
+    pub fn retry(mut self, max_attempts: u32, base_delay: Duration) -> Self {
+        self.retry_max_attempts = max_attempts.max(1);
+        self.retry_base_delay = base_delay;
+        self
+    }
+
+    /// Arms the circuit breaker: after `threshold` consecutive
+    /// exhausted-retry write failures the store stops enqueueing
+    /// (refusals counted in [`PersistStats::breaker_fast_fails`]) until
+    /// `cooldown` passes and a half-open probe write succeeds. See the
+    /// [module docs](self#failure-semantics).
+    #[must_use]
+    pub fn breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Sets the async drop-drain deadline (default
+    /// [`SHUTDOWN_DRAIN_DEADLINE`]). [`Duration::ZERO`] never waits:
+    /// drop detaches the writer immediately.
+    #[must_use]
+    pub fn shutdown_deadline(mut self, deadline: Duration) -> Self {
+        self.shutdown_deadline = deadline;
+        self
+    }
+}
+
+/// Externally visible phase of the persistence circuit breaker (see
+/// [`StoreOptions::breaker`] and the
+/// [module docs](self#failure-semantics)). A store without a breaker
+/// configured always reports `Closed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BreakerState {
+    /// Writes flow normally.
+    #[default]
+    Closed,
+    /// Tripped: `put` fast-fails until the cooldown elapses.
+    Open,
+    /// One probe write is in flight; its outcome re-closes or re-opens
+    /// the breaker.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label (`"closed"` / `"open"` / `"half-open"`)
+    /// for metrics surfaces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum BreakerPhase {
+    Closed,
+    Open { since: Instant },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    consecutive_failures: u32,
+    phase: BreakerPhase,
 }
 
 /// Counters of one store handle's activity (in-memory; they reset with the
@@ -300,6 +443,14 @@ pub struct PersistStats {
     /// full — future cold misses taken instead of blocking the analysis
     /// thread.
     pub dropped: u64,
+    /// Write re-attempts performed under [`StoreOptions::retry`]. A
+    /// transient failure absorbed by retry shows up *only* here — never
+    /// in [`PersistStats::write_errors`].
+    pub retries: u64,
+    /// Entries refused at `put` because the circuit breaker was open (or
+    /// a half-open probe was already in flight) — future cold misses
+    /// taken instead of queueing doomed writes.
+    pub breaker_fast_fails: u64,
 }
 
 /// Outcome of a [`PersistentStore::compact`] sweep.
@@ -359,17 +510,23 @@ struct QueueState {
 struct StoreInner {
     dir: PathBuf,
     options: StoreOptions,
+    /// Every filesystem touch goes through here — [`RealFs`] in
+    /// production, [`FaultyFs`] under chaos tests.
+    fs: Arc<dyn StoreFs>,
     state: Mutex<QueueState>,
     /// Wakes the writer thread: new work or shutdown.
     work_cv: Condvar,
     /// Wakes drain barriers (`flush`, drop) after each writer batch.
     drain_cv: Condvar,
+    breaker: Mutex<Breaker>,
     disk_hits: AtomicU64,
     disk_misses: AtomicU64,
     rejected: AtomicU64,
     writes: AtomicU64,
     write_errors: AtomicU64,
     dropped: AtomicU64,
+    retries: AtomicU64,
+    breaker_fast_fails: AtomicU64,
     /// Deferred write failures, oldest first, capped at
     /// [`MAX_DEFERRED_ERRORS`].
     deferred: Mutex<Vec<SailingError>>,
@@ -442,12 +599,95 @@ impl StoreInner {
             WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let bytes = encode_entry(e.key, &e.snapshot, &e.result);
-        std::fs::write(&tmp_path, &bytes)
+        self.fs
+            .write(&tmp_path, &bytes)
             .map_err(|err| SailingError::persist(tmp_path.display().to_string(), err))?;
-        std::fs::rename(&tmp_path, &final_path).map_err(|err| {
-            let _ = std::fs::remove_file(&tmp_path);
+        self.fs.rename(&tmp_path, &final_path).map_err(|err| {
+            let _ = self.fs.remove_file(&tmp_path);
             SailingError::persist(final_path.display().to_string(), err)
         })
+    }
+
+    /// [`StoreInner::write_entry`] plus the resilience policies: bounded
+    /// exponential-backoff retry, then a breaker transition on the final
+    /// outcome. Every write path (writer thread, inline flush,
+    /// auto-flush) funnels through here so the policies apply uniformly.
+    fn write_entry_resilient(&self, e: &PendingEntry) -> Result<(), SailingError> {
+        let max_attempts = self.options.retry_max_attempts.max(1);
+        let mut attempt = 0u32;
+        let outcome = loop {
+            attempt += 1;
+            match self.write_entry(e) {
+                Ok(()) => break Ok(()),
+                Err(_transient) if attempt < max_attempts => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self
+                        .options
+                        .retry_base_delay
+                        .saturating_mul(1u32 << (attempt - 1).min(16));
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                Err(err) => break Err(err),
+            }
+        };
+        self.breaker_record(outcome.is_ok());
+        outcome
+    }
+
+    /// Breaker admission check for `put`. `true` admits the entry;
+    /// `false` refuses it (the caller counts the fast-fail). An open
+    /// breaker whose cooldown has elapsed flips to half-open and admits
+    /// exactly this entry as the probe.
+    fn breaker_admits(&self) -> bool {
+        if self.options.breaker_threshold == 0 {
+            return true;
+        }
+        let mut b = recover(self.breaker.lock());
+        match b.phase {
+            BreakerPhase::Closed => true,
+            // A probe is already in flight; don't pile more on.
+            BreakerPhase::HalfOpen => false,
+            BreakerPhase::Open { since } => {
+                if since.elapsed() >= self.options.breaker_cooldown {
+                    b.phase = BreakerPhase::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Feeds one exhausted-retry write outcome into the breaker. A
+    /// failure during the open phase (an entry queued before the trip)
+    /// deliberately does **not** refresh `since` — only a failed
+    /// half-open probe restarts the cooldown.
+    fn breaker_record(&self, ok: bool) {
+        if self.options.breaker_threshold == 0 {
+            return;
+        }
+        let mut b = recover(self.breaker.lock());
+        if ok {
+            b.consecutive_failures = 0;
+            b.phase = BreakerPhase::Closed;
+            return;
+        }
+        b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+        match b.phase {
+            BreakerPhase::HalfOpen => {
+                b.phase = BreakerPhase::Open {
+                    since: Instant::now(),
+                };
+            }
+            BreakerPhase::Closed if b.consecutive_failures >= self.options.breaker_threshold => {
+                b.phase = BreakerPhase::Open {
+                    since: Instant::now(),
+                };
+            }
+            _ => {}
+        }
     }
 
     /// Writes a batch inline on the current thread, counting successes and
@@ -458,7 +698,7 @@ impl StoreInner {
         let mut written = 0usize;
         let mut first_error = None;
         for e in batch {
-            match self.write_entry(e) {
+            match self.write_entry_resilient(e) {
                 Ok(()) => {
                     written += 1;
                     self.writes.fetch_add(1, Ordering::Relaxed);
@@ -502,7 +742,7 @@ impl StoreInner {
             };
             let max_seq = batch.last().map_or(0, |p| p.seq);
             for e in &batch {
-                match self.write_entry(&e.entry) {
+                match self.write_entry_resilient(&e.entry) {
                     Ok(()) => {
                         self.writes.fetch_add(1, Ordering::Relaxed);
                     }
@@ -544,8 +784,23 @@ impl PersistentStore {
     /// # Errors
     /// [`SailingError::Persist`] when the directory cannot be created.
     pub fn open_with(dir: impl Into<PathBuf>, options: StoreOptions) -> Result<Self, SailingError> {
+        Self::open_with_fs(dir, options, Arc::new(RealFs))
+    }
+
+    /// Opens a store whose every filesystem touch goes through `fs` —
+    /// [`RealFs`] in production (what [`PersistentStore::open_with`]
+    /// passes), a [`FaultyFs`] under a scripted [`FaultPlan`] in chaos
+    /// tests.
+    ///
+    /// # Errors
+    /// [`SailingError::Persist`] when the directory cannot be created.
+    pub fn open_with_fs(
+        dir: impl Into<PathBuf>,
+        options: StoreOptions,
+        fs: Arc<dyn StoreFs>,
+    ) -> Result<Self, SailingError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)
+        fs.create_dir_all(&dir)
             .map_err(|e| SailingError::persist(dir.display().to_string(), e))?;
         let options = StoreOptions {
             queue_depth: options.queue_depth.max(1),
@@ -554,6 +809,7 @@ impl PersistentStore {
         let inner = Arc::new(StoreInner {
             dir,
             options,
+            fs,
             state: Mutex::new(QueueState {
                 pending: Vec::new(),
                 next_seq: 1,
@@ -564,12 +820,18 @@ impl PersistentStore {
             }),
             work_cv: Condvar::new(),
             drain_cv: Condvar::new(),
+            breaker: Mutex::new(Breaker {
+                consecutive_failures: 0,
+                phase: BreakerPhase::Closed,
+            }),
             disk_hits: AtomicU64::new(0),
             disk_misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            breaker_fast_fails: AtomicU64::new(0),
             deferred: Mutex::new(Vec::new()),
             fs_write_threads: Mutex::new(Vec::new()),
         });
@@ -607,6 +869,19 @@ impl PersistentStore {
             writes: self.inner.writes.load(Ordering::Relaxed),
             write_errors: self.inner.write_errors.load(Ordering::Relaxed),
             dropped: self.inner.dropped.load(Ordering::Relaxed),
+            retries: self.inner.retries.load(Ordering::Relaxed),
+            breaker_fast_fails: self.inner.breaker_fast_fails.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current phase of the circuit breaker ([`BreakerState::Closed`]
+    /// when no breaker is configured). Purely observational — admission
+    /// decisions happen inside `put`.
+    pub fn breaker_state(&self) -> BreakerState {
+        match recover(self.inner.breaker.lock()).phase {
+            BreakerPhase::Closed => BreakerState::Closed,
+            BreakerPhase::Open { .. } => BreakerState::Open,
+            BreakerPhase::HalfOpen => BreakerState::HalfOpen,
         }
     }
 
@@ -640,7 +915,7 @@ impl PersistentStore {
     /// Number of entry files currently on disk (excluding buffered
     /// writes; call [`PersistentStore::flush`] first for an exact total).
     pub fn len(&self) -> usize {
-        entry_files(&self.inner.dir).len()
+        entry_files(self.inner.fs.as_ref(), &self.inner.dir).len()
     }
 
     /// `true` when no entry file is on disk.
@@ -672,7 +947,7 @@ impl PersistentStore {
             }
         }
         let path = self.inner.dir.join(key.file_name());
-        let bytes = match std::fs::read(&path) {
+        let bytes = match self.inner.fs.read(&path) {
             Ok(b) => b,
             Err(_) => {
                 self.inner.disk_misses.fetch_add(1, Ordering::Relaxed);
@@ -711,6 +986,14 @@ impl PersistentStore {
     /// recomputable work, so losing a write is a future cold miss, not
     /// data loss.
     pub fn put(&self, key: StoreKey, snapshot: Arc<SnapshotView>, result: Arc<PipelineResult>) {
+        if !self.inner.breaker_admits() {
+            // Open breaker: refuse instead of queueing a doomed write.
+            // A future cold miss, no queue churn, no syscalls.
+            self.inner
+                .breaker_fast_fails
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let entry = PendingEntry {
             key,
             snapshot,
@@ -882,10 +1165,13 @@ impl PersistentStore {
     /// ([`CompactReport::restored`]), never deleted. Concurrent readers
     /// see a complete entry or a clean cold miss throughout.
     ///
-    /// A sweep racing a *different* handle's in-flight write may still
-    /// delete that write's not-yet-renamed temp file; the writer's rename
-    /// then fails and the entry is dropped as a write error — a future
-    /// cold miss, never a torn entry.
+    /// The orphan sweep (stray `.tmp-`, `.trash-`, and stale-lock-tomb
+    /// side files) is **age-gated** by [`ORPHAN_SWEEP_AGE`]: a side file
+    /// younger than the gate may be another handle's in-flight write
+    /// parked between temp-file creation and rename, so it is left
+    /// alone — only crash debris old enough that no live write can still
+    /// own it is removed. A side file whose age the filesystem cannot
+    /// report is treated as young (never delete what might be alive).
     ///
     /// # Errors
     /// [`SailingError::Persist`] when the directory scan or a removal
@@ -898,18 +1184,19 @@ impl PersistentStore {
     pub fn compact(&self) -> Result<CompactReport, SailingError> {
         self.drain_ignoring_write_errors();
         let dir = &self.inner.dir;
-        let Some(_lock) = CompactLock::acquire(dir)? else {
+        let fs = self.inner.fs.as_ref();
+        let Some(_lock) = CompactLock::acquire(&self.inner.fs, dir)? else {
             return Ok(CompactReport {
                 contended: true,
                 ..CompactReport::default()
             });
         };
         let mut report = CompactReport::default();
-        for path in entry_files(dir) {
+        for path in entry_files(fs, dir) {
             let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
                 continue;
             };
-            if entry_file_is_valid(&path, &name) {
+            if entry_file_is_valid(fs, &path, &name) {
                 report.kept += 1;
                 continue;
             }
@@ -924,24 +1211,24 @@ impl PersistentStore {
                 std::process::id(),
                 CAPTURE_SEQ.fetch_add(1, Ordering::Relaxed)
             ));
-            match std::fs::rename(&path, &captured) {
+            match fs.rename(&path, &captured) {
                 Ok(()) => {}
                 // Vanished between scan and capture (another handle's
                 // activity): nothing left to sweep here.
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
                 Err(e) => return Err(SailingError::persist(path.display().to_string(), e)),
             }
-            if entry_file_is_valid(&captured, &name) {
+            if entry_file_is_valid(fs, &captured, &name) {
                 // We raced a writer and captured its fresh valid entry:
                 // put it back. (If an even newer write landed meanwhile,
                 // this restore overwrites a same-key valid entry with a
                 // same-key valid entry — last-writer-wins, as always.)
-                std::fs::rename(&captured, &path)
+                fs.rename(&captured, &path)
                     .map_err(|e| SailingError::persist(path.display().to_string(), e))?;
                 report.restored += 1;
                 report.kept += 1;
             } else {
-                std::fs::remove_file(&captured)
+                fs.remove_file(&captured)
                     .map_err(|e| SailingError::persist(captured.display().to_string(), e))?;
                 report.removed += 1;
             }
@@ -950,20 +1237,22 @@ impl PersistentStore {
         // rename, a compactor that crashed between capture and decision,
         // or a broken stale lock — are not entries (`entry_files` skips
         // them), so sweep them here or repeated crashes would accumulate
-        // junk forever.
-        for path in std::fs::read_dir(dir)
-            .into_iter()
-            .flatten()
-            .flatten()
-            .map(|e| e.path())
-        {
+        // junk forever. The sweep is age-gated: a *young* side file may
+        // be another handle's in-flight write sitting between its temp
+        // create and its rename, and deleting it would fail that write
+        // for nothing. Unknown age counts as young.
+        for path in fs.list_dir(dir).into_iter().flatten() {
             let orphan = path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
                 n.contains(&format!(".{ENTRY_EXTENSION}.tmp-"))
                     || n.contains(&format!(".{ENTRY_EXTENSION}.trash-"))
                     || n.contains(&format!("{COMPACT_LOCK_NAME}.stale-"))
             });
-            if orphan {
-                match std::fs::remove_file(&path) {
+            let abandoned = orphan
+                && fs
+                    .file_age(&path)
+                    .is_some_and(|age| age >= ORPHAN_SWEEP_AGE);
+            if abandoned {
+                match fs.remove_file(&path) {
                     Ok(()) => report.removed += 1,
                     // The orphan vanished between the scan and the
                     // removal — a racing writer renamed its temp into
@@ -996,7 +1285,7 @@ impl Drop for PersistentStore {
             // never wedge the process on a hung filesystem — past the
             // deadline the writer is detached and the unwritten tail
             // becomes future cold misses.
-            let deadline = Instant::now() + SHUTDOWN_DRAIN_DEADLINE;
+            let deadline = Instant::now() + self.inner.options.shutdown_deadline;
             let mut st = self.inner.lock_state();
             while !st.pending.is_empty() && st.writer_alive {
                 let remaining = deadline.saturating_duration_since(Instant::now());
@@ -1052,6 +1341,7 @@ impl std::fmt::Debug for PersistentStore {
 /// window is microseconds, vs the whole sweep duration without the
 /// check.)
 struct CompactLock {
+    fs: Arc<dyn StoreFs>,
     path: PathBuf,
     token: String,
 }
@@ -1061,29 +1351,26 @@ impl CompactLock {
     /// another compactor holds a fresh lock (the caller reports
     /// contention); a stale lock is broken via a unique rename so two
     /// breakers can never each delete a successor's fresh lock.
-    fn acquire(dir: &Path) -> Result<Option<Self>, SailingError> {
+    fn acquire(fs: &Arc<dyn StoreFs>, dir: &Path) -> Result<Option<Self>, SailingError> {
         static BREAK_SEQ: AtomicU64 = AtomicU64::new(0);
         let path = dir.join(COMPACT_LOCK_NAME);
         for attempt in 0..3 {
-            match std::fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
-                Ok(mut file) => {
-                    let token = format!(
-                        "{} {} {}",
-                        std::process::id(),
-                        unix_millis(),
-                        BREAK_SEQ.fetch_add(1, Ordering::Relaxed)
-                    );
-                    // Best effort: an unreadable stamp just means the lock
-                    // is judged by its file age instead.
-                    let _ = file.write_all(token.as_bytes());
-                    return Ok(Some(Self { path, token }));
+            let token = format!(
+                "{} {} {}",
+                std::process::id(),
+                unix_millis(),
+                BREAK_SEQ.fetch_add(1, Ordering::Relaxed)
+            );
+            match fs.create_exclusive(&path, token.as_bytes()) {
+                Ok(()) => {
+                    return Ok(Some(Self {
+                        fs: Arc::clone(fs),
+                        path,
+                        token,
+                    }))
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    if attempt == 2 || !lock_is_stale(&path) {
+                    if attempt == 2 || !lock_is_stale(fs.as_ref(), &path) {
                         return Ok(None);
                     }
                     // Break the stale lock by renaming it away under a
@@ -1095,8 +1382,8 @@ impl CompactLock {
                         std::process::id(),
                         BREAK_SEQ.fetch_add(1, Ordering::Relaxed)
                     ));
-                    if std::fs::rename(&path, &tomb).is_ok() {
-                        let _ = std::fs::remove_file(&tomb);
+                    if fs.rename(&path, &tomb).is_ok() {
+                        let _ = fs.remove_file(&tomb);
                     }
                 }
                 Err(e) => return Err(SailingError::persist(path.display().to_string(), e)),
@@ -1112,10 +1399,12 @@ impl Drop for CompactLock {
         // STALE_COMPACT_LOCK, a successor may have broken this lock and
         // taken its own — deleting that would cascade into concurrent
         // compactors.
-        let still_ours =
-            std::fs::read_to_string(&self.path).is_ok_and(|content| content == self.token);
+        let still_ours = self
+            .fs
+            .read_to_string(&self.path)
+            .is_ok_and(|content| content == self.token);
         if still_ours {
-            let _ = std::fs::remove_file(&self.path);
+            let _ = self.fs.remove_file(&self.path);
         }
     }
 }
@@ -1131,25 +1420,22 @@ fn unix_millis() -> u128 {
 /// whose stamp cannot be read *and* whose mtime is unavailable is left
 /// alone — breaking a live compactor's lock is the one mistake this
 /// protocol must never make.
-fn lock_is_stale(path: &Path) -> bool {
-    let age_from_stamp = std::fs::read_to_string(path).ok().and_then(|text| {
+fn lock_is_stale(fs: &dyn StoreFs, path: &Path) -> bool {
+    let age_from_stamp = fs.read_to_string(path).ok().and_then(|text| {
         let stamp: u128 = text.split(' ').nth(1)?.trim().parse().ok()?;
         Some(unix_millis().saturating_sub(stamp))
     });
     if let Some(age_ms) = age_from_stamp {
         return age_ms > STALE_COMPACT_LOCK.as_millis();
     }
-    std::fs::metadata(path)
-        .and_then(|m| m.modified())
-        .ok()
-        .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+    fs.file_age(path)
         .is_some_and(|age| age > STALE_COMPACT_LOCK)
 }
 
 /// Full validation of one entry file: readable, decodable, and the
 /// content agrees with the file name it is (or was) published under.
-fn entry_file_is_valid(path: &Path, expected_name: &str) -> bool {
-    std::fs::read(path)
+fn entry_file_is_valid(fs: &dyn StoreFs, path: &Path, expected_name: &str) -> bool {
+    fs.read(path)
         .ok()
         .and_then(|bytes| decode_entry(&bytes).ok())
         .is_some_and(|entry| {
@@ -1369,6 +1655,9 @@ fn result_from_content(content: &Content) -> Result<PipelineResult, &'static str
         dependences,
         iterations,
         converged,
+        // The v1 wire carries only the convergence flag (format pinned by
+        // golden files); rebuild the equivalent termination record.
+        termination: sailing_core::Termination::from_converged(converged),
     })
 }
 
@@ -1474,12 +1763,11 @@ fn decode_entry(bytes: &[u8]) -> Result<DecodedEntry, &'static str> {
     })
 }
 
-fn entry_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+fn entry_files(fs: &dyn StoreFs, dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs
+        .list_dir(dir)
         .into_iter()
         .flatten()
-        .flatten()
-        .map(|e| e.path())
         .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(ENTRY_EXTENSION))
         .collect();
     out.sort();
@@ -1497,6 +1785,16 @@ mod tests {
             std::env::temp_dir().join(format!("sailing-persist-unit-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// Backdates a file's mtime so age-gated logic sees it as old.
+    fn age_file(path: &Path, by: Duration) {
+        let old = SystemTime::now() - by;
+        std::fs::File::options()
+            .write(true)
+            .open(path)
+            .and_then(|f| f.set_modified(old))
+            .expect("backdate mtime");
     }
 
     fn table1_entry() -> (Arc<SnapshotView>, Arc<PipelineResult>, StoreKey) {
@@ -1738,12 +2036,11 @@ mod tests {
         )
         .unwrap();
         // And an orphaned temp file from a "crashed" write: not an entry
-        // (invisible to len), but compact must sweep it.
-        std::fs::write(
-            dir.join(format!("00000000000000bb-cold.{ENTRY_EXTENSION}.tmp-123-0")),
-            b"half-written",
-        )
-        .unwrap();
+        // (invisible to len), but compact must sweep it — once it is old
+        // enough that no live write can still own it.
+        let orphan = dir.join(format!("00000000000000bb-cold.{ENTRY_EXTENSION}.tmp-123-0"));
+        std::fs::write(&orphan, b"half-written").unwrap();
+        age_file(&orphan, ORPHAN_SWEEP_AGE * 2);
         assert_eq!(store.len(), 4);
         let report = store.compact().unwrap();
         assert_eq!(
@@ -1807,12 +2104,229 @@ mod tests {
         let captured = dir.join(format!("{name}.trash-{}-77", std::process::id()));
         std::fs::rename(&path, &captured).unwrap();
         assert!(
-            entry_file_is_valid(&captured, &name),
+            entry_file_is_valid(&RealFs, &captured, &name),
             "captured bytes revalidate against the original name"
         );
         std::fs::rename(&captured, &path).unwrap();
         assert!(store.get(key, &snapshot).is_some(), "restored entry serves");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_absorbs_a_transient_write_failure() {
+        let dir = temp_dir("retry");
+        let (snapshot, result, key) = table1_entry();
+        let plan = Arc::new(FaultPlan::new().fail_nth_write(1, WriteFault::Eio));
+        let store = PersistentStore::open_with_fs(
+            &dir,
+            StoreOptions::async_writer(16).retry(3, Duration::ZERO),
+            Arc::new(FaultyFs::with_plan(Arc::clone(&plan))),
+        )
+        .unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        // Zero user-visible errors: the first attempt failed, the retry
+        // landed, and nothing surfaces anywhere but the retry counter.
+        store.flush().unwrap();
+        let stats = store.stats();
+        assert_eq!((stats.writes, stats.write_errors, stats.retries), (1, 0, 1));
+        assert!(store.take_write_errors().is_empty());
+        assert_eq!(plan.writes_seen(), 2, "attempt + retry");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn breaker_opens_probes_half_open_and_recloses() {
+        let dir = temp_dir("breaker-cycle");
+        let (snapshot, result, _) = table1_entry();
+        let key = |i: u64| StoreKey::warm(snapshot.content_hash(), i);
+        let plan = Arc::new(FaultPlan::new().fail_writes(1, u64::MAX, WriteFault::Enospc));
+        let store = PersistentStore::open_with_fs(
+            &dir,
+            StoreOptions::default()
+                .retry(2, Duration::ZERO)
+                .breaker(2, Duration::ZERO),
+            Arc::new(FaultyFs::with_plan(Arc::clone(&plan))),
+        )
+        .unwrap();
+        let put = |i: u64| store.put(key(i), Arc::clone(&snapshot), Arc::clone(&result));
+        // Two consecutive exhausted-retry failures trip the breaker.
+        put(1);
+        assert!(store.flush().is_err());
+        assert_eq!(store.breaker_state(), BreakerState::Closed);
+        put(2);
+        assert!(store.flush().is_err());
+        assert_eq!(store.breaker_state(), BreakerState::Open);
+        // Zero cooldown: the next put is admitted as the half-open probe…
+        put(3);
+        assert_eq!(store.breaker_state(), BreakerState::HalfOpen);
+        // …and anything piling on behind the pending probe fast-fails.
+        put(4);
+        assert_eq!(store.stats().breaker_fast_fails, 1);
+        // The probe fails: back to open for another cooldown.
+        assert!(store.flush().is_err());
+        assert_eq!(store.breaker_state(), BreakerState::Open);
+        // The disk heals; the next probe succeeds and re-closes.
+        plan.heal();
+        put(5);
+        assert_eq!(store.breaker_state(), BreakerState::HalfOpen);
+        assert_eq!(store.flush().unwrap(), 1);
+        assert_eq!(store.breaker_state(), BreakerState::Closed);
+        // Normal service resumed.
+        put(6);
+        assert_eq!(store.flush().unwrap(), 1);
+        let stats = store.stats();
+        assert_eq!(stats.writes, 2, "{stats:?}");
+        assert_eq!(stats.write_errors, 3, "{stats:?}");
+        assert_eq!(stats.retries, 3, "one retry per exhausted entry: {stats:?}");
+        assert_eq!(stats.breaker_fast_fails, 1, "{stats:?}");
+        assert_eq!(stats.dropped, 0, "{stats:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_breaker_fast_fails_until_cooldown() {
+        let dir = temp_dir("breaker-open");
+        let (snapshot, result, _) = table1_entry();
+        let key = |i: u64| StoreKey::warm(snapshot.content_hash(), i);
+        let store = PersistentStore::open_with_fs(
+            &dir,
+            StoreOptions::default().breaker(1, Duration::from_secs(3600)),
+            Arc::new(FaultyFs::new(FaultPlan::new().fail_writes(
+                1,
+                u64::MAX,
+                WriteFault::Eio,
+            ))),
+        )
+        .unwrap();
+        store.put(key(1), Arc::clone(&snapshot), Arc::clone(&result));
+        assert!(store.flush().is_err());
+        assert_eq!(store.breaker_state(), BreakerState::Open);
+        // An hour-long cooldown: every put inside it is refused — no
+        // queue growth, no syscalls, no half-open probe yet.
+        store.put(key(2), Arc::clone(&snapshot), Arc::clone(&result));
+        store.put(key(3), Arc::clone(&snapshot), Arc::clone(&result));
+        assert_eq!(store.breaker_state(), BreakerState::Open);
+        let stats = store.stats();
+        assert_eq!(stats.breaker_fast_fails, 2, "{stats:?}");
+        assert_eq!(stats.writes, 0, "{stats:?}");
+        assert_eq!(
+            store.flush().unwrap(),
+            0,
+            "nothing queued behind an open breaker"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_spares_a_fresh_inflight_temp_write() {
+        // The fixed race, reproduced deterministically: handle A is
+        // frozen *between* writing its temp file and renaming it while
+        // handle B compacts. The age-gated orphan sweep must leave A's
+        // fresh temp alone (while still sweeping genuinely old debris),
+        // and A's write must then complete with zero errors.
+        let dir = temp_dir("compact-inflight");
+        let (snapshot, result, key) = table1_entry();
+        let gate = Gate::new();
+        let store_a = PersistentStore::open_with_fs(
+            &dir,
+            StoreOptions::async_writer(16),
+            Arc::new(FaultyFs::new(
+                FaultPlan::new().fail_nth_rename(1, RenameFault::Hold(gate.clone())),
+            )),
+        )
+        .unwrap();
+        store_a.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        // Deterministic rendezvous: A's writer thread has created its
+        // temp file and is parked right before the rename.
+        gate.wait_until_held();
+        // Genuinely old debris must still be swept.
+        let old_orphan = dir.join(format!("00000000000000cc-cold.{ENTRY_EXTENSION}.tmp-999-9"));
+        std::fs::write(&old_orphan, b"crash debris").unwrap();
+        age_file(&old_orphan, ORPHAN_SWEEP_AGE * 2);
+        let store_b = PersistentStore::open(&dir).unwrap();
+        let report = store_b.compact().unwrap();
+        assert!(!report.contended, "{report:?}");
+        assert_eq!(report.removed, 1, "only the aged debris goes: {report:?}");
+        // A's rename proceeds and must succeed — its temp file survived.
+        gate.release();
+        store_a.flush().unwrap();
+        let stats = store_a.stats();
+        assert_eq!(stats.write_errors, 0, "{stats:?}");
+        assert_eq!(stats.writes, 1, "{stats:?}");
+        assert!(
+            store_b.get(key, &snapshot).is_some(),
+            "published entry serves"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_degrades_to_a_clean_cold_miss() {
+        let dir = temp_dir("torn");
+        let (snapshot, result, key) = table1_entry();
+        let store = PersistentStore::open_with_fs(
+            &dir,
+            StoreOptions::default(),
+            Arc::new(FaultyFs::new(
+                FaultPlan::new().fail_nth_write(1, WriteFault::Torn { keep: 40 }),
+            )),
+        )
+        .unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        // The torn write *reports success* — silent corruption.
+        assert_eq!(store.flush().unwrap(), 1);
+        // The checksum catches it on the read path: a clean cold miss,
+        // never a torn entry served and never an error.
+        let reader = PersistentStore::open(&dir).unwrap();
+        assert!(reader.get(key, &snapshot).is_none());
+        let stats = reader.stats();
+        assert_eq!((stats.rejected, stats.disk_misses), (1, 1), "{stats:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_shutdown_deadline_detaches_instead_of_waiting() {
+        let dir = temp_dir("shutdown-deadline");
+        let (snapshot, result, key) = table1_entry();
+        let gate = Gate::new();
+        {
+            let store = PersistentStore::open_with_fs(
+                &dir,
+                StoreOptions::async_writer(4).shutdown_deadline(Duration::ZERO),
+                Arc::new(FaultyFs::new(
+                    FaultPlan::new().fail_nth_write(1, WriteFault::Hold(gate.clone())),
+                )),
+            )
+            .unwrap();
+            assert_eq!(store.options().shutdown_deadline, Duration::ZERO);
+            store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+            // The writer is parked mid-write ("hung filesystem")…
+            gate.wait_until_held();
+            // …and drop must return immediately rather than draining.
+        }
+        assert!(
+            !dir.join(key.file_name()).exists(),
+            "drop with a zero deadline must not have waited for the write"
+        );
+        gate.release();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_options_keep_the_historical_contract() {
+        let d = StoreOptions::default();
+        assert_eq!(d.retry_max_attempts, 1, "no retry unless asked");
+        assert_eq!(d.breaker_threshold, 0, "no breaker unless asked");
+        assert_eq!(d.shutdown_deadline, SHUTDOWN_DRAIN_DEADLINE);
+        let tuned = StoreOptions::async_writer(32)
+            .retry(4, Duration::from_millis(5))
+            .breaker(3, Duration::from_secs(1))
+            .shutdown_deadline(Duration::from_secs(1));
+        assert_eq!(tuned.retry_max_attempts, 4);
+        assert_eq!(tuned.retry_base_delay, Duration::from_millis(5));
+        assert_eq!(tuned.breaker_threshold, 3);
+        assert_eq!(tuned.breaker_cooldown, Duration::from_secs(1));
+        assert_eq!(tuned.shutdown_deadline, Duration::from_secs(1));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! the mutex is touched `O(readers)` times *per swap*, not per read.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// An atomically published `Arc<T>` with a generation counter.
 ///
@@ -52,19 +52,27 @@ impl<T> EpochPointer<T> {
         self.generation.load(Ordering::Acquire)
     }
 
+    /// Locks the pointer, recovering from poison: the protected state is
+    /// just an `Arc` swap, which cannot be left half-done, so a panic on
+    /// some other thread while it held this lock must not take the whole
+    /// serving tier down with it.
+    fn lock_current(&self) -> MutexGuard<'_, Arc<T>> {
+        self.current.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Clones the current `Arc` (takes the mutex briefly). Hot read loops
     /// should prefer a generation-validated cached clone — see
     /// [`ServeReader`](crate::ServeReader) — and call this only when
     /// [`EpochPointer::generation`] says the cache is stale.
     pub fn load(&self) -> Arc<T> {
-        Arc::clone(&self.current.lock().expect("epoch pointer poisoned"))
+        Arc::clone(&self.lock_current())
     }
 
     /// The current `Arc` plus the generation it was published under, read
     /// consistently (one critical section): the returned generation is
     /// never newer than the returned value.
     pub fn load_tagged(&self) -> (Arc<T>, u64) {
-        let current = self.current.lock().expect("epoch pointer poisoned");
+        let current = self.lock_current();
         let value = Arc::clone(&current);
         // Read under the lock: publish() bumps the generation while
         // holding the same lock, so this pairing cannot tear.
@@ -78,14 +86,21 @@ impl<T> EpochPointer<T> {
     /// clones valid — a thundering herd of identical admissions bumps the
     /// generation once, not once per admitter).
     pub fn publish(&self, next: Arc<T>) -> bool {
-        let mut current = self.current.lock().expect("epoch pointer poisoned");
+        let mut current = self.lock_current();
         if Arc::ptr_eq(&current, &next) {
             return false;
         }
-        *current = next;
+        let old = std::mem::replace(&mut *current, next);
         // Release-publish under the lock so `load_tagged` observes
         // generation and value in lockstep.
         self.generation.fetch_add(1, Ordering::Release);
+        drop(current);
+        // The displaced epoch is released only after the lock: if this
+        // publisher held the last reference and the payload's Drop
+        // panics, the panic stays on the publisher thread with the
+        // pointer already coherent, instead of poisoning the mutex every
+        // reader shares.
+        drop(old);
         true
     }
 }
@@ -109,6 +124,34 @@ mod tests {
         // Republishing the identical Arc is a no-op.
         assert!(!ptr.publish(two));
         assert_eq!(ptr.generation(), 2);
+    }
+
+    #[test]
+    fn a_panicking_writer_does_not_take_down_the_pointer() {
+        // A payload whose Drop panics — the nastiest thing a publisher
+        // thread can do while the pointer is mid-swap.
+        struct Grenade(bool);
+        impl Drop for Grenade {
+            fn drop(&mut self) {
+                if self.0 {
+                    panic!("armed payload dropped");
+                }
+            }
+        }
+
+        let ptr = Arc::new(EpochPointer::new(Arc::new(Grenade(true))));
+        let publisher = Arc::clone(&ptr);
+        let joined = std::thread::spawn(move || publisher.publish(Arc::new(Grenade(false)))).join();
+        assert!(joined.is_err(), "dropping the armed epoch must panic");
+
+        // The swap landed before the panic: readers keep going, see the
+        // new value at the new generation, and later publishes work.
+        assert_eq!(ptr.generation(), 2);
+        let (value, generation) = ptr.load_tagged();
+        assert!(!value.0, "the disarmed payload is current");
+        assert_eq!(generation, 2);
+        assert!(ptr.publish(Arc::new(Grenade(false))));
+        assert_eq!(ptr.generation(), 3);
     }
 
     #[test]

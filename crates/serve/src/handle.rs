@@ -12,7 +12,7 @@
 //! (analysis cache + single-flight admission), the handle deduplicates
 //! *publication* (the epoch pointer) and measures everything.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use sailing::engine::SailingEngine;
@@ -29,10 +29,49 @@ use crate::metrics::{Endpoint, MetricsSnapshot, ServeMetrics};
 /// `source_reports` returns.
 pub use sailing::core::SourceReport;
 
+/// Serving-tier health: is the current epoch the freshest admissible
+/// analysis, or is the handle serving its **last good** epoch because
+/// refreshes keep failing?
+///
+/// Degradation is entered and left by [`ServeHandle::refresh`]: an
+/// analysis the discovery watchdog ended without convergence
+/// ([`sailing::core::Termination::is_watchdog_stop`]) is *not*
+/// published — readers keep answering from the previous epoch
+/// (stale-while-revalidate) and the handle reports `Degraded` until a
+/// refresh converges again. Surfaces in
+/// [`MetricsSnapshot::healthy`](crate::MetricsSnapshot) for dashboards.
+#[derive(Debug, Clone)]
+pub enum Health {
+    /// The most recent refresh (or admission) published a fresh epoch.
+    Healthy,
+    /// At least one refresh has failed since the last good epoch; the
+    /// handle keeps serving that last good analysis.
+    Degraded {
+        /// When the current run of failed refreshes began (preserved
+        /// across consecutive failures, so dashboards see how long the
+        /// tier has been stale).
+        since: Instant,
+        /// Why the most recent refresh was refused publication.
+        reason: String,
+    },
+}
+
+impl Health {
+    /// `true` in the [`Health::Healthy`] state.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, Health::Healthy)
+    }
+}
+
 struct ServeInner {
     engine: SailingEngine,
     epoch: EpochPointer<Analysis>,
     metrics: ServeMetrics,
+    /// Guarded by its own mutex (not the epoch's): health flips on the
+    /// rare refresh path, never on reads. Poison-recovered like the
+    /// epoch pointer — a panicking refresher must not stop health
+    /// reporting.
+    health: Mutex<Health>,
 }
 
 /// A shareable handle serving one corpus's current analysis.
@@ -76,6 +115,7 @@ impl ServeHandle {
                 engine,
                 epoch: EpochPointer::new(analysis),
                 metrics,
+                health: Mutex::new(Health::Healthy),
             }),
         }
     }
@@ -111,6 +151,69 @@ impl ServeHandle {
         }
         self.inner.metrics.record(Endpoint::Admit, start.elapsed());
         published
+    }
+
+    /// Like [`ServeHandle::admit`], but **refuses to publish an analysis
+    /// the discovery watchdog ended without convergence** — a deadline
+    /// overrun or a detected limit cycle (see
+    /// [`sailing::engine::SailingEngineBuilder::discovery_watchdog`]).
+    /// On such a failure the handle keeps serving the last good epoch
+    /// (stale-while-revalidate), flips [`ServeHandle::health`] to
+    /// [`Health::Degraded`], and returns the *currently served* analysis
+    /// rather than the refused one. A later refresh that converges
+    /// publishes normally and restores [`Health::Healthy`].
+    ///
+    /// `admit` keeps its historical publish-unconditionally semantics;
+    /// use `refresh` from ingestion loops that must never regress the
+    /// served answers.
+    pub fn refresh(&self, snapshot: Arc<SnapshotView>) -> Arc<Analysis> {
+        let start = Instant::now();
+        let analysis = Arc::new(self.inner.engine.analyze_owned(snapshot));
+        if analysis.termination().is_watchdog_stop() {
+            let reason = format!(
+                "refresh analysis ended without converging: {:?}",
+                analysis.termination()
+            );
+            let mut health = self.lock_health();
+            let since = match &*health {
+                // An ongoing outage keeps its start time.
+                Health::Degraded { since, .. } => *since,
+                Health::Healthy => Instant::now(),
+            };
+            *health = Health::Degraded { since, reason };
+            drop(health);
+            self.inner.metrics.record(Endpoint::Admit, start.elapsed());
+            return self.current();
+        }
+        let published = {
+            let current = self.inner.epoch.load();
+            if Arc::ptr_eq(&current.result_arc(), &analysis.result_arc())
+                && Arc::ptr_eq(&current.snapshot_arc(), &analysis.snapshot_arc())
+            {
+                current
+            } else {
+                analysis
+            }
+        };
+        if self.inner.epoch.publish(Arc::clone(&published)) {
+            self.inner.metrics.note_swap();
+        }
+        *self.lock_health() = Health::Healthy;
+        self.inner.metrics.record(Endpoint::Admit, start.elapsed());
+        published
+    }
+
+    /// The serving tier's current health — [`Health::Degraded`] while
+    /// [`ServeHandle::refresh`] failures leave it serving a stale epoch.
+    pub fn health(&self) -> Health {
+        self.lock_health().clone()
+    }
+
+    fn lock_health(&self) -> std::sync::MutexGuard<'_, Health> {
+        self.inner
+            .health
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The analysis currently being served.
@@ -172,11 +275,11 @@ impl ServeHandle {
     }
 
     /// Snapshots the serve metrics, folding in the engine's cache and
-    /// persistence counters.
+    /// persistence counters and the current [`Health`].
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner
             .metrics
-            .snapshot(&self.inner.engine.cache_stats())
+            .snapshot(&self.inner.engine.cache_stats(), &self.health())
     }
 
     /// Drains the engine's retained deferred persistence errors

@@ -77,6 +77,21 @@
 //! analysis until the swap lands, then pick up the new one on their next
 //! request — no reader ever observes a half-published analysis, because
 //! the unit of publication is the whole `Arc`.
+//!
+//! # Graceful degradation
+//!
+//! [`ServeHandle::refresh`] is the degradation-aware admission path: an
+//! analysis the engine's discovery watchdog ended *without convergence*
+//! (deadline overrun, detected limit cycle — see
+//! [`SailingEngineBuilder::discovery_watchdog`](sailing::engine::SailingEngineBuilder::discovery_watchdog))
+//! is refused publication. Readers keep serving the **last good epoch**
+//! (stale-while-revalidate) and [`ServeHandle::health`] reports
+//! [`Health::Degraded`] — carrying when the outage began and why — until
+//! a refresh converges again. [`MetricsSnapshot`] folds the health in
+//! (`healthy` / `degraded_reason` / `degraded_for_secs`) alongside the
+//! persist tier's resilience counters (`disk_retries`,
+//! `disk_breaker_fast_fails`, `breaker`), so one poll answers both "are
+//! the answers fresh?" and "is the disk behind them struggling?".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -88,7 +103,7 @@ pub mod metrics;
 pub mod workload;
 
 pub use epoch::EpochPointer;
-pub use handle::{ServeHandle, ServeReader};
+pub use handle::{Health, ServeHandle, ServeReader};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{Endpoint, EndpointStats, MetricsSnapshot};
 pub use workload::{ServeQuery, Workload, WorkloadMix};

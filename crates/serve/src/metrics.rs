@@ -14,6 +14,7 @@ use std::time::Duration;
 use sailing::CacheStats;
 use serde::Serialize;
 
+use crate::handle::Health;
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 
 /// The serving tier's instrumented endpoints.
@@ -97,8 +98,9 @@ impl ServeMetrics {
         self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshots every counter, folding in the engine's cache stats.
-    pub(crate) fn snapshot(&self, cache: &CacheStats) -> MetricsSnapshot {
+    /// Snapshots every counter, folding in the engine's cache stats and
+    /// the handle's current health.
+    pub(crate) fn snapshot(&self, cache: &CacheStats, health: &Health) -> MetricsSnapshot {
         let endpoints = Endpoint::ALL
             .iter()
             .map(|&e| {
@@ -115,6 +117,12 @@ impl ServeMetrics {
                 }
             })
             .collect();
+        let (healthy, degraded_reason, degraded_for_secs) = match health {
+            Health::Healthy => (true, None, 0.0),
+            Health::Degraded { since, reason } => {
+                (false, Some(reason.clone()), since.elapsed().as_secs_f64())
+            }
+        };
         MetricsSnapshot {
             endpoints,
             epoch_swaps: self.epoch_swaps.load(Ordering::Relaxed),
@@ -126,6 +134,12 @@ impl ServeMetrics {
             disk_writes: cache.disk_writes,
             disk_write_errors: cache.disk_write_errors,
             disk_dropped: cache.disk_dropped,
+            disk_retries: cache.disk_retries,
+            disk_breaker_fast_fails: cache.disk_breaker_fast_fails,
+            breaker: cache.disk_breaker.as_str(),
+            healthy,
+            degraded_reason,
+            degraded_for_secs,
         }
     }
 }
@@ -185,6 +199,24 @@ pub struct MetricsSnapshot {
     pub disk_write_errors: u64,
     /// Entries evicted unwritten from the async write-behind queue.
     pub disk_dropped: u64,
+    /// Store write re-attempts after transient filesystem failures
+    /// ([`sailing::CacheStats::disk_retries`]).
+    pub disk_retries: u64,
+    /// Writes fast-failed by the persist tier's open circuit breaker
+    /// ([`sailing::CacheStats::disk_breaker_fast_fails`]).
+    pub disk_breaker_fast_fails: u64,
+    /// The persist circuit breaker's state at snapshot time: `"closed"`,
+    /// `"open"`, or `"half-open"` (always `"closed"` without a breaker).
+    pub breaker: &'static str,
+    /// `false` while the handle is serving a stale last-good epoch
+    /// because refreshes keep failing (see
+    /// [`Health`]).
+    pub healthy: bool,
+    /// Why the most recent refresh was refused, when degraded.
+    pub degraded_reason: Option<String>,
+    /// Seconds since the current run of failed refreshes began (`0.0`
+    /// when healthy).
+    pub degraded_for_secs: f64,
 }
 
 impl MetricsSnapshot {
@@ -224,8 +256,11 @@ mod tests {
             let engine = sailing::engine::SailingEngine::with_defaults();
             engine.cache_stats()
         };
-        let snap = metrics.snapshot(&cache);
+        let snap = metrics.snapshot(&cache, &Health::Healthy);
         assert_eq!(snap.endpoint(Endpoint::TopK).requests, 2);
+        assert!(snap.healthy);
+        assert_eq!(snap.breaker, "closed");
+        assert_eq!(snap.degraded_reason, None);
         assert_eq!(snap.endpoint(Endpoint::Fuse).requests, 1);
         assert_eq!(snap.endpoint(Endpoint::Recommend).requests, 0);
         assert_eq!(snap.endpoint(Endpoint::Recommend).p99_us, 0.0);

@@ -150,5 +150,24 @@ fn main() -> Result<(), sailing::SailingError> {
         metrics.endpoint(sailing_serve::Endpoint::TopK).p99_us,
         handle.generation()
     );
+
+    // Degraded-mode observability: `handle.refresh(...)` refuses to
+    // publish an analysis the discovery watchdog ended without
+    // convergence — readers keep the last good epoch and health flips to
+    // Degraded until a refresh converges again. One poll reads both the
+    // health and the persist tier's resilience counters.
+    match handle.health() {
+        sailing_serve::Health::Healthy => {
+            println!("  health: healthy — serving the freshest epoch");
+        }
+        sailing_serve::Health::Degraded { reason, .. } => {
+            println!("  health: DEGRADED — serving stale ({reason})");
+        }
+    }
+    assert!(metrics.healthy);
+    println!(
+        "  disk retries: {}, breaker: {}",
+        metrics.disk_retries, metrics.breaker
+    );
     Ok(())
 }

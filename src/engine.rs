@@ -124,16 +124,19 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 use sailing_core::truth::{DependenceMatrix, ValueProbabilities};
 use sailing_core::{
     AccuCopy, DetectionParams, PairDependence, PipelineResult, SourceReport, TemporalParams,
-    TruthDiscovery,
+    TruthDiscovery, Watchdog,
 };
 use sailing_datagen::bookstores::BookCorpusConfig;
 use sailing_fusion::{FusionOutcome, ProbabilisticDatabase};
 use sailing_model::{History, ObjectId, SailingError, SnapshotView, SourceId, Timestamp, ValueId};
-use sailing_persist::{CompactReport, PersistentStore, StoreKey, StoreOptions};
+use sailing_persist::{
+    BreakerState, CompactReport, PersistentStore, StoreFs, StoreKey, StoreOptions,
+};
 use sailing_query::topk::{top_k_values_for_object, TopKResult};
 use sailing_query::{order_sources, OnlineSession, OrderingPolicy};
 use sailing_recommend::{
@@ -155,6 +158,11 @@ pub struct SailingEngineBuilder {
     persist_dir: Option<PathBuf>,
     persist_async: bool,
     persist_queue_depth: usize,
+    persist_retry: Option<(u32, Duration)>,
+    persist_breaker: Option<(u32, Duration)>,
+    persist_shutdown_deadline: Option<Duration>,
+    persist_fs: Option<Arc<dyn StoreFs>>,
+    watchdog: Option<Watchdog>,
 }
 
 impl SailingEngineBuilder {
@@ -170,6 +178,11 @@ impl SailingEngineBuilder {
             persist_dir: None,
             persist_async: false,
             persist_queue_depth: sailing_persist::DEFAULT_QUEUE_DEPTH,
+            persist_retry: None,
+            persist_breaker: None,
+            persist_shutdown_deadline: None,
+            persist_fs: None,
+            watchdog: None,
         }
     }
 
@@ -284,6 +297,67 @@ impl SailingEngineBuilder {
         self
     }
 
+    /// Lets the persistent store retry failed entry writes: up to
+    /// `max_attempts` tries per entry (clamped to at least 1) with bounded
+    /// exponential backoff starting at `base_delay`. A write that succeeds
+    /// on a retry is invisible to callers apart from
+    /// [`CacheStats::disk_retries`]. No effect without
+    /// [`SailingEngineBuilder::persist_dir`].
+    #[must_use]
+    pub fn persist_retry(mut self, max_attempts: u32, base_delay: Duration) -> Self {
+        self.persist_retry = Some((max_attempts, base_delay));
+        self
+    }
+
+    /// Arms the persistent store's **circuit breaker**: after `threshold`
+    /// consecutive exhausted-retry write failures the store stops touching
+    /// the filesystem and fast-fails new writes (counted in
+    /// [`CacheStats::disk_breaker_fast_fails`]) until `cooldown` has
+    /// elapsed, then lets a single probe write through to decide whether
+    /// to close again. `threshold = 0` (the default) disables the
+    /// breaker. Observable via [`CacheStats::disk_breaker`]. No effect
+    /// without [`SailingEngineBuilder::persist_dir`].
+    #[must_use]
+    pub fn persist_breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.persist_breaker = Some((threshold, cooldown));
+        self
+    }
+
+    /// Bounds how long the last engine clone's drop waits for the async
+    /// writer to drain before detaching (default
+    /// [`sailing_persist::SHUTDOWN_DRAIN_DEADLINE`]). No effect without
+    /// [`SailingEngineBuilder::persist_async`].
+    #[must_use]
+    pub fn persist_shutdown_deadline(mut self, deadline: Duration) -> Self {
+        self.persist_shutdown_deadline = Some(deadline);
+        self
+    }
+
+    /// Routes the persistent store's filesystem access through a custom
+    /// [`StoreFs`] — primarily [`sailing_persist::FaultyFs`] for
+    /// deterministic fault-injection testing of the retry/breaker/
+    /// degraded-serving paths. No effect without
+    /// [`SailingEngineBuilder::persist_dir`].
+    #[must_use]
+    pub fn persist_fs(mut self, fs: Arc<dyn StoreFs>) -> Self {
+        self.persist_fs = Some(fs);
+        self
+    }
+
+    /// Arms a **discovery watchdog** on the default ACCU-COPY strategy: a
+    /// wall-clock deadline and/or limit-cycle detection that end a
+    /// non-converging run as a typed outcome
+    /// ([`Analysis::termination`]) instead of spinning to the iteration
+    /// cap. Rejected on [`SailingEngineBuilder::build`] when combined
+    /// with [`SailingEngineBuilder::strategy`] — a custom strategy runs
+    /// its own loop, so the watchdog could never reach it; configure it
+    /// on the strategy object instead.
+    #[must_use]
+    pub fn discovery_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
     /// Attaches a bookstore-corpus configuration, making its screening the
     /// engine default: the candidate-pair floor is raised to the corpus's
     /// `min_shared_books` (Example 4.1 screens AbeBooks pairs by "at least
@@ -312,6 +386,16 @@ impl SailingEngineBuilder {
         params.validate()?;
         let strategy: Arc<dyn TruthDiscovery> = match self.strategy {
             Some(s) => {
+                // Same conflict rule as params below: the watchdog lives
+                // inside the discovery loop, so it can only reach the
+                // default strategy the builder constructs itself.
+                if self.watchdog.is_some() {
+                    return Err(SailingError::config(
+                        "SailingEngineBuilder",
+                        "discovery_watchdog only applies to the default strategy; \
+                         configure the watchdog on the custom strategy object instead",
+                    ));
+                }
                 // A strategy carrying its own detection parameters (e.g. a
                 // hand-built `AccuCopy`) is the source of truth for the
                 // whole loop: discovery runs inside the strategy object, so
@@ -336,16 +420,36 @@ impl SailingEngineBuilder {
                 }
                 s
             }
-            None => Arc::new(AccuCopy::new(params.clone())?),
+            None => {
+                let pipeline = AccuCopy::new(params.clone())?;
+                Arc::new(match self.watchdog {
+                    Some(watchdog) => pipeline.with_watchdog(watchdog),
+                    None => pipeline,
+                })
+            }
         };
         self.temporal_params.validate()?;
         let persist = match self.persist_dir {
             Some(dir) => {
-                let options = StoreOptions {
+                let mut options = StoreOptions {
                     async_writer: self.persist_async,
                     queue_depth: self.persist_queue_depth,
+                    ..StoreOptions::default()
                 };
-                Some(Arc::new(PersistentStore::open_with(dir, options)?))
+                if let Some((max_attempts, base_delay)) = self.persist_retry {
+                    options = options.retry(max_attempts, base_delay);
+                }
+                if let Some((threshold, cooldown)) = self.persist_breaker {
+                    options = options.breaker(threshold, cooldown);
+                }
+                if let Some(deadline) = self.persist_shutdown_deadline {
+                    options = options.shutdown_deadline(deadline);
+                }
+                let store = match self.persist_fs {
+                    Some(fs) => PersistentStore::open_with_fs(dir, options, fs)?,
+                    None => PersistentStore::open_with(dir, options)?,
+                };
+                Some(Arc::new(store))
             }
             None => None,
         };
@@ -421,6 +525,9 @@ impl SailingEngine {
             stats.disk_writes = disk.writes;
             stats.disk_write_errors = disk.write_errors;
             stats.disk_dropped = disk.dropped;
+            stats.disk_retries = disk.retries;
+            stats.disk_breaker_fast_fails = disk.breaker_fast_fails;
+            stats.disk_breaker = store.breaker_state();
         }
         stats
     }
@@ -859,6 +966,14 @@ impl Analysis {
         self.result.converged
     }
 
+    /// Why the discovery loop stopped — convergence, the iteration cap,
+    /// or a [`Watchdog`] intervention ([`sailing_core::Termination`]).
+    /// Watchdog outcomes are what `sailing-serve` refuses to publish,
+    /// keeping a degraded engine serving its last good analysis.
+    pub fn termination(&self) -> sailing_core::Termination {
+        self.result.termination
+    }
+
     /// Per-source summary: accuracy, coverage, copier probability, mean
     /// vote independence. Computed once per analysis from the cached
     /// dependence matrix, then memoised.
@@ -983,6 +1098,18 @@ pub struct CacheStats {
     /// Entries evicted unwritten because the async write-behind queue
     /// was full (see [`SailingEngineBuilder::persist_queue_depth`]).
     pub disk_dropped: u64,
+    /// Store write re-attempts after a transient filesystem failure (see
+    /// [`SailingEngineBuilder::persist_retry`]); a successful retry keeps
+    /// [`CacheStats::disk_write_errors`] at zero.
+    pub disk_retries: u64,
+    /// Writes rejected without touching the filesystem because the
+    /// store's circuit breaker was open (see
+    /// [`SailingEngineBuilder::persist_breaker`]).
+    pub disk_breaker_fast_fails: u64,
+    /// The store's circuit-breaker state at sampling time
+    /// ([`BreakerState::Closed`] when no store or no breaker is
+    /// configured).
+    pub disk_breaker: BreakerState,
 }
 
 /// Cache key: the snapshot's content hash plus the provenance of the
@@ -1223,6 +1350,9 @@ impl AnalysisCache {
             disk_writes: 0,
             disk_write_errors: 0,
             disk_dropped: 0,
+            disk_retries: 0,
+            disk_breaker_fast_fails: 0,
+            disk_breaker: BreakerState::Closed,
         }
     }
 }

@@ -92,6 +92,35 @@
 //! [`TruthDiscovery`](core::TruthDiscovery) implementation) to
 //! [`SailingEngine::builder`] to reproduce the paper's baseline ladder
 //! through one code path.
+//!
+//! ## Failure semantics
+//!
+//! The workspace is built to **degrade, not error**, when the world
+//! misbehaves; each layer has a typed, observable fallback:
+//!
+//! * **Persistence** — transient filesystem failures are retried with
+//!   bounded exponential backoff
+//!   ([`persist_retry`](SailingEngineBuilder::persist_retry), visible as
+//!   [`CacheStats::disk_retries`]); persistent failure trips a circuit
+//!   breaker ([`persist_breaker`](SailingEngineBuilder::persist_breaker))
+//!   that fast-fails writes without touching the disk until a cooldown
+//!   passes and a half-open probe succeeds
+//!   ([`CacheStats::disk_breaker`]). A failed or refused write is never
+//!   an analysis error — just a future cold miss. Damaged or torn store
+//!   files are rejected by checksum on read and degrade to cold misses.
+//!   Fault paths are testable deterministically by routing the store
+//!   through an injected filesystem
+//!   ([`persist_fs`](SailingEngineBuilder::persist_fs) +
+//!   [`persist::FaultyFs`]).
+//! * **Discovery** — a run that will not settle can be bounded by a
+//!   [`discovery_watchdog`](SailingEngineBuilder::discovery_watchdog)
+//!   (wall-clock deadline, limit-cycle detection); the run ends as a
+//!   typed non-converged outcome ([`Analysis::termination`],
+//!   [`core::Termination`]) instead of spinning to the iteration cap.
+//! * **Serving** — the `sailing-serve` tier refuses to publish
+//!   watchdog-stopped analyses: readers keep answering from the last
+//!   good epoch (stale-while-revalidate) while its `Health` reports the
+//!   degradation and its cause.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
