@@ -37,6 +37,13 @@
 //! store's writer-thread record) and, on non-smoke runs, land within 5%
 //! of the persist-off latency.
 //!
+//! Schema 5 adds `streaming_ingest`: a churn world streamed through the
+//! ingest subsystem (claim log → sealed deltas → `run_delta`) against a
+//! full warm re-analysis of every post-delta snapshot — total
+//! iterations (strictly fewer, asserted on every run) and wall time
+//! (strictly lower, asserted on quiet trajectory runs) for both paths,
+//! with 1e-9 posterior parity gated always.
+//!
 //! Set `SAILING_BENCH_SMOKE=1` for a seconds-scale smoke run (used by CI
 //! to keep this target from rotting); the JSON is then suffixed
 //! `.smoke.json` so a smoke run never overwrites a real trajectory point.
@@ -53,6 +60,7 @@ use sailing_core::copy::posterior;
 use sailing_core::pairs::{all_pairs_count, candidate_pairs, detect_all_with_pairs};
 use sailing_core::truth::{naive_probabilities, ValueProbabilities};
 use sailing_core::{DetectionParams, PairDependence};
+use sailing_datagen::churn::{ChurnConfig, ChurnWorld};
 use sailing_datagen::temporal::{table3_style, TemporalWorld};
 use sailing_datagen::world::{SnapshotWorld, WorldConfig};
 use sailing_model::{ObjectId, SnapshotView, SourceId, ValueId};
@@ -299,6 +307,38 @@ struct AsyncWriteBehindPoint {
     sync_overhead: f64,
 }
 
+/// One churn stream's measurements: the ingest subsystem end to end
+/// (claim log → sealed delta → `run_delta`) against a full warm
+/// re-analysis of every post-delta snapshot. Iteration totals exclude
+/// the shared cold bootstrap; wall time for the incremental side covers
+/// the whole streaming path (log appends, sealing, CSR delta merge,
+/// dirty-set discovery), for the baseline the delta merge plus
+/// `run_warm`.
+#[derive(Debug, Serialize)]
+struct StreamingIngestPoint {
+    cohorts: usize,
+    sources: usize,
+    objects: usize,
+    epochs: usize,
+    /// Fraction of the object space one delta touches (one cohort).
+    delta_object_fraction: f64,
+    /// Claim-log events appended (bootstrap + churn).
+    events: u64,
+    /// Dirty closure per epoch — exactly the churned cohort.
+    dirty_objects_per_epoch: usize,
+    incremental_iterations: u64,
+    full_warm_iterations: u64,
+    incremental_ms: f64,
+    full_warm_ms: f64,
+    /// `full_warm_iterations / incremental_iterations`.
+    iteration_savings: f64,
+    /// `full_warm_ms / incremental_ms`.
+    speedup: f64,
+    /// Largest accuracy divergence vs the full chain at the final epoch —
+    /// gated < 1e-9 on every run.
+    max_accuracy_gap: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     experiment: &'static str,
@@ -314,6 +354,7 @@ struct BenchReport {
     persist_reuse: Vec<PersistReusePoint>,
     parallel_cold_epochs: Vec<ParallelColdPoint>,
     async_write_behind: Vec<AsyncWriteBehindPoint>,
+    streaming_ingest: Vec<StreamingIngestPoint>,
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -787,9 +828,151 @@ fn main() {
     let _ = std::fs::remove_dir_all(&sync_dir);
     let _ = std::fs::remove_dir_all(&async_dir);
 
+    // --- E7f: streaming ingestion — incremental deltas vs full re-analysis ---
+    banner(
+        "E7f",
+        "Streaming ingest: N small deltas vs N full warm re-analyses",
+    );
+    header(&[
+        "cohorts", "objects", "epochs", "inc it", "full it", "inc ms", "full ms", "speedup",
+    ]);
+    let ingest_configs: &[(usize, usize, usize, usize)] = if smoke {
+        &[(10, 3, 12, 8)]
+    } else {
+        &[(10, 3, 12, 12), (20, 3, 24, 20)]
+    };
+    // Tight fixpoint parameters: every epoch's prior must be genuinely
+    // converged (the warm-start gate insists) and the 1e-12 tolerance
+    // leaves the 1e-9 parity contract real headroom.
+    let ingest_params = DetectionParams {
+        hard_damping_threshold: 1.0,
+        convergence_epsilon: 1e-12,
+        max_iterations: 5000,
+        ..DetectionParams::default()
+    };
+    let mut ingest_points = Vec::new();
+    for &(cohorts, spc, opc, epochs) in ingest_configs {
+        let world = ChurnWorld::generate(&ChurnConfig::streaming(cohorts, spc, opc, epochs, 1));
+        let engine = SailingEngine::builder()
+            .params(ingest_params.clone())
+            .build()
+            .unwrap();
+        let pipeline = sailing_core::AccuCopy::new(ingest_params.clone()).unwrap();
+
+        // Shared bootstrap, outside both timed regions: the streamed
+        // session cold-runs the initial world; the baseline chain starts
+        // from its own converged posterior over the same snapshot.
+        let mut session = engine
+            .ingest_session(sailing::ingest::SealPolicy::manual())
+            .with_max_dirty_fraction(2.0 / cohorts as f64);
+        for s in 0..world.initial.num_sources() {
+            let sid = SourceId::from_index(s);
+            for &(object, value) in world.initial.source_assertions(sid) {
+                session.assert_claim(sid, object, value, 0, 0);
+            }
+        }
+        session.seal();
+        let bootstrap_iterations = session.stats().iterations_total;
+        let mut full_prev = pipeline.run(&world.initial);
+        assert!(full_prev.converged, "churn bootstrap must converge");
+
+        // Incremental side: the whole streaming path per epoch — append
+        // every event to the claim log, seal, merge, re-converge dirty.
+        let ((), t_inc) = time_ms(|| {
+            for (i, delta) in world.deltas.iter().enumerate() {
+                for &(s, o, v) in delta.ops() {
+                    session.append(s, o, v, 0, 1 + i as i64);
+                }
+                session.seal();
+            }
+        });
+        let stats = session.stats();
+        assert_eq!(
+            stats.incremental_runs,
+            world.deltas.len() as u64,
+            "every churn epoch must run incrementally: {:?}",
+            stats.last_outcome
+        );
+        let inc_iters = stats.iterations_total - bootstrap_iterations;
+
+        // Baseline: full warm re-analysis of every post-delta snapshot.
+        let (full_iters, t_full) = time_ms(|| {
+            let mut snap = Arc::new(world.initial.clone());
+            let mut total = 0u64;
+            for delta in &world.deltas {
+                snap = Arc::new(snap.apply_delta(delta));
+                let full = pipeline.run_warm(&snap, Some(&full_prev));
+                assert!(full.converged, "full warm baseline must converge");
+                total += full.iterations as u64;
+                full_prev = full;
+            }
+            total
+        });
+
+        // Parity at the final epoch, per the 1e-9 contract — on every
+        // run including smoke.
+        let streamed = session.analysis();
+        let max_gap = streamed
+            .accuracies()
+            .iter()
+            .zip(&full_prev.accuracies)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_gap < 1e-9,
+            "incremental diverged from full: {max_gap:e}"
+        );
+
+        // The delta-proportionality gates. Iteration counts are exact
+        // and deterministic, so the strict inequality holds on smoke
+        // runs too; the wall-clock gate follows the usual convention of
+        // applying only to quiet trajectory runs.
+        assert!(
+            inc_iters < full_iters,
+            "incremental must spend strictly fewer iterations: {inc_iters} vs {full_iters}"
+        );
+        if !smoke {
+            assert!(
+                t_inc < t_full,
+                "incremental must be faster: {t_inc:.1}ms vs {t_full:.1}ms"
+            );
+        }
+        let speedup = t_full / t_inc.max(1e-9);
+        let savings = full_iters as f64 / inc_iters.max(1) as f64;
+        println!(
+            "{}",
+            row(&[
+                cohorts.to_string(),
+                world.initial.num_objects().to_string(),
+                epochs.to_string(),
+                inc_iters.to_string(),
+                full_iters.to_string(),
+                format!("{t_inc:.1}"),
+                format!("{t_full:.1}"),
+                format!("{speedup:.1}x"),
+            ])
+        );
+        ingest_points.push(StreamingIngestPoint {
+            cohorts,
+            sources: world.initial.num_sources(),
+            objects: world.initial.num_objects(),
+            epochs,
+            delta_object_fraction: world.delta_object_fraction(),
+            events: stats.events,
+            dirty_objects_per_epoch: stats.dirty_objects_last,
+            incremental_iterations: inc_iters,
+            full_warm_iterations: full_iters,
+            incremental_ms: t_inc,
+            full_warm_ms: t_full,
+            iteration_savings: savings,
+            speedup,
+            max_accuracy_gap: max_gap,
+        });
+    }
+
     let report = BenchReport {
         experiment: "exp_scalability",
-        schema: 4,
+        schema: 5,
         smoke,
         world: "specialist",
         host_cpus,
@@ -798,6 +981,7 @@ fn main() {
         persist_reuse: persist_points,
         parallel_cold_epochs: parallel_points,
         async_write_behind: async_points,
+        streaming_ingest: ingest_points,
     };
     let file_name = if smoke {
         "BENCH_scalability.smoke.json"

@@ -10,10 +10,10 @@
 //! strategies (e.g. a future sharded or incremental pipeline) plug in
 //! without touching the downstream crates.
 
-use sailing_model::{SailingError, SnapshotView};
+use sailing_model::{Delta, SailingError, SnapshotView};
 
 use crate::params::DetectionParams;
-use crate::pipeline::{AccuCopy, PipelineResult, Termination};
+use crate::pipeline::{AccuCopy, DeltaOutcome, DeltaRun, PipelineResult, Termination};
 use crate::truth::naive_probabilities;
 
 /// A truth-discovery strategy: everything that can turn a snapshot of
@@ -43,6 +43,31 @@ pub trait TruthDiscovery: Send + Sync {
     fn run_warm(&self, snapshot: &SnapshotView, prior: Option<&PipelineResult>) -> PipelineResult {
         let _ = prior;
         self.discover(snapshot)
+    }
+
+    /// Runs the strategy **delta-incrementally**: `snapshot` is the
+    /// post-delta snapshot and `prev` the previous epoch's result for the
+    /// pre-delta one. Strategies with a real incremental path (the
+    /// ACCU-COPY family) re-converge only what the delta can have changed
+    /// and splice the rest through; the default implementation has none
+    /// and runs the plain warm entry over the whole snapshot, reported as
+    /// [`DeltaOutcome::Unsupported`]. Like [`TruthDiscovery::run_warm`],
+    /// the contract is *speed, not answers* — posteriors must match a
+    /// full re-analysis up to the convergence tolerance either way.
+    fn run_delta(
+        &self,
+        snapshot: &SnapshotView,
+        prev: Option<&PipelineResult>,
+        delta: &Delta,
+        max_dirty_fraction: f64,
+    ) -> DeltaRun {
+        let _ = (delta, max_dirty_fraction);
+        DeltaRun {
+            result: self.run_warm(snapshot, prev),
+            outcome: DeltaOutcome::Unsupported,
+            dirty_objects: snapshot.num_objects(),
+            dirty_sources: snapshot.num_sources(),
+        }
     }
 
     /// `true` when the strategy estimates per-source accuracies.
@@ -157,6 +182,17 @@ impl TruthDiscovery for Accu {
         self.pipeline.run_warm(snapshot, prior)
     }
 
+    fn run_delta(
+        &self,
+        snapshot: &SnapshotView,
+        prev: Option<&PipelineResult>,
+        delta: &Delta,
+        max_dirty_fraction: f64,
+    ) -> DeltaRun {
+        self.pipeline
+            .run_delta(snapshot, prev, delta, max_dirty_fraction)
+    }
+
     fn detects_dependence(&self) -> bool {
         false
     }
@@ -181,6 +217,16 @@ impl TruthDiscovery for AccuCopy {
 
     fn run_warm(&self, snapshot: &SnapshotView, prior: Option<&PipelineResult>) -> PipelineResult {
         AccuCopy::run_warm(self, snapshot, prior)
+    }
+
+    fn run_delta(
+        &self,
+        snapshot: &SnapshotView,
+        prev: Option<&PipelineResult>,
+        delta: &Delta,
+        max_dirty_fraction: f64,
+    ) -> DeltaRun {
+        AccuCopy::run_delta(self, snapshot, prev, delta, max_dirty_fraction)
     }
 
     fn detects_dependence(&self) -> bool {

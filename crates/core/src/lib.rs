@@ -56,6 +56,6 @@ pub mod vote;
 
 pub use discovery::{Accu, NaiveVote, TruthDiscovery};
 pub use params::{DetectionParams, TemporalParams};
-pub use pipeline::{AccuCopy, PipelineResult, Termination, Watchdog};
+pub use pipeline::{AccuCopy, DeltaOutcome, DeltaRun, PipelineResult, Termination, Watchdog};
 pub use report::{DependenceKind, Direction, PairDependence, SourceReport};
 pub use sailing_model::{SailingError, SailingResult};

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use sailing_model::{fx_mix, ObjectId, SailingError, SnapshotView, SourceId, ValueId};
+use sailing_model::{fx_mix, Delta, ObjectId, SailingError, SnapshotView, SourceId, ValueId};
 
 use crate::accuracy::{estimate_accuracies, max_delta};
 use crate::pairs::{candidate_pairs, detect_all_with_pairs};
@@ -442,6 +442,274 @@ impl AccuCopy {
     }
 }
 
+/// Which path [`AccuCopy::run_delta`] took — the typed record the ingest
+/// tier folds into its stats, so "incremental" vs "fell back to a full
+/// run" is observable rather than inferred from timings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaOutcome {
+    /// Only the dirty component was re-converged; everything outside it
+    /// was spliced through from the previous result unchanged.
+    Incremental,
+    /// The dirty closure reached more of the object space than the
+    /// caller's `max_dirty_fraction` allows, so the full
+    /// [`AccuCopy::run_warm`] ran instead.
+    DirtyFractionExceeded {
+        /// Fraction of the object space the dirty closure reached.
+        dirty_fraction: f64,
+    },
+    /// No usable prior (absent, non-converged, or accuracy-blind). The
+    /// warm-start gating rule applies to deltas too — a mid-oscillation
+    /// state must not seed anything — so the full warm run (which itself
+    /// degrades to cold) ran instead.
+    PriorNotConverged,
+    /// The strategy has no incremental path
+    /// ([`TruthDiscovery::run_delta`](crate::TruthDiscovery::run_delta)'s
+    /// default); its plain warm entry ran over the whole snapshot.
+    Unsupported,
+}
+
+impl DeltaOutcome {
+    /// `true` only for the genuinely incremental path.
+    pub fn is_incremental(self) -> bool {
+        matches!(self, DeltaOutcome::Incremental)
+    }
+}
+
+/// A [`AccuCopy::run_delta`] result: a full-snapshot [`PipelineResult`]
+/// (indistinguishable in shape from a [`AccuCopy::run_warm`] result) plus
+/// the provenance of how it was produced.
+#[derive(Debug, Clone)]
+pub struct DeltaRun {
+    /// The full-snapshot result.
+    pub result: PipelineResult,
+    /// Which path produced it.
+    pub outcome: DeltaOutcome,
+    /// Objects in the dirty closure (the whole object space on the
+    /// fallback paths — a fallback re-converges everything).
+    pub dirty_objects: usize,
+    /// Sources in the dirty closure (ditto).
+    pub dirty_sources: usize,
+}
+
+impl AccuCopy {
+    /// Incrementally re-converges after a [`Delta`], seeding from the
+    /// previous **converged** result and re-running the loop only where
+    /// the delta can have changed anything.
+    ///
+    /// `snapshot` must be the *post-delta* snapshot (i.e.
+    /// `prev_snapshot.apply_delta(delta)`), and `prev` the result of
+    /// analysing the pre-delta snapshot. The dirty set starts from the
+    /// objects the delta touches plus the sources asserting on them, and
+    /// that one-hop rule is propagated through the vote → accuracy →
+    /// dependence loop until it closes: a dirty object dirties every
+    /// source asserting on it, a dirty source dirties every object it
+    /// asserts. At the fixpoint the dirty set is a union of connected
+    /// components of the source–object bipartite graph, and every term
+    /// the loop computes — per-object votes, per-source accuracy
+    /// estimates, candidate pairs (screened at overlap ≥ 1) — is local to
+    /// a component, so the clean remainder provably cannot move: its
+    /// previous converged values are spliced through verbatim while only
+    /// the dirty component is extracted (order-preserving compaction, so
+    /// per-component float operations run in the same order a full run
+    /// would) and re-converged by the unmodified [`AccuCopy::run_warm`]
+    /// loop. Posteriors therefore match a full warm re-analysis to within
+    /// the convergence tolerance; the facade's property tests pin 1e-9.
+    ///
+    /// When the closure exceeds `max_dirty_fraction` of the object space
+    /// (or the prior fails the warm-start gate) this falls back to the
+    /// full [`AccuCopy::run_warm`] with a typed [`DeltaOutcome`] saying
+    /// so.
+    pub fn run_delta(
+        &self,
+        snapshot: &SnapshotView,
+        prev: Option<&PipelineResult>,
+        delta: &Delta,
+        max_dirty_fraction: f64,
+    ) -> DeltaRun {
+        let p = &self.params;
+        let num_sources = snapshot.num_sources();
+        let num_objects = snapshot.num_objects();
+        let gated = prev.filter(|r| r.converged && !r.accuracies.is_empty());
+        let Some(prev) = gated else {
+            return DeltaRun {
+                result: self.run_warm(snapshot, prev),
+                outcome: DeltaOutcome::PriorNotConverged,
+                dirty_objects: num_objects,
+                dirty_sources: num_sources,
+            };
+        };
+        if delta.is_empty() {
+            return DeltaRun {
+                // The previous result verbatim; no iterations were spent
+                // on this (empty) delta.
+                result: PipelineResult {
+                    iterations: 0,
+                    ..prev.clone()
+                },
+                outcome: DeltaOutcome::Incremental,
+                dirty_objects: 0,
+                dirty_sources: 0,
+            };
+        }
+
+        // Dirty closure: alternate the two one-hop expansions until both
+        // worklists drain. Ids beyond the snapshot's spaces cannot occur
+        // when `snapshot` was built by `apply_delta` (it grows to cover
+        // the delta); stray ids from a mismatched caller are ignored.
+        let mut src_dirty = vec![false; num_sources];
+        let mut obj_dirty = vec![false; num_objects];
+        let mut src_stack: Vec<SourceId> = Vec::new();
+        let mut obj_stack: Vec<ObjectId> = Vec::new();
+        for o in delta.touched_objects() {
+            if o.index() < num_objects {
+                obj_dirty[o.index()] = true;
+                obj_stack.push(o);
+            }
+        }
+        for s in delta.touched_sources() {
+            if s.index() < num_sources {
+                src_dirty[s.index()] = true;
+                src_stack.push(s);
+            }
+        }
+        loop {
+            if let Some(o) = obj_stack.pop() {
+                for &(s, _) in snapshot.assertions_on(o) {
+                    if !src_dirty[s.index()] {
+                        src_dirty[s.index()] = true;
+                        src_stack.push(s);
+                    }
+                }
+                continue;
+            }
+            if let Some(s) = src_stack.pop() {
+                for &(o, _) in snapshot.source_assertions(s) {
+                    if !obj_dirty[o.index()] {
+                        obj_dirty[o.index()] = true;
+                        obj_stack.push(o);
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+        let dirty_objects = obj_dirty.iter().filter(|&&d| d).count();
+        let dirty_sources = src_dirty.iter().filter(|&&d| d).count();
+        let dirty_fraction = dirty_objects as f64 / num_objects.max(1) as f64;
+        if dirty_fraction > max_dirty_fraction {
+            return DeltaRun {
+                result: self.run_warm(snapshot, Some(prev)),
+                outcome: DeltaOutcome::DirtyFractionExceeded { dirty_fraction },
+                dirty_objects: num_objects,
+                dirty_sources: num_sources,
+            };
+        }
+
+        // Extract the dirty component as a compact sub-snapshot. The
+        // remaps are monotone, so CSR iteration order — and with it every
+        // float summation order — matches the full run's.
+        let sub_sources: Vec<SourceId> = (0..num_sources)
+            .filter(|&i| src_dirty[i])
+            .map(SourceId::from_index)
+            .collect();
+        let sub_objects: Vec<ObjectId> = (0..num_objects)
+            .filter(|&i| obj_dirty[i])
+            .map(ObjectId::from_index)
+            .collect();
+        let mut obj_remap = vec![u32::MAX; num_objects];
+        for (compact, o) in sub_objects.iter().enumerate() {
+            obj_remap[o.index()] = compact as u32;
+        }
+        let mut rows = Vec::new();
+        for (compact, &s) in sub_sources.iter().enumerate() {
+            for &(o, v) in snapshot.source_assertions(s) {
+                // Every object a dirty source asserts is dirty (closure),
+                // so the remap is always populated here.
+                rows.push((
+                    SourceId::from_index(compact),
+                    ObjectId(obj_remap[o.index()]),
+                    v,
+                ));
+            }
+        }
+        let sub_snapshot = SnapshotView::from_triples(sub_sources.len(), sub_objects.len(), rows);
+        let sub_prior = PipelineResult {
+            probabilities: ValueProbabilities::default(),
+            accuracies: sub_sources
+                .iter()
+                .map(|s| {
+                    prev.accuracies
+                        .get(s.index())
+                        .copied()
+                        .unwrap_or(p.initial_accuracy)
+                })
+                .collect(),
+            dependences: Vec::new(),
+            iterations: 0,
+            converged: true,
+            termination: Termination::Converged,
+        };
+        let sub = self.run_warm(&sub_snapshot, Some(&sub_prior));
+
+        // Splice the re-converged component back over the previous
+        // result; the clean remainder is carried through untouched.
+        let mut accuracies = prev.accuracies.clone();
+        accuracies.resize(num_sources, p.initial_accuracy);
+        for (compact, &s) in sub_sources.iter().enumerate() {
+            accuracies[s.index()] = sub.accuracies[compact];
+        }
+        let mut per_object: Vec<(ObjectId, Vec<(ValueId, f64)>)> = Vec::new();
+        for idx in 0..num_objects {
+            let o = ObjectId::from_index(idx);
+            let dist = if obj_dirty[idx] {
+                sub.probabilities
+                    .distribution(ObjectId(obj_remap[idx]))
+                    .to_vec()
+            } else {
+                prev.probabilities.distribution(o).to_vec()
+            };
+            if !dist.is_empty() {
+                per_object.push((o, dist));
+            }
+        }
+        let probabilities = ValueProbabilities::from_object_distributions(per_object);
+        let mut dependences: Vec<PairDependence> = prev
+            .dependences
+            .iter()
+            .filter(|d| {
+                d.a.index() < num_sources
+                    && d.b.index() < num_sources
+                    && !src_dirty[d.a.index()]
+                    && !src_dirty[d.b.index()]
+            })
+            .cloned()
+            .collect();
+        for d in &sub.dependences {
+            let mut mapped = d.clone();
+            mapped.a = sub_sources[d.a.index()];
+            mapped.b = sub_sources[d.b.index()];
+            dependences.push(mapped);
+        }
+        // Candidate enumeration is sorted by (a, b); keep the merged list
+        // in the same canonical order.
+        dependences.sort_by_key(|x| (x.a, x.b));
+
+        DeltaRun {
+            result: PipelineResult {
+                probabilities,
+                accuracies,
+                dependences,
+                iterations: sub.iterations,
+                converged: sub.converged,
+                termination: sub.termination,
+            },
+            outcome: DeltaOutcome::Incremental,
+            dirty_objects,
+            dirty_sources,
+        }
+    }
+}
+
 /// Order-sensitive digest of one iteration's end state: every accuracy
 /// bit and every posterior (object, value, probability) bit. Exact
 /// recurrence of this digest means the deterministic loop has entered a
@@ -751,5 +1019,167 @@ mod tests {
         assert_eq!(plain.content_digest(), armed.content_digest());
         assert!(!Watchdog::off().is_active());
         assert!(Watchdog::off().limit_cycles().is_active());
+    }
+
+    /// Two disjoint source/object blocks. Block A: sources 0–2 over
+    /// objects 0–3; block B: sources 3–5 over objects 4–7. Values are
+    /// namespaced per object (`o*10 + k`, `k = 0` true), each source is
+    /// wrong on one object of its block.
+    fn block_world() -> SnapshotView {
+        let mut triples = Vec::new();
+        for block in 0..2u32 {
+            for s in 0..3u32 {
+                let sid = SourceId(block * 3 + s);
+                for o in 0..4u32 {
+                    let oid = ObjectId(block * 4 + o);
+                    let k = u32::from(o == s + 1); // source s wrong on object s+1
+                    triples.push((sid, oid, ValueId(oid.0 * 10 + k)));
+                }
+            }
+        }
+        SnapshotView::from_triples(6, 8, triples)
+    }
+
+    fn delta_params() -> DetectionParams {
+        // Per the workspace numerics caution: continuous vote map + tight
+        // epsilon, so fixpoints are stable and parity is meaningful.
+        DetectionParams {
+            hard_damping_threshold: 1.0,
+            convergence_epsilon: 1e-12,
+            ..DetectionParams::default()
+        }
+    }
+
+    #[test]
+    fn run_delta_parity_with_full_warm_rerun() {
+        let base = block_world();
+        let pipeline = AccuCopy::new(delta_params()).unwrap();
+        let prev = pipeline.run(&base);
+        assert!(prev.converged, "block world must converge");
+
+        // Delta confined to block A: one flipped value, one new source.
+        let mut b = Delta::builder();
+        b.assert_value(SourceId(1), ObjectId(0), ValueId(1));
+        for o in 0..4u32 {
+            b.assert_value(SourceId(6), ObjectId(o), ValueId(o * 10));
+        }
+        let delta = b.build();
+        let after = base.apply_delta(&delta);
+
+        let run = pipeline.run_delta(&after, Some(&prev), &delta, 0.9);
+        let full = pipeline.run_warm(&after, Some(&prev));
+
+        assert_eq!(run.outcome, DeltaOutcome::Incremental);
+        assert!(run.outcome.is_incremental());
+        assert_eq!(run.dirty_objects, 4, "block A objects only");
+        assert_eq!(run.dirty_sources, 4, "sources 0-2 plus the new 6");
+        assert!(run.result.converged);
+        assert_eq!(run.result.termination, Termination::Converged);
+        assert!(run.result.iterations <= full.iterations);
+
+        // Posterior and accuracy parity with the full warm re-analysis.
+        assert_eq!(run.result.accuracies.len(), full.accuracies.len());
+        for (i, (x, y)) in run
+            .result
+            .accuracies
+            .iter()
+            .zip(&full.accuracies)
+            .enumerate()
+        {
+            assert!((x - y).abs() < 1e-9, "accuracy[{i}]: {x} vs {y}");
+        }
+        for o in 0..after.num_objects() {
+            let o = ObjectId::from_index(o);
+            for &(v, p) in full.probabilities.distribution(o) {
+                let q = run.result.probabilities.prob(o, v);
+                assert!((p - q).abs() < 1e-9, "posterior({o:?}, {v:?}): {p} vs {q}");
+            }
+        }
+        // The clean block B is spliced through bit-for-bit.
+        for s in 3..6 {
+            assert_eq!(run.result.accuracies[s], prev.accuracies[s]);
+        }
+        for o in 4..8u32 {
+            assert_eq!(
+                run.result.probabilities.distribution(ObjectId(o)),
+                prev.probabilities.distribution(ObjectId(o))
+            );
+        }
+    }
+
+    #[test]
+    fn run_delta_gates_and_falls_back() {
+        let base = block_world();
+        let pipeline = AccuCopy::new(delta_params()).unwrap();
+        let prev = pipeline.run(&base);
+        let mut b = Delta::builder();
+        b.assert_value(SourceId(0), ObjectId(0), ValueId(1));
+        let delta = b.build();
+        let after = base.apply_delta(&delta);
+
+        // A zero dirty budget forces the typed full fallback, which must
+        // be exactly the full warm run.
+        let run = pipeline.run_delta(&after, Some(&prev), &delta, 0.0);
+        assert!(matches!(
+            run.outcome,
+            DeltaOutcome::DirtyFractionExceeded { dirty_fraction } if dirty_fraction > 0.0
+        ));
+        assert_eq!(run.dirty_objects, after.num_objects());
+        let full = pipeline.run_warm(&after, Some(&prev));
+        assert_eq!(run.result.accuracies, full.accuracies);
+        assert_eq!(run.result.content_digest(), full.content_digest());
+
+        // A non-converged prior fails the warm-start gate.
+        let mut spun = prev.clone();
+        spun.converged = false;
+        let run = pipeline.run_delta(&after, Some(&spun), &delta, 0.9);
+        assert_eq!(run.outcome, DeltaOutcome::PriorNotConverged);
+        let cold = pipeline.run(&after);
+        assert_eq!(run.result.content_digest(), cold.content_digest());
+        let run = pipeline.run_delta(&after, None, &delta, 0.9);
+        assert_eq!(run.outcome, DeltaOutcome::PriorNotConverged);
+
+        // An empty delta is a no-op: the prior is returned as-is.
+        let run = pipeline.run_delta(&base, Some(&prev), &Delta::builder().build(), 0.9);
+        assert_eq!(run.outcome, DeltaOutcome::Incremental);
+        assert_eq!(run.dirty_objects, 0);
+        assert_eq!(run.result.iterations, 0);
+        assert_eq!(run.result.content_digest(), prev.content_digest());
+    }
+
+    #[test]
+    fn run_delta_handles_retraction_only_deltas() {
+        let base = block_world();
+        let pipeline = AccuCopy::new(delta_params()).unwrap();
+        let prev = pipeline.run(&base);
+        // Source 4 vanishes entirely from block B.
+        let mut b = Delta::builder();
+        for o in 4..8u32 {
+            b.retract(SourceId(4), ObjectId(o));
+        }
+        let delta = b.build();
+        let after = base.apply_delta(&delta);
+        assert_eq!(after.coverage(SourceId(4)), 0);
+
+        let run = pipeline.run_delta(&after, Some(&prev), &delta, 0.9);
+        let full = pipeline.run_warm(&after, Some(&prev));
+        assert_eq!(run.outcome, DeltaOutcome::Incremental);
+        assert_eq!(run.dirty_objects, 4, "block B objects");
+        for (i, (x, y)) in run
+            .result
+            .accuracies
+            .iter()
+            .zip(&full.accuracies)
+            .enumerate()
+        {
+            assert!((x - y).abs() < 1e-9, "accuracy[{i}]: {x} vs {y}");
+        }
+        for o in 0..after.num_objects() {
+            let o = ObjectId::from_index(o);
+            for &(v, p) in full.probabilities.distribution(o) {
+                let q = run.result.probabilities.prob(o, v);
+                assert!((p - q).abs() < 1e-9, "posterior({o:?}, {v:?}): {p} vs {q}");
+            }
+        }
     }
 }

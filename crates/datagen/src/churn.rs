@@ -1,0 +1,310 @@
+//! Churn worlds: streaming-ingestion workloads where sources appear and
+//! vanish cohort by cohort.
+//!
+//! A churn world is built from disjoint *cohorts* — each a block of
+//! sources asserting only on its own block of objects — so a delta epoch
+//! confined to one cohort has a dirty closure of exactly that cohort
+//! (`1/num_cohorts` of the world). Cohort `0` is the **hard cohort**:
+//! contested, near-coin-flip sources whose fixpoint converges slowly. It
+//! never churns, so a *full* re-analysis re-pays its slow climb on every
+//! epoch while the incremental path pays only for the churned cohort.
+//! That asymmetry is what the `streaming_ingest` benchmark measures.
+//!
+//! Epochs alternate per churned source: first it vanishes (all claims
+//! retracted), then it reappears with freshly drawn claims, round-robin
+//! across the non-hard cohorts. All draws are deterministic by seed.
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+
+use sailing_model::{Delta, GroundTruth, ObjectId, SailingError, SnapshotView, SourceId, ValueId};
+
+/// Configuration of a churn world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Number of disjoint cohorts (including the hard cohort `0`). Each
+    /// epoch's delta touches exactly one cohort, so the dirty fraction
+    /// per epoch is `1/num_cohorts`; use ≥ 10 for ≤ 10% deltas.
+    pub num_cohorts: usize,
+    /// Objects per cohort.
+    pub objects_per_cohort: usize,
+    /// Sources per cohort.
+    pub sources_per_cohort: usize,
+    /// Values per object (1 true + `domain_size − 1` false).
+    pub domain_size: usize,
+    /// Number of churn epochs (deltas) to generate.
+    pub epochs: usize,
+    /// Accuracy of the hard cohort's sources — keep close to `0.5` so the
+    /// cohort is genuinely contested and slow to converge.
+    pub hard_accuracy: f64,
+    /// Accuracy range of the churnable cohorts' sources (spread evenly).
+    pub accuracy_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// A ready-to-use streaming workload: `num_cohorts` cohorts of
+    /// `sources_per_cohort × objects_per_cohort`, epochs alternating
+    /// vanish/reappear round-robin over the churnable cohorts.
+    pub fn streaming(
+        num_cohorts: usize,
+        sources_per_cohort: usize,
+        objects_per_cohort: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            num_cohorts,
+            objects_per_cohort,
+            sources_per_cohort,
+            domain_size: 5,
+            epochs,
+            hard_accuracy: 0.55,
+            accuracy_range: (0.6, 0.95),
+            seed,
+        }
+    }
+
+    /// Checks structural validity.
+    pub fn validate(&self) -> Result<(), SailingError> {
+        let err = |reason: String| SailingError::config("ChurnConfig", reason);
+        if self.num_cohorts < 2 {
+            return Err(err(
+                "need at least one churnable cohort beyond the hard cohort".into(),
+            ));
+        }
+        if self.objects_per_cohort == 0 || self.sources_per_cohort == 0 {
+            return Err(err("cohorts must have sources and objects".into()));
+        }
+        if self.domain_size < 2 {
+            return Err(err("domain_size must be at least 2".into()));
+        }
+        for (name, a) in [
+            ("hard_accuracy", self.hard_accuracy),
+            ("accuracy_range.0", self.accuracy_range.0),
+            ("accuracy_range.1", self.accuracy_range.1),
+        ] {
+            if !(0.0..=1.0).contains(&a) {
+                return Err(err(format!("{name} {a} outside [0,1]")));
+            }
+        }
+        Ok(())
+    }
+
+    fn num_sources(&self) -> usize {
+        self.num_cohorts * self.sources_per_cohort
+    }
+
+    fn num_objects(&self) -> usize {
+        self.num_cohorts * self.objects_per_cohort
+    }
+}
+
+/// A generated churn world: the initial snapshot plus a sequence of
+/// cohort-confined delta epochs.
+#[derive(Debug, Clone)]
+pub struct ChurnWorld {
+    /// The observable world before any churn.
+    pub initial: SnapshotView,
+    /// One delta per epoch, in arrival order; apply cumulatively with
+    /// [`SnapshotView::apply_delta`].
+    pub deltas: Vec<Delta>,
+    /// The planted truth (stable across churn — sources come and go, the
+    /// facts do not).
+    pub truth: GroundTruth,
+    /// The configuration that produced the world.
+    pub config: ChurnConfig,
+}
+
+impl ChurnWorld {
+    /// Generates the world.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid ([`ChurnConfig::validate`]).
+    pub fn generate(config: &ChurnConfig) -> Self {
+        config.validate().expect("invalid churn config");
+        let mut rng = crate::rng(config.seed);
+        let spc = config.sources_per_cohort;
+        let opc = config.objects_per_cohort;
+
+        // Value ids: object o's candidates are [o*domain .. o*domain+domain),
+        // index 0 true — the same namespacing as the snapshot worlds.
+        let value_of = |o: usize, k: usize| ValueId::from_index(o * config.domain_size + k);
+        let truth = GroundTruth::from_pairs(
+            (0..config.num_objects()).map(|o| (ObjectId::from_index(o), value_of(o, 0))),
+        );
+        let accuracy_of = |cohort: usize, slot: usize| {
+            if cohort == 0 {
+                config.hard_accuracy
+            } else if spc == 1 {
+                (config.accuracy_range.0 + config.accuracy_range.1) / 2.0
+            } else {
+                let t = slot as f64 / (spc - 1) as f64;
+                config.accuracy_range.0 + t * (config.accuracy_range.1 - config.accuracy_range.0)
+            }
+        };
+
+        // One source's full-cohort claim draw, reused for the initial
+        // snapshot and for every reappearance.
+        let draw = |rng: &mut crate::Rng, cohort: usize, slot: usize| {
+            let accuracy = accuracy_of(cohort, slot);
+            (0..opc)
+                .map(|i| {
+                    let o = cohort * opc + i;
+                    let k = if rng.gen::<f64>() < accuracy {
+                        0
+                    } else {
+                        rng.gen_range(1..config.domain_size)
+                    };
+                    (ObjectId::from_index(o), value_of(o, k))
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let mut triples = Vec::new();
+        for cohort in 0..config.num_cohorts {
+            for slot in 0..spc {
+                let sid = SourceId::from_index(cohort * spc + slot);
+                for (o, v) in draw(&mut rng, cohort, slot) {
+                    triples.push((sid, o, v));
+                }
+            }
+        }
+        let initial =
+            SnapshotView::from_triples(config.num_sources(), config.num_objects(), triples);
+
+        // Churn epochs: round-robin over the churnable cohorts; within a
+        // cohort round-robin over its sources; each chosen source first
+        // vanishes, then reappears on its next turn.
+        let churnable = config.num_cohorts - 1;
+        let mut present = vec![true; config.num_sources()];
+        let mut deltas = Vec::with_capacity(config.epochs);
+        for e in 0..config.epochs {
+            let cohort = 1 + e % churnable;
+            let slot = (e / churnable) % spc;
+            let sid = SourceId::from_index(cohort * spc + slot);
+            let mut b = Delta::builder();
+            if present[sid.index()] {
+                for i in 0..opc {
+                    b.retract(sid, ObjectId::from_index(cohort * opc + i));
+                }
+            } else {
+                for (o, v) in draw(&mut rng, cohort, slot) {
+                    b.assert_value(sid, o, v);
+                }
+            }
+            present[sid.index()] = !present[sid.index()];
+            deltas.push(b.build());
+        }
+
+        Self {
+            initial,
+            deltas,
+            truth,
+            config: config.clone(),
+        }
+    }
+
+    /// The fraction of the world's objects any single epoch touches
+    /// (each delta is confined to one cohort).
+    pub fn delta_object_fraction(&self) -> f64 {
+        1.0 / self.config.num_cohorts as f64
+    }
+
+    /// Applies every delta cumulatively, returning the snapshot after
+    /// each epoch (`deltas.len()` entries; the initial snapshot is *not*
+    /// included).
+    pub fn snapshots(&self) -> Vec<SnapshotView> {
+        let mut out = Vec::with_capacity(self.deltas.len());
+        let mut current = self.initial.clone();
+        for delta in &self.deltas {
+            current = current.apply_delta(delta);
+            out.push(current.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> ChurnWorld {
+        ChurnWorld::generate(&ChurnConfig::streaming(10, 3, 12, 8, 42))
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_cohort_confined() {
+        let w1 = world();
+        let w2 = world();
+        assert_eq!(w1.initial.num_sources(), 30);
+        assert_eq!(w1.initial.num_objects(), 120);
+        assert_eq!(w1.deltas.len(), 8);
+        assert!((w1.delta_object_fraction() - 0.1).abs() < 1e-12);
+        for (d1, d2) in w1.deltas.iter().zip(&w2.deltas) {
+            assert_eq!(d1.ops(), d2.ops());
+        }
+        // Every delta touches exactly one non-hard cohort's objects.
+        for d in &w1.deltas {
+            let cohorts: std::collections::BTreeSet<usize> =
+                d.touched_objects().iter().map(|o| o.index() / 12).collect();
+            assert_eq!(cohorts.len(), 1, "delta confined to one cohort");
+            assert_ne!(cohorts.first(), Some(&0), "hard cohort never churns");
+            assert_eq!(d.touched_sources().len(), 1, "one source per epoch");
+        }
+    }
+
+    #[test]
+    fn epochs_alternate_vanish_and_reappear() {
+        let w = world();
+        // With 9 churnable cohorts and 8 epochs, every epoch hits a
+        // distinct cohort on its first pass: all retractions.
+        for d in &w.deltas {
+            assert_eq!(d.added().count(), 0, "first pass vanishes");
+            assert_eq!(d.retracted().count(), 12);
+        }
+        // A longer run revisits sources: epochs 0-3 vanish cohort 1/2's
+        // two sources in turn; epoch 4 returns to cohort 1 slot 0, which
+        // is now absent and reappears with fresh claims.
+        let long = ChurnWorld::generate(&ChurnConfig::streaming(3, 2, 6, 5, 7));
+        for e in 0..4 {
+            assert_eq!(long.deltas[e].retracted().count(), 6, "epoch {e} vanishes");
+            assert_eq!(long.deltas[e].added().count(), 0);
+        }
+        assert_eq!(long.deltas[4].added().count(), 6, "second visit reappears");
+        assert_eq!(long.deltas[4].retracted().count(), 0);
+        assert_eq!(
+            long.deltas[4].touched_sources(),
+            long.deltas[0].touched_sources()
+        );
+    }
+
+    #[test]
+    fn snapshots_walk_matches_manual_application() {
+        let w = world();
+        let walked = w.snapshots();
+        let mut current = w.initial.clone();
+        for (i, d) in w.deltas.iter().enumerate() {
+            current = current.apply_delta(d);
+            assert_eq!(current.content_hash(), walked[i].content_hash());
+        }
+        // A vanished source really is gone.
+        let first_churned = w.deltas[0].touched_sources()[0];
+        assert_eq!(walked[0].coverage(first_churned), 0);
+        assert_ne!(w.initial.coverage(first_churned), 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = ChurnConfig::streaming(10, 2, 10, 4, 0);
+        c.num_cohorts = 1;
+        assert!(c.validate().is_err());
+        let mut c = ChurnConfig::streaming(10, 2, 10, 4, 0);
+        c.domain_size = 1;
+        assert!(c.validate().is_err());
+        let mut c = ChurnConfig::streaming(10, 2, 10, 4, 0);
+        c.hard_accuracy = 1.2;
+        assert!(c.validate().is_err());
+    }
+}

@@ -14,18 +14,24 @@
 //! * [`bookstores`] — the AbeBooks-like corpus calibrated to Example 4.1's
 //!   published statistics (876 bookstores, 1263 books, 24364 listings, 471
 //!   dependent store pairs, messy author lists);
+//! * [`churn`] — streaming-ingestion workloads: cohort-structured worlds
+//!   where sources appear and vanish epoch by epoch, with a contested
+//!   never-churned hard cohort (the incremental-discovery benchmark's
+//!   substrate);
 //! * [`zipf`] — the coverage-skew sampler shared by the generators.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bookstores;
+pub mod churn;
 pub mod ratings;
 pub mod temporal;
 pub mod world;
 pub mod zipf;
 
 pub use bookstores::{BookCorpus, BookCorpusConfig};
+pub use churn::{ChurnConfig, ChurnWorld};
 pub use ratings::{RaterBehavior, RatingWorld, RatingWorldConfig};
 pub use temporal::{TemporalWorld, TemporalWorldConfig};
 pub use world::{SnapshotWorld, SourceBehavior, WorldConfig};

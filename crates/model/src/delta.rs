@@ -1,0 +1,202 @@
+//! Delta epochs: the unit of change the streaming ingest tier feeds into
+//! incremental analysis.
+//!
+//! A [`Delta`] is a small sorted arena of *upserts* (a source now asserts
+//! this value for this object) and *retractions* (a source no longer
+//! asserts anything about this object), normalised so each
+//! `(source, object)` pair appears at most once — the last event wins, the
+//! same latest-claim-wins rule [`SnapshotView::from_triples`] applies to a
+//! full claim scan. Applying a delta to a snapshot
+//! ([`SnapshotView::apply_delta`]) sorted-merges the arena into the CSR
+//! columns instead of rebuilding from a `History` scan, and is canonical:
+//! the result is equal (same `content_hash`, same columns) to a full
+//! rebuild from the post-delta claim set.
+//!
+//! [`SnapshotView::from_triples`]: crate::SnapshotView::from_triples
+//! [`SnapshotView::apply_delta`]: crate::SnapshotView::apply_delta
+
+use crate::ids::{ObjectId, SourceId};
+use crate::value::ValueId;
+
+/// One normalised delta operation: `Some(value)` upserts the source's
+/// assertion on the object, `None` retracts it.
+pub type DeltaOp = (SourceId, ObjectId, Option<ValueId>);
+
+/// A sealed delta epoch: the net effect of a batch of ingest events,
+/// sorted by `(source, object)` with one operation per pair.
+///
+/// Build one through [`DeltaBuilder`] (events in arrival order, last event
+/// per pair wins) and apply it with
+/// [`SnapshotView::apply_delta`](crate::SnapshotView::apply_delta).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// Sorted by `(source, object)`, unique per pair.
+    ops: Vec<DeltaOp>,
+}
+
+impl Delta {
+    /// Starts building a delta from events in arrival order.
+    pub fn builder() -> DeltaBuilder {
+        DeltaBuilder::default()
+    }
+
+    /// The normalised operations, sorted by `(source, object)`.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// The upserts: `(source, object, value)` triples, sorted.
+    pub fn added(&self) -> impl Iterator<Item = (SourceId, ObjectId, ValueId)> + '_ {
+        self.ops.iter().filter_map(|&(s, o, v)| Some((s, o, v?)))
+    }
+
+    /// The retractions: `(source, object)` pairs, sorted.
+    pub fn retracted(&self) -> impl Iterator<Item = (SourceId, ObjectId)> + '_ {
+        self.ops
+            .iter()
+            .filter(|&&(_, _, v)| v.is_none())
+            .map(|&(s, o, _)| (s, o))
+    }
+
+    /// Number of normalised operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the delta contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Distinct sources touched by any operation, ascending.
+    pub fn touched_sources(&self) -> Vec<SourceId> {
+        let mut out: Vec<SourceId> = self.ops.iter().map(|&(s, _, _)| s).collect();
+        out.dedup();
+        out
+    }
+
+    /// Distinct objects touched by any operation, ascending.
+    pub fn touched_objects(&self) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = self.ops.iter().map(|&(_, o, _)| o).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The smallest source id space covering every operation.
+    pub fn min_source_space(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|&(s, _, _)| s.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The smallest object id space covering every operation.
+    pub fn min_object_space(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|&(_, o, _)| o.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Accumulates ingest events in arrival order and normalises them into a
+/// [`Delta`]: stable-sorted by `(source, object)`, last event per pair
+/// wins (an assert followed by a retract of the same pair nets out to the
+/// retract, and vice versa).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBuilder {
+    events: Vec<DeltaOp>,
+}
+
+impl DeltaBuilder {
+    /// Records an upsert: `source` now asserts `value` for `object`.
+    pub fn assert_value(&mut self, source: SourceId, object: ObjectId, value: ValueId) {
+        self.events.push((source, object, Some(value)));
+    }
+
+    /// Records a retraction: `source` no longer asserts about `object`.
+    pub fn retract(&mut self, source: SourceId, object: ObjectId) {
+        self.events.push((source, object, None));
+    }
+
+    /// Number of raw events recorded so far (before normalisation).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Normalises into a sealed [`Delta`].
+    pub fn build(self) -> Delta {
+        let mut events = self.events;
+        // Stable sort keeps arrival order within a pair; the overwrite
+        // below then keeps the pair's last event.
+        events.sort_by_key(|&(s, o, _)| (s, o));
+        let mut ops: Vec<DeltaOp> = Vec::with_capacity(events.len());
+        for op in events {
+            match ops.last_mut() {
+                Some(last) if (last.0, last.1) == (op.0, op.1) => *last = op,
+                _ => ops.push(op),
+            }
+        }
+        Delta { ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SourceId {
+        SourceId(i)
+    }
+    fn o(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+    fn v(i: u32) -> ValueId {
+        ValueId(i)
+    }
+
+    #[test]
+    fn builder_sorts_and_keeps_last_event_per_pair() {
+        let mut b = Delta::builder();
+        b.assert_value(s(1), o(0), v(7));
+        b.assert_value(s(0), o(2), v(1));
+        b.assert_value(s(1), o(0), v(8)); // overwrites v7
+        b.retract(s(0), o(1));
+        b.assert_value(s(0), o(1), v(3)); // overrides the retract
+        b.retract(s(2), o(0));
+        let d = b.build();
+        assert_eq!(
+            d.ops(),
+            &[
+                (s(0), o(1), Some(v(3))),
+                (s(0), o(2), Some(v(1))),
+                (s(1), o(0), Some(v(8))),
+                (s(2), o(0), None),
+            ]
+        );
+        assert_eq!(d.added().count(), 3);
+        assert_eq!(d.retracted().collect::<Vec<_>>(), vec![(s(2), o(0))]);
+        assert_eq!(d.touched_sources(), vec![s(0), s(1), s(2)]);
+        assert_eq!(d.touched_objects(), vec![o(0), o(1), o(2)]);
+        assert_eq!(d.min_source_space(), 3);
+        assert_eq!(d.min_object_space(), 3);
+    }
+
+    #[test]
+    fn empty_delta() {
+        let d = Delta::builder().build();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.min_source_space(), 0);
+        assert_eq!(d.min_object_space(), 0);
+        assert!(d.touched_objects().is_empty());
+    }
+}

@@ -209,11 +209,23 @@ impl History {
     /// batch re-analysis) means materialising exactly one snapshot per
     /// change point — never more.
     pub fn change_points(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.change_points_since(Timestamp::MIN)
+    }
+
+    /// The suffix of [`History::change_points`] at or after `since`
+    /// (inclusive): every distinct timestamp `t >= since`, ascending.
+    ///
+    /// Callers that resume a timeline mid-stream — a `TimelineSession`
+    /// picking up after a checkpoint, or the ingest tier deriving deltas
+    /// for epochs it has not analysed yet — need only the tail; this skips
+    /// collecting (and re-sorting) the pre-`since` epochs entirely.
+    pub fn change_points_since(&self, since: Timestamp) -> impl Iterator<Item = Timestamp> + '_ {
         let mut times: Vec<Timestamp> = self
             .traces
             .iter()
             .flat_map(|m| m.values())
             .flat_map(|trace| trace.updates().iter().map(|&(t, _)| t))
+            .filter(|&t| t >= since)
             .collect();
         times.sort_unstable();
         times.dedup();
@@ -396,6 +408,21 @@ mod tests {
         assert_eq!(empty.change_points().count(), 0);
         assert_eq!(empty.last_change_point(), None);
         assert_eq!(empty.latest_snapshot().num_assertions(), 0);
+    }
+
+    #[test]
+    fn change_points_since_skips_pre_ts_epochs() {
+        let (_, h) = sample_history();
+        // Full set is [2002, 2003, 2006, 2007]; `since` is inclusive.
+        let tail: Vec<_> = h.change_points_since(2003).collect();
+        assert_eq!(tail, vec![2003, 2006, 2007]);
+        // A `since` between change points keeps only strictly later epochs.
+        let tail: Vec<_> = h.change_points_since(2004).collect();
+        assert_eq!(tail, vec![2006, 2007]);
+        // Past the end: empty suffix. From the beginning: the full set.
+        assert_eq!(h.change_points_since(2008).count(), 0);
+        let all: Vec<_> = h.change_points_since(Timestamp::MIN).collect();
+        assert_eq!(all, h.change_points().collect::<Vec<_>>());
     }
 
     #[test]

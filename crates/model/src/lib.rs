@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod claim;
+pub mod delta;
 pub mod error;
 pub mod fixtures;
 pub mod history;
@@ -40,6 +41,7 @@ pub mod value;
 pub mod world;
 
 pub use claim::{Claim, Timestamp};
+pub use delta::{Delta, DeltaBuilder, DeltaOp};
 pub use error::{ModelError, SailingError, SailingResult};
 pub use history::{History, UpdateTrace};
 pub use ids::{Catalog, ObjectId, SourceId};

@@ -44,6 +44,7 @@ use std::collections::HashMap;
 use serde::{Content, Deserialize, Error as SerdeError, Serialize};
 
 use crate::claim::{Claim, Timestamp};
+use crate::delta::Delta;
 use crate::error::ModelError;
 use crate::ids::{Catalog, ObjectId, SourceId};
 use crate::value::{Value, ValueId};
@@ -628,6 +629,50 @@ impl SnapshotView {
     pub fn from_json_str(text: &str) -> Result<Self, SerdeError> {
         Self::deserialize(&serde::json::parse(text)?)
     }
+
+    /// Applies a sealed [`Delta`] to this snapshot, producing the
+    /// post-delta snapshot without rescanning any claim history.
+    ///
+    /// The delta's arena and the per-source CSR slices are both sorted by
+    /// `(source, object)`, so this is one linear sorted-merge: upserts
+    /// overwrite (or extend) the source's slice, retractions drop the
+    /// entry, untouched slices are copied through verbatim. The result is
+    /// **canonical** — equal (same [`SnapshotView::content_hash`], same
+    /// CSR columns) to a full rebuild from the post-delta claim set — so
+    /// cache keys and persisted artifacts derived from it behave exactly
+    /// as if the snapshot had been rebuilt from scratch. Id spaces grow to
+    /// cover any source/object the delta names beyond the current bounds.
+    pub fn apply_delta(&self, delta: &Delta) -> SnapshotView {
+        let num_sources = self.num_sources.max(delta.min_source_space());
+        let num_objects = self.num_objects.max(delta.min_object_space());
+        let ops = delta.ops();
+        let mut rows: Vec<(SourceId, ObjectId, ValueId)> =
+            Vec::with_capacity(self.src_entries.len() + ops.len());
+        let mut next_op = 0usize;
+        for s in 0..num_sources {
+            let sid = SourceId::from_index(s);
+            let base = self.source_assertions(sid);
+            let mut bi = 0usize;
+            while next_op < ops.len() && ops[next_op].0 == sid {
+                let (_, o, v) = ops[next_op];
+                while bi < base.len() && base[bi].0 < o {
+                    rows.push((sid, base[bi].0, base[bi].1));
+                    bi += 1;
+                }
+                if bi < base.len() && base[bi].0 == o {
+                    bi += 1; // overwritten upsert or retracted entry
+                }
+                if let Some(v) = v {
+                    rows.push((sid, o, v));
+                }
+                next_op += 1;
+            }
+            for &(o, v) in &base[bi..] {
+                rows.push((sid, o, v));
+            }
+        }
+        Self::from_unique_sorted(num_sources, num_objects, rows)
+    }
 }
 
 /// One FxHash-style mixing step (rotate, xor, multiply by a large odd
@@ -1103,6 +1148,57 @@ mod tests {
         let json = serde::json::write(&snap.serialize());
         let back = SnapshotView::deserialize(&serde::json::parse(&json).unwrap()).unwrap();
         assert_eq!(snap.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn apply_delta_matches_full_rebuild() {
+        let base_triples = vec![
+            (SourceId(0), ObjectId(0), ValueId(1)),
+            (SourceId(0), ObjectId(2), ValueId(2)),
+            (SourceId(1), ObjectId(0), ValueId(1)),
+            (SourceId(1), ObjectId(1), ValueId(3)),
+            (SourceId(2), ObjectId(2), ValueId(4)),
+        ];
+        let base = SnapshotView::from_triples(3, 3, base_triples.clone());
+
+        let mut b = Delta::builder();
+        b.assert_value(SourceId(0), ObjectId(1), ValueId(5)); // new object for S0
+        b.assert_value(SourceId(1), ObjectId(0), ValueId(9)); // overwrite
+        b.retract(SourceId(2), ObjectId(2)); // S2 vanishes
+        b.assert_value(SourceId(3), ObjectId(3), ValueId(6)); // new source + object
+        let delta = b.build();
+
+        let applied = base.apply_delta(&delta);
+        let rebuilt = SnapshotView::from_triples(
+            4,
+            4,
+            vec![
+                (SourceId(0), ObjectId(0), ValueId(1)),
+                (SourceId(0), ObjectId(1), ValueId(5)),
+                (SourceId(0), ObjectId(2), ValueId(2)),
+                (SourceId(1), ObjectId(0), ValueId(9)),
+                (SourceId(1), ObjectId(1), ValueId(3)),
+                (SourceId(3), ObjectId(3), ValueId(6)),
+            ],
+        );
+        assert_eq!(applied, rebuilt);
+        assert_eq!(applied.content_hash(), rebuilt.content_hash());
+        assert_eq!(applied.num_sources(), 4);
+        assert_eq!(applied.num_objects(), 4);
+        assert_eq!(applied.coverage(SourceId(2)), 0);
+        assert_eq!(applied.value(SourceId(1), ObjectId(0)), Some(ValueId(9)));
+
+        // An empty delta is the identity.
+        let same = base.apply_delta(&Delta::builder().build());
+        assert_eq!(same, base);
+        assert_eq!(same.content_hash(), base.content_hash());
+
+        // Retracting a pair that was never asserted is a no-op on content
+        // (though it may widen the id space it names).
+        let mut b = Delta::builder();
+        b.retract(SourceId(1), ObjectId(2));
+        let noop = base.apply_delta(&b.build());
+        assert_eq!(noop, base);
     }
 
     #[test]

@@ -15,11 +15,12 @@
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
-use sailing::engine::SailingEngine;
+use sailing::engine::{IngestSession, SailingEngine};
 use sailing::fusion::FusionOutcome;
 use sailing::model::{ObjectId, SnapshotView};
 use sailing::query::{OrderingPolicy, TopKResult};
 use sailing::recommend::{Goal, Recommendation};
+use sailing::IngestStats;
 use sailing::{Analysis, SailingError};
 
 use crate::epoch::EpochPointer;
@@ -169,6 +170,47 @@ impl ServeHandle {
     pub fn refresh(&self, snapshot: Arc<SnapshotView>) -> Arc<Analysis> {
         let start = Instant::now();
         let analysis = Arc::new(self.inner.engine.analyze_owned(snapshot));
+        self.publish_gated(analysis, start)
+    }
+
+    /// Like [`ServeHandle::refresh`], but publishes an **already
+    /// computed** analysis instead of analyzing a snapshot through the
+    /// engine's cache. Same gating: a watchdog-stopped analysis is
+    /// refused, the last good epoch keeps serving, and
+    /// [`ServeHandle::health`] flips to [`Health::Degraded`].
+    ///
+    /// This is the publication path for **streaming ingestion**
+    /// ([`IngestSession::analysis`]): incremental results are computed
+    /// outside the engine's analysis cache (they match a full re-analysis
+    /// to ~1e-9, not bit-for-bit), so `refresh` would wastefully re-run
+    /// full discovery. Most callers want
+    /// [`ServeHandle::publish_ingest`], which also folds the session's
+    /// counters into [`MetricsSnapshot`].
+    pub fn refresh_analysis(&self, analysis: Arc<Analysis>) -> Arc<Analysis> {
+        let start = Instant::now();
+        self.publish_gated(analysis, start)
+    }
+
+    /// Publishes an ingestion session's current analysis (through the
+    /// [`ServeHandle::refresh_analysis`] gating) and records its
+    /// [`IngestStats`] for [`ServeHandle::metrics`]. Call once per sealed
+    /// epoch.
+    pub fn publish_ingest(&self, session: &IngestSession) -> Arc<Analysis> {
+        self.note_ingest(session.stats());
+        self.refresh_analysis(Arc::new(session.analysis()))
+    }
+
+    /// Records a streaming ingestion session's cumulative counters
+    /// (latest wins) for [`ServeHandle::metrics`] without publishing
+    /// anything.
+    pub fn note_ingest(&self, stats: IngestStats) {
+        self.inner.metrics.note_ingest(stats);
+    }
+
+    /// The shared gated-publication tail of
+    /// [`refresh`](ServeHandle::refresh) /
+    /// [`refresh_analysis`](ServeHandle::refresh_analysis).
+    fn publish_gated(&self, analysis: Arc<Analysis>, start: Instant) -> Arc<Analysis> {
         if analysis.termination().is_watchdog_stop() {
             let reason = format!(
                 "refresh analysis ended without converging: {:?}",
@@ -458,5 +500,78 @@ mod tests {
         let after = Arc::clone(reader.current());
         assert_eq!(reader.seen_generation(), 2);
         assert!(!Arc::ptr_eq(&before, &after));
+    }
+
+    #[test]
+    fn publish_ingest_swaps_epochs_and_folds_stats() {
+        use sailing::ingest::SealPolicy;
+        use sailing::model::{SourceId, ValueId};
+
+        let (store, truth) = fixtures::table1();
+        let snapshot = store.snapshot();
+        let engine = SailingEngine::with_defaults();
+        // Start serving an empty world; the stream fills it in.
+        let handle = ServeHandle::new(
+            engine.clone(),
+            Arc::new(SnapshotView::from_triples(0, 0, Vec::new())),
+        );
+        let mut reader = handle.reader();
+        assert!(reader.current().decisions().is_empty());
+
+        let mut session = engine.ingest_session(SealPolicy::manual());
+        for s in 0..snapshot.num_sources() {
+            let source = SourceId::from_index(s);
+            for &(object, value) in snapshot.source_assertions(source) {
+                session.assert_claim(source, object, value, 0, 0);
+            }
+        }
+        assert!(session.seal());
+        let published = handle.publish_ingest(&session);
+        assert_eq!(handle.generation(), 2, "epoch swapped");
+        assert!(handle.health().is_healthy());
+        assert_eq!(truth.decision_precision(&published.decisions()), Some(1.0));
+        // The reader picks the streamed analysis up on its next request.
+        assert_eq!(
+            truth.decision_precision(&reader.current().decisions()),
+            Some(1.0)
+        );
+
+        let metrics = handle.metrics();
+        assert_eq!(metrics.ingest_events, snapshot.num_assertions() as u64);
+        assert_eq!(metrics.ingest_deltas_sealed, 1);
+        assert_eq!(metrics.ingest_full_fallbacks, 1, "cold bootstrap epoch");
+        assert_eq!(metrics.ingest_incremental_runs, 0);
+        assert!(metrics.ingest_iterations_total > 0);
+        // Additive wire fields serialize alongside the existing ones.
+        let json = serde_json::to_string(&metrics).unwrap();
+        assert!(json.contains("\"ingest_deltas_sealed\":1"), "{json}");
+
+        // Re-publishing the unchanged session analysis must not bump the
+        // generation: assemble shares the same result/snapshot Arcs only
+        // within one Analysis, so value-identical re-publication relies
+        // on the ptr_eq dedup of the session's retained Arcs.
+        let again = handle.publish_ingest(&session);
+        assert_eq!(handle.generation(), 2, "no swap without a new epoch");
+        assert!(Arc::ptr_eq(&published.result_arc(), &again.result_arc()));
+
+        // A retraction epoch flows through the same path.
+        session.retract(
+            SourceId::from_index(0),
+            store.object_id("Halevy").unwrap(),
+            0,
+            1,
+        );
+        // Make the epoch non-trivial for value assertions too.
+        session.assert_claim(
+            SourceId::from_index(1),
+            store.object_id("Halevy").unwrap(),
+            ValueId(0),
+            0,
+            1,
+        );
+        assert!(session.seal());
+        handle.publish_ingest(&session);
+        assert_eq!(handle.metrics().ingest_deltas_sealed, 2);
+        assert_eq!(handle.generation(), 3);
     }
 }

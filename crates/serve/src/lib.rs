@@ -78,6 +78,20 @@
 //! request — no reader ever observes a half-published analysis, because
 //! the unit of publication is the whole `Arc`.
 //!
+//! # Streaming ingestion
+//!
+//! A live claim stream plugs in through
+//! [`sailing::engine::IngestSession`]: each sealed delta epoch runs
+//! *incremental* truth discovery, and
+//! [`ServeHandle::publish_ingest`] publishes the session's analysis
+//! through the same watchdog gating as [`ServeHandle::refresh`] while
+//! folding the session's [`IngestStats`](sailing::IngestStats)
+//! (events, epochs, incremental-vs-fallback counts, iterations spent)
+//! into [`MetricsSnapshot`]. Incremental results bypass the engine's
+//! analysis cache, so the dedicated
+//! [`ServeHandle::refresh_analysis`] path exists to publish them
+//! without re-running full discovery.
+//!
 //! # Graceful degradation
 //!
 //! [`ServeHandle::refresh`] is the degradation-aware admission path: an

@@ -9,9 +9,10 @@
 //! endpoint or after every benchmark phase.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
-use sailing::CacheStats;
+use sailing::{CacheStats, IngestStats};
 use serde::Serialize;
 
 use crate::handle::Health;
@@ -81,6 +82,10 @@ struct EndpointRecorder {
 pub(crate) struct ServeMetrics {
     endpoints: [EndpointRecorder; 5],
     epoch_swaps: AtomicU64,
+    /// Latest-wins counters from the streaming ingestion session feeding
+    /// this handle (if any). A mutex, not atomics: ingestion publishes at
+    /// epoch cadence, never on the per-request hot path.
+    ingest: Mutex<IngestStats>,
 }
 
 impl ServeMetrics {
@@ -96,6 +101,15 @@ impl ServeMetrics {
     /// Records an epoch publication that actually swapped the pointer.
     pub(crate) fn note_swap(&self) {
         self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replaces the retained ingest counters (cumulative session stats,
+    /// so latest wins).
+    pub(crate) fn note_ingest(&self, stats: IngestStats) {
+        *self
+            .ingest
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = stats;
     }
 
     /// Snapshots every counter, folding in the engine's cache stats and
@@ -123,7 +137,17 @@ impl ServeMetrics {
                 (false, Some(reason.clone()), since.elapsed().as_secs_f64())
             }
         };
+        let ingest = *self
+            .ingest
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         MetricsSnapshot {
+            ingest_events: ingest.events,
+            ingest_deltas_sealed: ingest.deltas_sealed,
+            ingest_incremental_runs: ingest.incremental_runs,
+            ingest_full_fallbacks: ingest.full_fallbacks,
+            ingest_dirty_objects_last: ingest.dirty_objects_last as u64,
+            ingest_iterations_total: ingest.iterations_total,
             endpoints,
             epoch_swaps: self.epoch_swaps.load(Ordering::Relaxed),
             cache_hits: cache.hits,
@@ -217,6 +241,20 @@ pub struct MetricsSnapshot {
     /// Seconds since the current run of failed refreshes began (`0.0`
     /// when healthy).
     pub degraded_for_secs: f64,
+    /// Claim events appended through the ingestion session feeding this
+    /// handle (`0` when no ingestion is wired —
+    /// [`ServeHandle::publish_ingest`](crate::ServeHandle::publish_ingest)).
+    pub ingest_events: u64,
+    /// Delta epochs sealed and analyzed by the ingestion session.
+    pub ingest_deltas_sealed: u64,
+    /// Epochs served by the incremental discovery path.
+    pub ingest_incremental_runs: u64,
+    /// Epochs that fell back to a full warm re-analysis.
+    pub ingest_full_fallbacks: u64,
+    /// Objects in the most recent epoch's dirty closure.
+    pub ingest_dirty_objects_last: u64,
+    /// Total truth-discovery iterations the ingestion session has spent.
+    pub ingest_iterations_total: u64,
 }
 
 impl MetricsSnapshot {

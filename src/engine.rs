@@ -128,12 +128,15 @@ use std::time::Duration;
 
 use sailing_core::truth::{DependenceMatrix, ValueProbabilities};
 use sailing_core::{
-    AccuCopy, DetectionParams, PairDependence, PipelineResult, SourceReport, TemporalParams,
-    TruthDiscovery, Watchdog,
+    AccuCopy, DeltaOutcome, DetectionParams, PairDependence, PipelineResult, SourceReport,
+    TemporalParams, Termination, TruthDiscovery, Watchdog,
 };
 use sailing_datagen::bookstores::BookCorpusConfig;
 use sailing_fusion::{FusionOutcome, ProbabilisticDatabase};
-use sailing_model::{History, ObjectId, SailingError, SnapshotView, SourceId, Timestamp, ValueId};
+use sailing_ingest::{ClaimLog, IngestLogStats, SealPolicy};
+use sailing_model::{
+    Delta, History, ObjectId, SailingError, SnapshotView, SourceId, Timestamp, ValueId,
+};
 use sailing_persist::{
     BreakerState, CompactReport, PersistentStore, StoreFs, StoreKey, StoreOptions,
 };
@@ -656,7 +659,22 @@ impl SailingEngine {
 
     /// Owned variant of [`SailingEngine::timeline`].
     pub fn timeline_owned(&self, history: Arc<History>) -> TimelineSession {
-        let change_points: Vec<Timestamp> = history.change_points().collect();
+        self.timeline_owned_since(history, Timestamp::MIN)
+    }
+
+    /// Like [`SailingEngine::timeline`], but starting at the first change
+    /// point at or after `since` — the resume entry for callers that
+    /// already consumed the earlier epochs (a restarted walk, an ingest
+    /// loop catching up on a history's recent tail). The temporal
+    /// dependence evidence still covers the whole history: lazy-copier
+    /// lags span the cutoff.
+    pub fn timeline_since(&self, history: &History, since: Timestamp) -> TimelineSession {
+        self.timeline_owned_since(Arc::new(history.clone()), since)
+    }
+
+    /// Owned variant of [`SailingEngine::timeline_since`].
+    pub fn timeline_owned_since(&self, history: Arc<History>, since: Timestamp) -> TimelineSession {
+        let change_points: Vec<Timestamp> = history.change_points_since(since).collect();
         let temporal = Arc::new(sailing_core::temporal::detect_all(
             &history,
             &self.temporal_params,
@@ -687,6 +705,23 @@ impl SailingEngine {
         let mut session = self.timeline_owned(history);
         session.prefetch_cold(threads);
         session
+    }
+
+    /// Opens a streaming [`IngestSession`] over a fresh in-memory claim
+    /// log sealed by `policy`: append claims, seal delta epochs, and get
+    /// **incremental** truth discovery per epoch
+    /// ([`TruthDiscovery::run_delta`]) instead of a full re-analysis.
+    pub fn ingest_session(&self, policy: SealPolicy) -> IngestSession {
+        IngestSession::start(self.clone(), ClaimLog::in_memory(policy))
+    }
+
+    /// Opens a streaming [`IngestSession`] over an existing claim log —
+    /// typically one recovered from disk ([`ClaimLog::open`]). The log's
+    /// resident events (everything torn-tail recovery kept) are replayed
+    /// as one bootstrap delta and analyzed in full; streaming then
+    /// continues incrementally from that state.
+    pub fn ingest_session_from(&self, log: ClaimLog) -> IngestSession {
+        IngestSession::start(self.clone(), log)
     }
 
     /// The shared analysis path: consult the cache, run the strategy (warm
@@ -1820,6 +1855,239 @@ impl EpochAnalysis {
     }
 }
 
+/// Default dirty-set ceiling for [`IngestSession`]: deltas touching more
+/// than this fraction of the snapshot's objects fall back to a full warm
+/// re-analysis, because propagating through most of the world costs as
+/// much as recomputing it.
+pub const DEFAULT_MAX_DIRTY_FRACTION: f64 = 0.25;
+
+/// Running counters for a streaming [`IngestSession`]: how many events
+/// and epochs flowed through, how often the incremental path held versus
+/// fell back to a full re-analysis, and how much discovery work was spent.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestStats {
+    /// Claim events appended through this session.
+    pub events: u64,
+    /// Delta epochs sealed and analyzed.
+    pub deltas_sealed: u64,
+    /// Epochs served by the incremental path
+    /// ([`DeltaOutcome::Incremental`]).
+    pub incremental_runs: u64,
+    /// Epochs that fell back to a full warm re-analysis (dirty fraction
+    /// exceeded, prior not converged, or strategy unsupported).
+    pub full_fallbacks: u64,
+    /// Objects in the most recent epoch's dirty closure.
+    pub dirty_objects_last: usize,
+    /// Sources in the most recent epoch's dirty closure.
+    pub dirty_sources_last: usize,
+    /// Total objects across all epochs' dirty closures.
+    pub dirty_objects_total: u64,
+    /// Total truth-discovery iterations spent across all epochs
+    /// (including the recovery bootstrap of
+    /// [`SailingEngine::ingest_session_from`]).
+    pub iterations_total: u64,
+    /// How the most recent epoch was resolved.
+    pub last_outcome: Option<DeltaOutcome>,
+}
+
+/// A streaming ingestion session: an append-only [`ClaimLog`] feeding
+/// delta epochs into **incremental** truth discovery.
+///
+/// Claims appended via [`assert_claim`](IngestSession::assert_claim) /
+/// [`retract`](IngestSession::retract) accumulate in the log's open
+/// epoch. When the log's [`SealPolicy`] trips (or [`seal`](IngestSession::seal)
+/// is called), the epoch is sealed into a [`Delta`], applied to the
+/// session's snapshot via [`SnapshotView::apply_delta`], and analyzed
+/// with [`TruthDiscovery::run_delta`] — re-iterating only the delta's
+/// dirty closure when the prior epoch converged and the closure stays
+/// under the session's dirty-fraction ceiling, and falling back to a
+/// full warm re-analysis otherwise. [`stats`](IngestSession::stats)
+/// records which path each epoch took.
+///
+/// [`analysis`](IngestSession::analysis) assembles the current posterior
+/// into an [`Analysis`] handle. Incremental results are *not* admitted
+/// to the engine's analysis cache: they match a full re-analysis to
+/// ~1e-9, not bit-for-bit, and must not alias exact cached entries.
+pub struct IngestSession {
+    engine: SailingEngine,
+    log: ClaimLog,
+    max_dirty_fraction: f64,
+    snapshot: Arc<SnapshotView>,
+    last: Arc<PipelineResult>,
+    stats: IngestStats,
+}
+
+impl IngestSession {
+    fn start(engine: SailingEngine, log: ClaimLog) -> Self {
+        let mut session = IngestSession {
+            engine,
+            log,
+            max_dirty_fraction: DEFAULT_MAX_DIRTY_FRACTION,
+            snapshot: Arc::new(SnapshotView::from_triples(0, 0, Vec::new())),
+            last: Arc::new(trivial_result()),
+            stats: IngestStats::default(),
+        };
+        if !session.log.is_empty() {
+            // Recovery bootstrap: fold everything the log retained (all
+            // sealed epochs plus the open tail) into one snapshot and pay
+            // a full cold analysis for it. Streaming continues
+            // incrementally from that state.
+            let bootstrap = session.log.replay_delta();
+            session.stats.events = session.log.len() as u64;
+            session.snapshot = Arc::new(session.snapshot.apply_delta(&bootstrap));
+            let result = session.engine.strategy.run_warm(&session.snapshot, None);
+            session.stats.iterations_total += result.iterations as u64;
+            session.last = Arc::new(result);
+        }
+        session
+    }
+
+    /// Replaces the dirty-fraction ceiling above which an epoch falls
+    /// back to a full warm re-analysis (default
+    /// [`DEFAULT_MAX_DIRTY_FRACTION`]).
+    pub fn with_max_dirty_fraction(mut self, max_dirty_fraction: f64) -> Self {
+        self.max_dirty_fraction = max_dirty_fraction;
+        self
+    }
+
+    /// Appends a positive claim to the log and advances the session if
+    /// the seal policy trips. Returns the event's sequence number.
+    pub fn assert_claim(
+        &mut self,
+        source: SourceId,
+        object: ObjectId,
+        value: ValueId,
+        provenance: u64,
+        ts: Timestamp,
+    ) -> u64 {
+        self.append(source, object, Some(value), provenance, ts)
+    }
+
+    /// Appends a retraction to the log and advances the session if the
+    /// seal policy trips. Returns the event's sequence number.
+    pub fn retract(
+        &mut self,
+        source: SourceId,
+        object: ObjectId,
+        provenance: u64,
+        ts: Timestamp,
+    ) -> u64 {
+        self.append(source, object, None, provenance, ts)
+    }
+
+    /// Appends a raw event (`None` value = retraction), sealing and
+    /// analyzing an epoch when the policy says so.
+    pub fn append(
+        &mut self,
+        source: SourceId,
+        object: ObjectId,
+        value: Option<ValueId>,
+        provenance: u64,
+        ts: Timestamp,
+    ) -> u64 {
+        let seq = self.log.append(source, object, value, provenance, ts);
+        self.stats.events += 1;
+        if let Some(delta) = self.log.poll_seal() {
+            self.advance(&delta);
+        }
+        seq
+    }
+
+    /// Seals the open epoch regardless of policy and analyzes it.
+    /// Returns `false` when there was nothing to seal.
+    pub fn seal(&mut self) -> bool {
+        match self.log.seal() {
+            Some(delta) => {
+                self.advance(&delta);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn advance(&mut self, delta: &Delta) {
+        self.stats.deltas_sealed += 1;
+        let next = Arc::new(self.snapshot.apply_delta(delta));
+        let run =
+            self.engine
+                .strategy
+                .run_delta(&next, Some(&self.last), delta, self.max_dirty_fraction);
+        if run.outcome.is_incremental() {
+            self.stats.incremental_runs += 1;
+        } else {
+            self.stats.full_fallbacks += 1;
+        }
+        self.stats.dirty_objects_last = run.dirty_objects;
+        self.stats.dirty_sources_last = run.dirty_sources;
+        self.stats.dirty_objects_total += run.dirty_objects as u64;
+        self.stats.iterations_total += run.result.iterations as u64;
+        self.stats.last_outcome = Some(run.outcome);
+        self.snapshot = next;
+        self.last = Arc::new(run.result);
+    }
+
+    /// Assembles the session's current posterior into an [`Analysis`]
+    /// handle, bypassing the engine's analysis cache (see the type docs).
+    pub fn analysis(&self) -> Analysis {
+        self.engine
+            .assemble_analysis(Arc::clone(&self.snapshot), None, Arc::clone(&self.last))
+    }
+
+    /// The session's current snapshot (all sealed epochs applied).
+    pub fn snapshot(&self) -> &SnapshotView {
+        &self.snapshot
+    }
+
+    /// Shared handle to the session's current snapshot.
+    pub fn snapshot_arc(&self) -> Arc<SnapshotView> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Running session counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The underlying claim log.
+    pub fn log(&self) -> &ClaimLog {
+        &self.log
+    }
+
+    /// Durability counters from the underlying claim log.
+    pub fn log_stats(&self) -> IngestLogStats {
+        self.log.stats()
+    }
+
+    /// All retained events at or after `since`, oldest first.
+    pub fn events_since(&self, since: u64) -> &[sailing_ingest::IngestEvent] {
+        self.log.events_since(since)
+    }
+}
+
+impl std::fmt::Debug for IngestSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestSession")
+            .field("max_dirty_fraction", &self.max_dirty_fraction)
+            .field("open_events", &self.log.open_events().len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The converged-but-empty posterior a fresh session starts from. Its
+/// empty accuracy vector fails `run_delta`'s warm-start gate, so the
+/// first sealed epoch correctly pays a full cold analysis.
+fn trivial_result() -> PipelineResult {
+    PipelineResult {
+        probabilities: ValueProbabilities::default(),
+        accuracies: Vec::new(),
+        dependences: Vec::new(),
+        iterations: 0,
+        converged: true,
+        termination: Termination::Converged,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2453,5 +2721,151 @@ mod tests {
         for (a, b) in first.iter().zip(&second) {
             assert!(std::ptr::eq(a.analysis().result(), b.analysis().result()));
         }
+    }
+
+    /// Tight-epsilon params for streaming tests: continuous vote map so
+    /// incremental and full fixpoints are comparable to 1e-9.
+    fn ingest_params() -> DetectionParams {
+        DetectionParams {
+            hard_damping_threshold: 1.0,
+            convergence_epsilon: 1e-12,
+            ..DetectionParams::default()
+        }
+    }
+
+    /// Same two-block world as the core `run_delta` tests: block A is
+    /// sources 0-2 over objects 0-3, block B sources 3-5 over objects
+    /// 4-7, values namespaced per object (`o*10`, `k = 0` true).
+    fn block_world_triples() -> Vec<(SourceId, ObjectId, ValueId)> {
+        let mut triples = Vec::new();
+        for block in 0..2u32 {
+            for s in 0..3u32 {
+                let sid = SourceId(block * 3 + s);
+                for o in 0..4u32 {
+                    let oid = ObjectId(block * 4 + o);
+                    let k = u32::from(o == s + 1);
+                    triples.push((sid, oid, ValueId(oid.0 * 10 + k)));
+                }
+            }
+        }
+        triples
+    }
+
+    #[test]
+    fn ingest_stream_matches_batch_analysis_on_table1() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let engine = SailingEngine::with_defaults();
+
+        let mut session = engine.ingest_session(SealPolicy::manual());
+        for s in 0..snap.num_sources() {
+            let sid = SourceId::from_index(s);
+            for &(object, value) in snap.source_assertions(sid) {
+                session.assert_claim(sid, object, value, 7, s as Timestamp);
+            }
+        }
+        assert!(session.seal());
+        assert!(!session.seal(), "nothing left in the open epoch");
+
+        let streamed = session.analysis();
+        let batch = engine.analyze(&snap);
+        assert_eq!(streamed.decisions(), batch.decisions());
+        assert_eq!(truth.decision_precision(&streamed.decisions()), Some(1.0));
+
+        let stats = session.stats();
+        assert_eq!(stats.events, snap.num_assertions() as u64);
+        assert_eq!(stats.deltas_sealed, 1);
+        // The fresh session's trivial prior has no accuracies, so the
+        // first epoch must pay the full cold analysis.
+        assert_eq!(stats.full_fallbacks, 1);
+        assert_eq!(stats.incremental_runs, 0);
+        assert_eq!(stats.last_outcome, Some(DeltaOutcome::PriorNotConverged));
+        assert!(stats.iterations_total > 0);
+    }
+
+    #[test]
+    fn ingest_goes_incremental_on_block_confined_epochs() {
+        let engine = SailingEngine::builder()
+            .params(ingest_params())
+            .build()
+            .unwrap();
+        let mut session = engine
+            .ingest_session(SealPolicy::manual())
+            .with_max_dirty_fraction(0.5);
+        for (s, o, v) in block_world_triples() {
+            session.assert_claim(s, o, v, 0, 0);
+        }
+        assert!(session.seal());
+        assert_eq!(session.stats().full_fallbacks, 1, "bootstrap epoch");
+
+        // Epoch 2: block A only — source 1 flips object 0 to the truth.
+        session.assert_claim(SourceId(1), ObjectId(0), ValueId(0), 0, 1);
+        assert!(session.seal());
+        let stats = session.stats();
+        assert_eq!(stats.deltas_sealed, 2);
+        assert_eq!(stats.incremental_runs, 1);
+        assert_eq!(stats.last_outcome, Some(DeltaOutcome::Incremental));
+        assert_eq!(stats.dirty_objects_last, 4, "block A objects only");
+        assert_eq!(stats.dirty_sources_last, 3);
+
+        // Parity with a one-shot analysis of the final snapshot.
+        let final_snap = session.snapshot_arc();
+        let direct = AccuCopy::new(ingest_params()).unwrap().run(&final_snap);
+        let streamed = session.analysis();
+        assert_eq!(streamed.decisions(), direct.decisions_sorted());
+        for (a, d) in streamed.accuracies().iter().zip(&direct.accuracies) {
+            assert!((a - d).abs() < 1e-9);
+        }
+
+        // Epoch 3 touches both blocks: dirty fraction 1.0 > 0.5 must
+        // produce the typed fallback, still with matching decisions.
+        session.assert_claim(SourceId(0), ObjectId(1), ValueId(10), 0, 2);
+        session.assert_claim(SourceId(3), ObjectId(5), ValueId(50), 0, 2);
+        assert!(session.seal());
+        let stats = session.stats();
+        assert_eq!(stats.full_fallbacks, 2);
+        assert!(matches!(
+            stats.last_outcome,
+            Some(DeltaOutcome::DirtyFractionExceeded { dirty_fraction }) if dirty_fraction > 0.5
+        ));
+    }
+
+    #[test]
+    fn ingest_session_recovers_from_a_durable_log() {
+        let dir = persist_temp_dir("ingest-recover");
+        let engine = SailingEngine::with_defaults();
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+
+        {
+            let log = ClaimLog::open(&dir, SealPolicy::after_events(8)).unwrap();
+            let mut session = engine.ingest_session_from(log);
+            for s in 0..snap.num_sources() {
+                let sid = SourceId::from_index(s);
+                for &(object, value) in snap.source_assertions(sid) {
+                    session.assert_claim(sid, object, value, 1, 0);
+                }
+            }
+            session.seal();
+            assert!(session.log_stats().segments_written > 0);
+        }
+
+        // A new process reopens the log and bootstraps its state from the
+        // recovered events in one full analysis.
+        let log = ClaimLog::open(&dir, SealPolicy::after_events(8)).unwrap();
+        assert_eq!(log.stats().recovered_events, snap.num_assertions() as u64);
+        let session = engine.ingest_session_from(log);
+        let recovered = session.analysis();
+        let batch = engine.analyze(&snap);
+        assert_eq!(recovered.decisions(), batch.decisions());
+        assert_eq!(session.stats().events, snap.num_assertions() as u64);
+        assert_eq!(
+            session.stats().deltas_sealed,
+            0,
+            "bootstrap is not an epoch"
+        );
+        assert!(session.stats().iterations_total > 0);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -38,8 +38,13 @@
 //!   ordering and top-k early termination;
 //! * [`recommend`] — source recommendation from accuracy, coverage,
 //!   freshness and independence;
+//! * [`ingest`] — **streaming ingestion**: an append-only claim log with
+//!   durable checksummed segments and torn-tail recovery, sealing claim
+//!   events into delta epochs that feed incremental discovery (see
+//!   *Streaming ingestion* below);
 //! * [`datagen`] — seeded synthetic worlds, including the AbeBooks-like
-//!   corpus of the paper's Example 4.1.
+//!   corpus of the paper's Example 4.1 and churn worlds for streaming
+//!   workloads.
 //!
 //! For read-heavy, multi-threaded deployments, the companion crate
 //! `sailing-serve` wraps the engine in a **concurrent query-serving
@@ -93,6 +98,55 @@
 //! [`SailingEngine::builder`] to reproduce the paper's baseline ladder
 //! through one code path.
 //!
+//! ## Streaming ingestion
+//!
+//! The batch path above re-analyzes a whole snapshot per call. When
+//! claims arrive as a **live stream**, open an [`IngestSession`]
+//! instead: claims append to an in-memory or durable
+//! [`ingest::ClaimLog`], a [`ingest::SealPolicy`] (event count, stream
+//! time span, or manual) seals them into delta epochs, and each epoch
+//! runs **incremental** truth discovery
+//! ([`core::AccuCopy::run_delta`]) — re-iterating only the delta's
+//! *dirty closure* (the claims' sources and objects plus everything
+//! reachable through shared claims) and splicing the untouched region's
+//! posterior through unchanged. Epochs whose closure exceeds a dirty
+//! fraction ceiling, or that follow a non-converged epoch, fall back to
+//! a full warm re-analysis with a typed outcome
+//! ([`core::DeltaOutcome`]); [`IngestStats`] counts which path each
+//! epoch took.
+//!
+//! ```
+//! use sailing::engine::SailingEngine;
+//! use sailing::ingest::SealPolicy;
+//! use sailing::model::fixtures;
+//!
+//! let (store, truth) = fixtures::table1();
+//! let snapshot = store.snapshot();
+//! let engine = SailingEngine::builder().build()?;
+//!
+//! // Claims arrive one by one; every 10 events seals a delta epoch.
+//! let mut session = engine.ingest_session(SealPolicy::after_events(10));
+//! for s in 0..snapshot.num_sources() {
+//!     let source = sailing::model::SourceId::from_index(s);
+//!     for &(object, value) in snapshot.source_assertions(source) {
+//!         session.assert_claim(source, object, value, 0, s as i64);
+//!     }
+//! }
+//! session.seal(); // flush the open tail
+//!
+//! let analysis = session.analysis();
+//! assert_eq!(truth.decision_precision(&analysis.decisions()), Some(1.0));
+//! assert!(session.stats().deltas_sealed >= 2);
+//! # Ok::<(), sailing::error::SailingError>(())
+//! ```
+//!
+//! Durable logs ([`ingest::ClaimLog::open`]) persist sealed epochs as
+//! checksummed segment files through the same write-then-rename
+//! discipline as [`persist`]; a torn tail truncates to the last valid
+//! record on reopen and [`SailingEngine::ingest_session_from`]
+//! bootstraps the session from whatever survived. See
+//! `examples/ingest_stream.rs` for the end-to-end flow.
+//!
 //! ## Failure semantics
 //!
 //! The workspace is built to **degrade, not error**, when the world
@@ -129,13 +183,15 @@ pub mod engine;
 pub mod error;
 
 pub use engine::{
-    Analysis, CacheStats, EpochAnalysis, SailingEngine, SailingEngineBuilder, TimelineSession,
+    Analysis, CacheStats, EpochAnalysis, IngestSession, IngestStats, SailingEngine,
+    SailingEngineBuilder, TimelineSession,
 };
 pub use error::{SailingError, SailingResult};
 
 pub use sailing_core as core;
 pub use sailing_datagen as datagen;
 pub use sailing_fusion as fusion;
+pub use sailing_ingest as ingest;
 pub use sailing_linkage as linkage;
 pub use sailing_model as model;
 pub use sailing_persist as persist;

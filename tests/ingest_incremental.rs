@@ -1,0 +1,262 @@
+//! End-to-end streaming ingestion: claim log → delta epochs →
+//! incremental truth discovery → published analysis.
+//!
+//! Covers the ISSUE's acceptance criteria directly: on churn worlds with
+//! deltas confined to ≤10% of objects, the incremental path must (a)
+//! actually run (typed [`DeltaOutcome::Incremental`]), (b) match a full
+//! warm re-analysis of every post-delta snapshot within 1e-9, and (c)
+//! spend no more total iterations than the chained full re-analyses.
+//! Durable-log recovery (including a seeded torn tail via `FaultyFs`)
+//! and the `History::change_points_since`-driven feed ride along.
+
+use std::sync::Arc;
+
+use sailing::core::{AccuCopy, DeltaOutcome, DetectionParams};
+use sailing::datagen::{ChurnConfig, ChurnWorld};
+use sailing::engine::SailingEngine;
+use sailing::ingest::{ClaimLog, SealPolicy};
+use sailing::model::{History, ObjectId, SnapshotView, SourceId, Timestamp, ValueId};
+use sailing::persist::{FaultPlan, FaultyFs};
+
+fn tight_params() -> DetectionParams {
+    DetectionParams {
+        hard_damping_threshold: 1.0,
+        convergence_epsilon: 1e-12,
+        // The default 20-iteration cap never reaches a 1e-12 fixpoint, and
+        // the contested hard cohort needs ~700 iterations on some epochs.
+        max_iterations: 2000,
+        ..DetectionParams::default()
+    }
+}
+
+fn tight_engine() -> SailingEngine {
+    SailingEngine::builder()
+        .params(tight_params())
+        .build()
+        .unwrap()
+}
+
+fn stream_snapshot(
+    session: &mut sailing::engine::IngestSession,
+    snap: &SnapshotView,
+    ts: Timestamp,
+) {
+    for s in 0..snap.num_sources() {
+        let sid = SourceId::from_index(s);
+        for &(object, value) in snap.source_assertions(sid) {
+            session.assert_claim(sid, object, value, 0, ts);
+        }
+    }
+}
+
+/// The tentpole criterion: a churn stream with 10%-of-objects deltas goes
+/// incremental on every epoch, matches the chained full warm re-analysis
+/// within 1e-9 (converged), and spends no more total iterations.
+#[test]
+fn churn_stream_incremental_parity_and_accounting() {
+    let world = ChurnWorld::generate(&ChurnConfig::streaming(10, 3, 12, 8, 99));
+    assert!(world.delta_object_fraction() <= 0.1);
+    let engine = tight_engine();
+    let pipeline = AccuCopy::new(tight_params()).unwrap();
+
+    let mut session = engine
+        .ingest_session(SealPolicy::manual())
+        .with_max_dirty_fraction(0.15);
+    stream_snapshot(&mut session, &world.initial, 0);
+    assert!(session.seal());
+    assert_eq!(session.stats().full_fallbacks, 1, "cold bootstrap epoch");
+    assert_eq!(
+        session.snapshot().content_hash(),
+        world.initial.content_hash()
+    );
+
+    // The chained full-re-analysis baseline starts from the same
+    // converged posterior over the initial world.
+    let mut full_prev = pipeline.run(&world.initial);
+    assert!(full_prev.converged, "initial churn world must converge");
+    let mut full_iterations_total = 0u64;
+    let before_deltas = session.stats().iterations_total;
+
+    for (i, delta) in world.deltas.iter().enumerate() {
+        for &(s, o, v) in delta.ops() {
+            session.append(s, o, v, 0, 1 + i as Timestamp);
+        }
+        assert!(session.seal());
+        let stats = session.stats();
+        assert_eq!(
+            stats.last_outcome,
+            Some(DeltaOutcome::Incremental),
+            "epoch {i} must stay under the dirty ceiling"
+        );
+        assert_eq!(
+            stats.dirty_objects_last, world.config.objects_per_cohort,
+            "epoch {i}: dirty closure is exactly the churned cohort"
+        );
+
+        let full = pipeline.run_warm(&session.snapshot_arc(), Some(&full_prev));
+        assert!(full.converged, "epoch {i}: full baseline converged");
+        full_iterations_total += full.iterations as u64;
+
+        // Posterior and accuracy parity with the full warm re-analysis.
+        let streamed = session.analysis();
+        assert!(streamed.converged(), "epoch {i}");
+        for (s, (x, y)) in streamed
+            .accuracies()
+            .iter()
+            .zip(&full.accuracies)
+            .enumerate()
+        {
+            assert!((x - y).abs() < 1e-9, "epoch {i}: accuracy[{s}] {x} vs {y}");
+        }
+        let result = streamed.result();
+        for o in 0..session.snapshot().num_objects() {
+            let o = ObjectId::from_index(o);
+            for &(v, p) in full.probabilities.distribution(o) {
+                let q = result.probabilities.prob(o, v);
+                assert!(
+                    (p - q).abs() < 1e-9,
+                    "epoch {i}: posterior({o:?}, {v:?}) {p} vs {q}"
+                );
+            }
+        }
+        full_prev = full;
+    }
+
+    let stats = session.stats();
+    assert_eq!(stats.deltas_sealed, 1 + world.deltas.len() as u64);
+    assert_eq!(stats.incremental_runs, world.deltas.len() as u64);
+    let incremental_total = stats.iterations_total - before_deltas;
+    assert!(
+        incremental_total <= full_iterations_total,
+        "incremental spent {incremental_total} iterations, full chain {full_iterations_total}"
+    );
+    eprintln!(
+        "DIAG incremental={incremental_total} full={full_iterations_total} per-epoch dirty={}",
+        stats.dirty_objects_last
+    );
+}
+
+/// A durable claim log with a seeded torn tail recovers a valid prefix,
+/// and `ingest_session_from` bootstraps an analysis equal to analyzing
+/// the recovered prefix's net snapshot directly.
+#[test]
+fn torn_log_recovery_bootstraps_a_consistent_session() {
+    let fs = Arc::new(FaultyFs::new(FaultPlan::seeded(2)));
+    let dir = std::env::temp_dir().join(format!(
+        "sailing-ingest-torn-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let policy = SealPolicy::after_events(16);
+    let engine = SailingEngine::with_defaults();
+
+    let world = ChurnWorld::generate(&ChurnConfig::streaming(4, 2, 8, 0, 7));
+    {
+        let mut log = ClaimLog::open_with_fs(fs.clone(), &dir, policy).unwrap();
+        for s in 0..world.initial.num_sources() {
+            let sid = SourceId::from_index(s);
+            for &(object, value) in world.initial.source_assertions(sid) {
+                log.append(sid, object, Some(value), 0, s as Timestamp);
+            }
+        }
+        log.seal();
+    }
+
+    fs.plan().heal();
+    let log = ClaimLog::open_with_fs(fs, &dir, policy).unwrap();
+    let recovered = log.stats().recovered_events;
+    assert!(
+        recovered <= world.initial.num_assertions() as u64,
+        "recovery is a prefix"
+    );
+    // The recovered prefix replays into a consistent session state even
+    // when faults dropped some suffix of the stream.
+    let session = engine.ingest_session_from(log);
+    let expected = {
+        let empty = SnapshotView::from_triples(0, 0, Vec::new());
+        empty.apply_delta(&session.log().replay_delta())
+    };
+    assert_eq!(
+        session.snapshot().content_hash(),
+        expected.content_hash(),
+        "session snapshot is the net effect of the recovered events"
+    );
+    if recovered > 0 {
+        let direct = engine.analyze(&expected);
+        assert_eq!(session.analysis().decisions(), direct.decisions());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A temporal history drives the ingest path through
+/// `change_points_since`: epochs before the cutoff are skipped, each
+/// remaining change point becomes one delta epoch (diff of consecutive
+/// snapshots), and the streamed session tracks the history's snapshots
+/// exactly.
+#[test]
+fn change_points_since_feed_streams_history_suffix() {
+    let mut history = History::new(3, 4);
+    for (s, o, t, v) in [
+        (0u32, 0u32, 1i64, 10u32),
+        (1, 1, 1, 20),
+        (2, 2, 2, 30),
+        (0, 0, 3, 11),
+        (1, 3, 4, 40),
+        (2, 2, 5, 31),
+    ] {
+        history.record(SourceId(s), ObjectId(o), t, ValueId(v));
+    }
+    let cutoff: Timestamp = 3;
+    let points: Vec<Timestamp> = history.change_points_since(cutoff).collect();
+    assert_eq!(points, vec![3, 4, 5], "pre-cutoff epochs are skipped");
+
+    let engine = SailingEngine::with_defaults();
+    let mut session = engine.ingest_session(SealPolicy::manual());
+    // Bootstrap with the world as of the instant before the cutoff...
+    stream_snapshot(&mut session, &history.snapshot_at(cutoff - 1), 0);
+    session.seal();
+    // ...then stream each post-cutoff change point as one delta epoch.
+    let mut prev = history.snapshot_at(cutoff - 1);
+    for &t in &points {
+        let now = history.snapshot_at(t);
+        for s in 0..now.num_sources().max(prev.num_sources()) {
+            let sid = SourceId::from_index(s);
+            for o in 0..now.num_objects().max(prev.num_objects()) {
+                let oid = ObjectId::from_index(o);
+                match (prev.value(sid, oid), now.value(sid, oid)) {
+                    (old, Some(new)) if old != Some(new) => {
+                        session.assert_claim(sid, oid, new, 0, t);
+                    }
+                    (Some(_), None) => {
+                        session.retract(sid, oid, 0, t);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        session.seal();
+        // The session snapshot grows lazily (object 3 only exists from
+        // t=4), so compare per-source assertions rather than dims-bearing
+        // content hashes.
+        for s in 0..now.num_sources() {
+            let sid = SourceId::from_index(s);
+            assert_eq!(
+                session.snapshot().source_assertions(sid),
+                now.source_assertions(sid),
+                "streamed state tracks history at t={t} for source {s}"
+            );
+        }
+        prev = now;
+    }
+    assert_eq!(session.stats().deltas_sealed, 1 + points.len() as u64);
+    // The final streamed analysis answers like a direct analysis of the
+    // history's latest snapshot.
+    let latest = history.snapshot_at(i64::MAX);
+    assert_eq!(
+        session.analysis().decisions(),
+        engine.analyze(&latest).decisions()
+    );
+}

@@ -10,10 +10,12 @@ use rand::Rng as _;
 
 use sailing::core::dissim::{DissimParams, RatingView};
 use sailing::core::truth::{naive_probabilities, weighted_vote, DependenceMatrix};
-use sailing::core::{copy, AccuCopy, DetectionParams};
+use sailing::core::{copy, AccuCopy, DetectionParams, Termination};
 use sailing::datagen::rng;
 use sailing::linkage::{jaro_winkler, levenshtein, normalize, parse_author_list};
-use sailing::model::{ClaimStoreBuilder, ObjectId, SnapshotView, SourceId, UpdateTrace, ValueId};
+use sailing::model::{
+    ClaimStoreBuilder, Delta, ObjectId, SnapshotView, SourceId, UpdateTrace, ValueId,
+};
 
 const CASES: u64 = 64;
 
@@ -505,6 +507,167 @@ fn author_list_match_score_symmetric_and_bounded() {
         assert!((0.0..=1.0 + 1e-9).contains(&sab), "case {case}");
         assert!(la.match_score(&la) > 0.99, "case {case}: {a:?}");
     }
+}
+
+/// `SnapshotView::apply_delta` must agree with a full rebuild from
+/// scratch after every epoch of a random delta sequence — same CSR
+/// content (`==`) and same `content_hash` (the cache/persist key) — for
+/// random worlds with asserts, retractions, duplicate `(source, object)`
+/// events (last wins), and deltas that grow the source/object spaces.
+#[test]
+fn apply_delta_agrees_with_full_rebuild() {
+    for case in 0..CASES {
+        let mut r = rng(14_000 + case);
+        let n_triples = r.gen_range(0..100usize);
+        let triples: Vec<(SourceId, ObjectId, ValueId)> = (0..n_triples)
+            .map(|_| {
+                let o = r.gen_range(0..12u32);
+                (
+                    SourceId(r.gen_range(0..8u32)),
+                    ObjectId(o),
+                    ValueId(o * 4 + r.gen_range(0..4u32)),
+                )
+            })
+            .collect();
+        let mut snap = SnapshotView::from_triples(8, 12, triples.clone());
+        let mut reference: Vec<std::collections::HashMap<ObjectId, ValueId>> =
+            vec![std::collections::HashMap::new(); 8];
+        for &(s, o, v) in &triples {
+            reference[s.index()].insert(o, v); // last write wins
+        }
+        let (mut num_sources, mut num_objects) = (8usize, 12usize);
+
+        for epoch in 0..r.gen_range(1..5usize) {
+            let mut b = Delta::builder();
+            for _ in 0..r.gen_range(1..30usize) {
+                // Ids up to 10/14 exercise space growth beyond the base 8/12.
+                let s = SourceId(r.gen_range(0..10u32));
+                let o = ObjectId(r.gen_range(0..14u32));
+                if r.gen::<f64>() < 0.25 {
+                    b.retract(s, o);
+                } else {
+                    b.assert_value(s, o, ValueId(o.0 * 4 + r.gen_range(0..4u32)));
+                }
+            }
+            let delta = b.build();
+            snap = snap.apply_delta(&delta);
+
+            num_sources = num_sources.max(delta.min_source_space());
+            num_objects = num_objects.max(delta.min_object_space());
+            reference.resize(num_sources, std::collections::HashMap::new());
+            for &(s, o, v) in delta.ops() {
+                match v {
+                    Some(v) => {
+                        reference[s.index()].insert(o, v);
+                    }
+                    None => {
+                        reference[s.index()].remove(&o);
+                    }
+                }
+            }
+
+            let rebuilt_triples = reference.iter().enumerate().flat_map(|(s, m)| {
+                m.iter()
+                    .map(move |(&o, &v)| (SourceId::from_index(s), o, v))
+            });
+            let rebuilt = SnapshotView::from_triples(num_sources, num_objects, rebuilt_triples);
+            assert_eq!(
+                snap, rebuilt,
+                "case {case} epoch {epoch}: apply_delta diverged from rebuild"
+            );
+            assert_eq!(
+                snap.content_hash(),
+                rebuilt.content_hash(),
+                "case {case} epoch {epoch}: content hash diverged"
+            );
+        }
+    }
+}
+
+/// Whenever the incremental path runs (converged prior, any dirty
+/// fraction admitted) and both the incremental and the full warm
+/// re-analysis converge, their posteriors and accuracy estimates must
+/// agree within 1e-9 — on random worlds, not just block-structured ones.
+#[test]
+fn incremental_run_delta_matches_full_warm_rerun() {
+    let pipeline = AccuCopy::new(DetectionParams {
+        hard_damping_threshold: 1.0,
+        convergence_epsilon: 1e-12,
+        // The default 20-iteration cap never reaches a 1e-12 fixpoint;
+        // parity needs both runs genuinely converged.
+        max_iterations: 400,
+        ..DetectionParams::default()
+    })
+    .unwrap();
+    let mut checked = 0usize;
+    for case in 0..CASES {
+        let mut r = rng(15_000 + case);
+        let base = random_snapshot(15_500 + case);
+        let prev = pipeline.run(&base);
+        if !prev.converged {
+            continue;
+        }
+        let mut b = Delta::builder();
+        for _ in 0..r.gen_range(1..8usize) {
+            let s = SourceId(r.gen_range(0..8u32));
+            let o = ObjectId(r.gen_range(0..12u32));
+            if r.gen::<f64>() < 0.3 {
+                b.retract(s, o);
+            } else {
+                b.assert_value(s, o, ValueId(o.0 * 4 + r.gen_range(0..4u32)));
+            }
+        }
+        let delta = b.build();
+        let after = base.apply_delta(&delta);
+
+        let run = pipeline.run_delta(&after, Some(&prev), &delta, 1.0);
+        assert!(
+            run.outcome.is_incremental(),
+            "case {case}: dirty budget 1.0 with a converged prior must go incremental, got {:?}",
+            run.outcome
+        );
+        let full = pipeline.run_warm(&after, Some(&prev));
+        if !(run.result.converged && full.converged) {
+            continue;
+        }
+        checked += 1;
+        assert_eq!(
+            run.result.termination,
+            Termination::Converged,
+            "case {case}"
+        );
+        assert_eq!(
+            run.result.accuracies.len(),
+            full.accuracies.len(),
+            "case {case}"
+        );
+        for (i, (x, y)) in run
+            .result
+            .accuracies
+            .iter()
+            .zip(&full.accuracies)
+            .enumerate()
+        {
+            assert!(
+                (x - y).abs() < 1e-9,
+                "case {case}: accuracy[{i}] {x} vs {y}"
+            );
+        }
+        for o in 0..after.num_objects() {
+            let o = ObjectId::from_index(o);
+            for &(v, p) in full.probabilities.distribution(o) {
+                let q = run.result.probabilities.prob(o, v);
+                assert!(
+                    (p - q).abs() < 1e-9,
+                    "case {case}: posterior({o:?}, {v:?}) {p} vs {q}"
+                );
+            }
+        }
+    }
+    assert!(
+        checked >= CASES as usize / 4,
+        "only {checked} cases converged — the property barely ran"
+    );
 }
 
 #[test]
