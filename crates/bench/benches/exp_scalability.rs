@@ -44,6 +44,13 @@
 //! (strictly lower, asserted on quiet trajectory runs) for both paths,
 //! with 1e-9 posterior parity gated always.
 //!
+//! Schema 6 adds `sharded_analysis`: the monolithic
+//! `SailingEngine::analyze` against `analyze_sharded` at several worker
+//! counts — the pair-sharded decomposition is contractually **bitwise**
+//! identical, so the recorded accuracy gap must be exactly zero (gated on
+//! every run, smoke included); wall-clock is informational on a 1-core
+//! box and recorded as the thread overhead it is.
+//!
 //! Set `SAILING_BENCH_SMOKE=1` for a seconds-scale smoke run (used by CI
 //! to keep this target from rotting); the JSON is then suffixed
 //! `.smoke.json` so a smoke run never overwrites a real trajectory point.
@@ -339,6 +346,31 @@ struct StreamingIngestPoint {
     max_accuracy_gap: f64,
 }
 
+/// One pair-sharded analysis measurement: `analyze_sharded` at a given
+/// worker count against the monolithic `analyze` on the same world. The
+/// decomposition distributes only the per-iteration detection pass over
+/// contiguous pair-ranges and merges in range order, so parity is not a
+/// tolerance — `max_accuracy_gap` must be exactly `0.0`.
+#[derive(Debug, Serialize)]
+struct ShardedAnalysisPoint {
+    sources: usize,
+    objects: usize,
+    /// Candidate pairs after shared-object pruning — the unit being
+    /// sharded.
+    candidate_pairs: usize,
+    workers: usize,
+    iterations: usize,
+    monolithic_ms: f64,
+    sharded_ms: f64,
+    /// `monolithic_ms / sharded_ms` — compare only across equal
+    /// `host_cpus`; on one core the coordinator's scoped threads are pure
+    /// overhead.
+    speedup: f64,
+    /// Largest |accuracy divergence| vs monolithic — gated `== 0.0` on
+    /// every run (strictly stronger than the repo's 1e-9 contract).
+    max_accuracy_gap: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     experiment: &'static str,
@@ -355,6 +387,7 @@ struct BenchReport {
     parallel_cold_epochs: Vec<ParallelColdPoint>,
     async_write_behind: Vec<AsyncWriteBehindPoint>,
     streaming_ingest: Vec<StreamingIngestPoint>,
+    sharded_analysis: Vec<ShardedAnalysisPoint>,
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -970,9 +1003,79 @@ fn main() {
         });
     }
 
+    // --- E7g: pair-sharded analysis — bitwise parity and worker scaling ---
+    banner(
+        "E7g",
+        "Sharded analysis: analyze_sharded vs monolithic analyze",
+    );
+    header(&[
+        "sources", "objects", "pairs", "workers", "iters", "mono ms", "shard ms", "ratio",
+    ]);
+    let sharded_worlds: &[(usize, usize, usize)] = if smoke {
+        &[(24, 96, 16), (40, 120, 20)]
+    } else {
+        &[(100, 400, 40), (200, 400, 40)]
+    };
+    let mut sharded_points = Vec::new();
+    for &(n, objects, coverage) in sharded_worlds {
+        let world = SnapshotWorld::generate(&WorldConfig::specialist(n, objects, coverage, 21));
+        let snapshot = Arc::new(world.snapshot);
+        let pairs = candidate_pairs(&snapshot, DetectionParams::default().min_overlap).len();
+
+        // Fresh engine per world; `analyze_sharded` bypasses the analysis
+        // cache, so the earlier monolithic run cannot subsidise it.
+        let engine = SailingEngine::with_defaults();
+        let (monolithic, t_mono) = time_ms(|| engine.analyze_owned(Arc::clone(&snapshot)));
+
+        for workers in [1usize, 2, 4] {
+            let (sharded, t_shard) =
+                time_ms(|| engine.analyze_sharded(&snapshot, workers).unwrap());
+
+            // The bitwise contract: not a tolerance, exact equality.
+            let max_gap = sharded
+                .accuracies()
+                .iter()
+                .zip(monolithic.accuracies())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max);
+            assert_eq!(
+                max_gap, 0.0,
+                "sharded analysis must be bitwise identical (workers {workers})"
+            );
+            assert_eq!(sharded.decisions(), monolithic.decisions());
+            assert_eq!(sharded.result().iterations, monolithic.result().iterations);
+
+            let speedup = t_mono / t_shard.max(1e-9);
+            println!(
+                "{}",
+                row(&[
+                    n.to_string(),
+                    objects.to_string(),
+                    pairs.to_string(),
+                    workers.to_string(),
+                    sharded.result().iterations.to_string(),
+                    format!("{t_mono:.1}"),
+                    format!("{t_shard:.1}"),
+                    format!("{speedup:.2}x"),
+                ])
+            );
+            sharded_points.push(ShardedAnalysisPoint {
+                sources: n,
+                objects,
+                candidate_pairs: pairs,
+                workers,
+                iterations: sharded.result().iterations,
+                monolithic_ms: t_mono,
+                sharded_ms: t_shard,
+                speedup,
+                max_accuracy_gap: max_gap,
+            });
+        }
+    }
+
     let report = BenchReport {
         experiment: "exp_scalability",
-        schema: 5,
+        schema: 6,
         smoke,
         world: "specialist",
         host_cpus,
@@ -982,6 +1085,7 @@ fn main() {
         parallel_cold_epochs: parallel_points,
         async_write_behind: async_points,
         streaming_ingest: ingest_points,
+        sharded_analysis: sharded_points,
     };
     let file_name = if smoke {
         "BENCH_scalability.smoke.json"

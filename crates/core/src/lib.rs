@@ -34,6 +34,10 @@
 //! * [`pairs`] — scalable candidate-pair enumeration with shared-object
 //!   pruning and optional parallelism (the "huge number of data sources"
 //!   challenge);
+//! * [`shard`] — pair-sharded distributed analysis: the detection pass
+//!   split over contiguous ranges of the candidate-pair list, merged
+//!   back bitwise-identically to the monolithic loop (the same
+//!   challenge, scaled past one thread or one process);
 //! * [`discovery`] — the [`TruthDiscovery`] strategy trait making the
 //!   naive / ACCU / ACCU-COPY ladder pluggable objects consumed by fusion,
 //!   query answering, recommendation, and the `sailing` facade.
@@ -50,6 +54,7 @@ pub mod params;
 pub mod partial;
 pub mod pipeline;
 pub mod report;
+pub mod shard;
 pub mod temporal;
 pub mod truth;
 pub mod vote;
@@ -59,3 +64,4 @@ pub use params::{DetectionParams, TemporalParams};
 pub use pipeline::{AccuCopy, DeltaOutcome, DeltaRun, PipelineResult, Termination, Watchdog};
 pub use report::{DependenceKind, Direction, PairDependence, SourceReport};
 pub use sailing_model::{SailingError, SailingResult};
+pub use shard::{iteration_digest, shard_ranges, PairRange, PartialDependence, ShardStep};

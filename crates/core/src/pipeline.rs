@@ -346,26 +346,7 @@ impl AccuCopy {
         prior: Option<&PipelineResult>,
     ) -> PipelineResult {
         let p = &self.params;
-        // A prior from an accuracy-blind strategy (empty accuracy vector)
-        // carries nothing to warm-start from, and a *non-converged* prior
-        // is a mid-oscillation state, not a posterior — seeding from one
-        // measurably steers the loop into a different attractor than the
-        // cold bootstrap reaches (observed on seeded temporal worlds).
-        // Both fall back to the cold start.
-        let prior = prior.filter(|r| r.converged && !r.accuracies.is_empty());
-        let mut accuracies = match prior {
-            Some(r) => {
-                let mut seeded = r.accuracies.clone();
-                // Pads new sources with the initial accuracy; equally
-                // shrinks a longer prior to this snapshot's source count.
-                seeded.resize(snapshot.num_sources(), p.initial_accuracy);
-                for a in &mut seeded {
-                    *a = p.clamp_accuracy(*a);
-                }
-                seeded
-            }
-            None => vec![p.initial_accuracy; snapshot.num_sources()],
-        };
+        let mut accuracies = seed_accuracies(p, snapshot, prior);
         let mut dependences: Vec<PairDependence> = Vec::new();
         let mut matrix = DependenceMatrix::new();
         let candidates = if p.enable_copy_detection {
@@ -717,7 +698,7 @@ impl AccuCopy {
 /// collision would end a run a few iterations early as a (correctly
 /// non-converged) `LimitCycle` — a wrong *diagnosis label* at worst,
 /// never a wrong posterior served.
-fn state_digest(accuracies: &[f64], probabilities: &ValueProbabilities) -> u64 {
+pub(crate) fn state_digest(accuracies: &[f64], probabilities: &ValueProbabilities) -> u64 {
     let mut h = fx_mix(0x63_79_63_6c_65, accuracies.len() as u64); // "cycle"
     for a in accuracies {
         h = fx_mix(h, a.to_bits());
@@ -732,9 +713,40 @@ fn state_digest(accuracies: &[f64], probabilities: &ValueProbabilities) -> u64 {
     h
 }
 
+/// The warm-start accuracy seed shared by [`AccuCopy::run_warm`] and the
+/// sharded coordinator bootstrap ([`crate::shard`]) — one definition so
+/// the gating rule cannot drift between the two paths.
+///
+/// A prior from an accuracy-blind strategy (empty accuracy vector)
+/// carries nothing to warm-start from, and a *non-converged* prior is a
+/// mid-oscillation state, not a posterior — seeding from one measurably
+/// steers the loop into a different attractor than the cold bootstrap
+/// reaches (observed on seeded temporal worlds). Both fall back to the
+/// cold start.
+pub(crate) fn seed_accuracies(
+    params: &DetectionParams,
+    snapshot: &SnapshotView,
+    prior: Option<&PipelineResult>,
+) -> Vec<f64> {
+    let prior = prior.filter(|r| r.converged && !r.accuracies.is_empty());
+    match prior {
+        Some(r) => {
+            let mut seeded = r.accuracies.clone();
+            // Pads new sources with the initial accuracy; equally
+            // shrinks a longer prior to this snapshot's source count.
+            seeded.resize(snapshot.num_sources(), params.initial_accuracy);
+            for a in &mut seeded {
+                *a = params.clamp_accuracy(*a);
+            }
+            seeded
+        }
+        None => vec![params.initial_accuracy; snapshot.num_sources()],
+    }
+}
+
 /// Blends the likelihood-based direction posterior with the
 /// overlap-property hint (Section 3.2, intuition 2).
-fn refine_directions(
+pub(crate) fn refine_directions(
     snapshot: &SnapshotView,
     probs: &ValueProbabilities,
     deps: &mut [PairDependence],

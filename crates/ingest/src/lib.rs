@@ -95,7 +95,8 @@ pub struct SealPolicy {
     /// Seal once this many open events have accumulated.
     pub max_events: Option<usize>,
     /// Seal once the open tail spans this many timestamp units
-    /// (`last.ts - first.ts >= max_span`).
+    /// (`max(ts) - min(ts) >= max_span` — min/max, not first/last,
+    /// because appends never enforce monotonic timestamps).
     pub max_span: Option<i64>,
 }
 
@@ -148,9 +149,17 @@ impl SealPolicy {
             return true;
         }
         self.max_span.is_some_and(|span| {
-            let first = events[0].ts;
-            let last = events[events.len() - 1].ts;
-            last.saturating_sub(first) >= span
+            // Span over the min/max timestamps of the tail, not
+            // first/last: appends never enforce monotonic timestamps,
+            // and an out-of-order tail (last < first) would otherwise
+            // read as a zero span and stall span-based sealing.
+            let mut min = events[0].ts;
+            let mut max = events[0].ts;
+            for event in &events[1..] {
+                min = min.min(event.ts);
+                max = max.max(event.ts);
+            }
+            max.saturating_sub(min) >= span
         })
     }
 }
@@ -343,6 +352,27 @@ impl ClaimLog {
             }
         }
         builder.build()
+    }
+
+    /// The net effect of every **sealed** event as one delta, leaving the
+    /// open tail out. Bootstrapping from this (rather than
+    /// [`replay_delta`](ClaimLog::replay_delta)) means the tail's eventual
+    /// seal is the first and only time those events are applied — no
+    /// double count.
+    pub fn replay_sealed_delta(&self) -> Delta {
+        let mut builder = Delta::builder();
+        for event in &self.events[..self.open_start] {
+            match event.value {
+                Some(v) => builder.assert_value(event.source, event.object, v),
+                None => builder.retract(event.source, event.object),
+            }
+        }
+        builder.build()
+    }
+
+    /// Number of sealed (non-tail) events resident in the log.
+    pub fn sealed_len(&self) -> usize {
+        self.open_start
     }
 
     /// Total events resident (recovered + appended).
@@ -594,6 +624,38 @@ mod tests {
         assert!(manual.poll_seal().is_none(), "manual never auto-seals");
         assert_eq!(manual.seal().unwrap().len(), 1);
         assert!(manual.seal().is_none(), "nothing open after a seal");
+    }
+
+    #[test]
+    fn policy_span_survives_out_of_order_timestamps() {
+        // Regression: the span used to be `last.ts - first.ts`, so a tail
+        // whose newest event carried an *older* timestamp read as span 0
+        // and span-based sealing stalled indefinitely.
+        let mut log = ClaimLog::in_memory(SealPolicy::after_span(10));
+        fill(&mut log, &[(0, 0, Some(1), 110), (0, 1, Some(2), 105)]);
+        assert!(log.poll_seal().is_none(), "span 5 < 10");
+        // Third event is older than both: min/max span is now 110-100=10.
+        fill(&mut log, &[(0, 2, Some(3), 100)]);
+        assert!(
+            log.poll_seal().is_some(),
+            "out-of-order tail spans 10 timestamps and must seal"
+        );
+        assert!(log.open_events().is_empty());
+    }
+
+    #[test]
+    fn replay_sealed_delta_excludes_open_tail() {
+        let mut log = ClaimLog::in_memory(SealPolicy::manual());
+        fill(&mut log, &[(0, 0, Some(1), 0), (1, 0, Some(2), 1)]);
+        let sealed = log.seal().unwrap();
+        fill(&mut log, &[(2, 1, Some(3), 2)]);
+        assert_eq!(log.sealed_len(), 2);
+        assert_eq!(log.replay_sealed_delta(), sealed);
+        assert_eq!(
+            log.replay_delta().len(),
+            3,
+            "full replay still sees the tail"
+        );
     }
 
     #[test]

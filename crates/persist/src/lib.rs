@@ -80,6 +80,48 @@
 //!   sweep, and a concurrent `get` sees a complete entry or a clean
 //!   cold miss, never a half-swept one.
 //!
+//! # Sharded directory layout
+//!
+//! [`StoreOptions::shards`]`(n)` splits the directory into hash-prefix
+//! subdirectory shards:
+//!
+//! ```text
+//! store/
+//!   shards/00/ … shards/xx/    one subdirectory per shard, xx = hex
+//! ```
+//!
+//! Every file — entries, blobs, claims — lands in the shard its **file
+//! name** hashes to ([`checksum_bytes`]` % n`), so any process that
+//! knows a name finds the file without scanning, no single directory
+//! listing grows with the whole store, and each shard carries its own
+//! `compact.lock` — compactions of different shards proceed
+//! concurrently instead of serialising on one lock. Opening a sharded
+//! store over a flat-layout directory **migrates** the flat entries into
+//! their shards (atomic renames; a reader mid-migration sees each entry
+//! at exactly one location), and reads check both layouts indefinitely,
+//! so flat-layout and sharded handles interoperate over one directory.
+//! The entry format itself is unchanged — [`FORMAT_VERSION`] does not
+//! bump for a layout change.
+//!
+//! Alongside keyed entries, a store carries **named coordination
+//! files** for cooperating processes (the distributed pair-shard
+//! analysis drives these):
+//!
+//! * [`PersistentStore::put_blob`] / [`get_blob`](PersistentStore::get_blob)
+//!   — checksummed, atomically renamed payloads addressed by name
+//!   (`<name>.blob`); any damage reads as `None`, like entries.
+//! * [`PersistentStore::try_claim`] — an `O_CREAT|O_EXCL` marker
+//!   (`<name>.claim`): exactly one process wins each name. Claims are
+//!   advisory work-distribution hints, not locks — a claimed unit whose
+//!   result never appears is simply recomputed by whoever needs it, so
+//!   a crashed worker costs duplicated work, never liveness.
+//!
+//! Blob and claim files are invisible to the entry read path, `len`,
+//! and compaction's entry sweep (only aged `.blob.tmp-` debris is
+//! orphan-swept); the protocol built on them owns their lifecycle via
+//! [`remove_blob`](PersistentStore::remove_blob) /
+//! [`remove_claim`](PersistentStore::remove_claim).
+//!
 //! # Failure semantics
 //!
 //! Every filesystem touch goes through the [`StoreFs`] trait
@@ -236,6 +278,23 @@ pub const ORPHAN_SWEEP_AGE: Duration = Duration::from_secs(30);
 /// Name of the advisory compaction lock file inside a store directory.
 const COMPACT_LOCK_NAME: &str = "compact.lock";
 
+/// Name of the subdirectory holding the hash-prefix shards of a sharded
+/// store (see [`StoreOptions::shards`]).
+pub const SHARDS_DIR_NAME: &str = "shards";
+
+/// Upper bound of [`StoreOptions::shards`]: shard subdirectories are
+/// named by a two-hex-digit hash prefix, so at most 256 are distinct.
+pub const MAX_SHARDS: usize = 256;
+
+/// File extension of named blobs ([`PersistentStore::put_blob`]).
+pub const BLOB_EXTENSION: &str = "blob";
+
+/// File extension of claim markers ([`PersistentStore::try_claim`]).
+pub const CLAIM_EXTENSION: &str = "claim";
+
+/// Magic token opening every named-blob file.
+const BLOB_MAGIC: &str = "sailing-blob";
+
 /// Age after which a `compact.lock` is presumed abandoned by a crashed
 /// compactor and may be broken.
 pub const STALE_COMPACT_LOCK: Duration = Duration::from_secs(30);
@@ -320,6 +379,11 @@ pub struct StoreOptions {
     /// writer to drain before detaching it. Defaults to
     /// [`SHUTDOWN_DRAIN_DEADLINE`].
     pub shutdown_deadline: Duration,
+    /// Number of hash-prefix subdirectory shards the directory is split
+    /// into (`shards/00/ … shards/xx/`). `0` — the default — keeps the
+    /// historical flat layout. See [`StoreOptions::shards`] and the
+    /// [module docs](self#sharded-directory-layout).
+    pub shards: usize,
 }
 
 impl Default for StoreOptions {
@@ -332,6 +396,7 @@ impl Default for StoreOptions {
             breaker_threshold: 0,
             breaker_cooldown: Duration::ZERO,
             shutdown_deadline: SHUTDOWN_DRAIN_DEADLINE,
+            shards: 0,
         }
     }
 }
@@ -376,6 +441,23 @@ impl StoreOptions {
     #[must_use]
     pub fn shutdown_deadline(mut self, deadline: Duration) -> Self {
         self.shutdown_deadline = deadline;
+        self
+    }
+
+    /// Splits the store directory into `n` hash-prefix subdirectory
+    /// shards (`shards/00/ … shards/xx/`, clamped to at most
+    /// [`MAX_SHARDS`]; `0` keeps the flat legacy layout). Every entry,
+    /// blob, and claim file lands in the shard its *file name* hashes to,
+    /// so no single directory listing grows with the whole store, and
+    /// each shard carries its own `compact.lock` — compactions of
+    /// different shards no longer serialise. Opening a sharded store over
+    /// a flat-layout directory migrates the flat entries into their
+    /// shards; reads cover both layouts throughout, so processes on
+    /// either layout interoperate. See the
+    /// [module docs](self#sharded-directory-layout).
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.min(MAX_SHARDS);
         self
     }
 }
@@ -465,8 +547,10 @@ pub struct CompactReport {
     /// instead of deleted. Also counted in
     /// [`CompactReport::kept`].
     pub restored: usize,
-    /// `true` when another compactor held the directory's `compact.lock`
-    /// and this call swept nothing (all other fields zero).
+    /// `true` when another compactor held the `compact.lock` of at least
+    /// one layout directory, which was skipped. A flat store sweeps
+    /// nothing in that case; a sharded store still sweeps every shard it
+    /// *did* lock — contention is per shard, not per store.
     pub contended: bool,
 }
 
@@ -568,6 +652,24 @@ impl StoreInner {
         recover(self.state.lock())
     }
 
+    /// Where a file of this name belongs under the configured layout:
+    /// its hash shard when sharding is on, the root directory otherwise.
+    fn file_path(&self, file_name: &str) -> PathBuf {
+        match shard_subdir(&self.dir, self.options.shards, file_name) {
+            Some(shard) => shard.join(file_name),
+            None => self.dir.join(file_name),
+        }
+    }
+
+    /// Every directory entries may live in: the root (flat layout, and
+    /// the legacy location sharded stores keep reading) plus each shard
+    /// subdirectory when sharding is on.
+    fn entry_dirs(&self) -> Vec<PathBuf> {
+        let mut dirs = vec![self.dir.clone()];
+        dirs.extend(shard_subdirs(&self.dir, self.options.shards));
+        dirs
+    }
+
     fn push_deferred(&self, err: SailingError) {
         let mut deferred = recover(self.deferred.lock());
         if deferred.len() < MAX_DEFERRED_ERRORS {
@@ -591,8 +693,10 @@ impl StoreInner {
         // dir), and a shared temp path would let one write truncate the
         // other mid-stream and publish a torn entry.
         static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
-        let final_path = self.dir.join(e.key.file_name());
-        let tmp_path = self.dir.join(format!(
+        let final_path = self.file_path(&e.key.file_name());
+        // The temp file lives next to its final path (same shard), so the
+        // publishing rename never crosses directories.
+        let tmp_path = final_path.with_file_name(format!(
             "{}.tmp-{}-{}",
             e.key.file_name(),
             std::process::id(),
@@ -804,8 +908,16 @@ impl PersistentStore {
             .map_err(|e| SailingError::persist(dir.display().to_string(), e))?;
         let options = StoreOptions {
             queue_depth: options.queue_depth.max(1),
+            shards: options.shards.min(MAX_SHARDS),
             ..options
         };
+        if options.shards > 0 {
+            for shard in shard_subdirs(&dir, options.shards) {
+                fs.create_dir_all(&shard)
+                    .map_err(|e| SailingError::persist(shard.display().to_string(), e))?;
+            }
+            migrate_flat_entries(fs.as_ref(), &dir, options.shards);
+        }
         let inner = Arc::new(StoreInner {
             dir,
             options,
@@ -912,10 +1024,15 @@ impl PersistentStore {
         recover(self.inner.fs_write_threads.lock()).clone()
     }
 
-    /// Number of entry files currently on disk (excluding buffered
-    /// writes; call [`PersistentStore::flush`] first for an exact total).
+    /// Number of entry files currently on disk across every layout
+    /// directory — the root plus each shard (excluding buffered writes;
+    /// call [`PersistentStore::flush`] first for an exact total).
     pub fn len(&self) -> usize {
-        entry_files(self.inner.fs.as_ref(), &self.inner.dir).len()
+        self.inner
+            .entry_dirs()
+            .iter()
+            .map(|d| entry_files(self.inner.fs.as_ref(), d).len())
+            .sum()
     }
 
     /// `true` when no entry file is on disk.
@@ -946,27 +1063,36 @@ impl PersistentStore {
                 }
             }
         }
-        let path = self.inner.dir.join(key.file_name());
-        let bytes = match self.inner.fs.read(&path) {
-            Ok(b) => b,
-            Err(_) => {
-                self.inner.disk_misses.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
-        };
-        match decode_entry(&bytes) {
-            Ok(entry) if entry.key == key && entry.snapshot == *snapshot => {
-                self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
-                Some((Arc::new(entry.snapshot), Arc::new(entry.result)))
-            }
-            _ => {
-                // Damaged, stale-version, or mismatched content: a clean
-                // cold miss by contract.
-                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
-                self.inner.disk_misses.fetch_add(1, Ordering::Relaxed);
-                None
+        // Sharded stores read the shard location first, then fall back to
+        // the flat legacy path: a concurrent flat-layout writer (or an
+        // entry the open-time migration has not moved yet) stays a hit.
+        let file_name = key.file_name();
+        let sharded_path = self.inner.file_path(&file_name);
+        let flat_path = self.inner.dir.join(&file_name);
+        let mut candidates = vec![sharded_path];
+        if candidates[0] != flat_path {
+            candidates.push(flat_path);
+        }
+        let mut saw_invalid = false;
+        for path in candidates {
+            let Ok(bytes) = self.inner.fs.read(&path) else {
+                continue;
+            };
+            match decode_entry(&bytes) {
+                Ok(entry) if entry.key == key && entry.snapshot == *snapshot => {
+                    self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((Arc::new(entry.snapshot), Arc::new(entry.result)));
+                }
+                _ => saw_invalid = true,
             }
         }
+        // Damaged, stale-version, or mismatched content: a clean cold
+        // miss by contract.
+        if saw_invalid {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.disk_misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Buffers an entry for writing. The entry is visible to
@@ -1183,15 +1309,27 @@ impl PersistentStore {
     /// drain had happened on its own.
     pub fn compact(&self) -> Result<CompactReport, SailingError> {
         self.drain_ignoring_write_errors();
-        let dir = &self.inner.dir;
-        let fs = self.inner.fs.as_ref();
-        let Some(_lock) = CompactLock::acquire(&self.inner.fs, dir)? else {
-            return Ok(CompactReport {
-                contended: true,
-                ..CompactReport::default()
-            });
-        };
         let mut report = CompactReport::default();
+        // Each layout directory — the root plus every shard — is swept
+        // under its *own* `compact.lock`, so two compactors over one
+        // sharded store proceed on disjoint shards instead of
+        // serialising; only the directories someone else holds are
+        // skipped (and flagged contended).
+        for dir in self.inner.entry_dirs() {
+            let Some(_lock) = CompactLock::acquire(&self.inner.fs, &dir)? else {
+                report.contended = true;
+                continue;
+            };
+            self.compact_dir(&dir, &mut report)?;
+        }
+        Ok(report)
+    }
+
+    /// Sweeps one layout directory (the caller holds its compact lock):
+    /// entry validation with capture-revalidate-restore, then the
+    /// age-gated orphan sweep.
+    fn compact_dir(&self, dir: &Path, report: &mut CompactReport) -> Result<(), SailingError> {
+        let fs = self.inner.fs.as_ref();
         for path in entry_files(fs, dir) {
             let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
                 continue;
@@ -1245,6 +1383,7 @@ impl PersistentStore {
             let orphan = path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
                 n.contains(&format!(".{ENTRY_EXTENSION}.tmp-"))
                     || n.contains(&format!(".{ENTRY_EXTENSION}.trash-"))
+                    || n.contains(&format!(".{BLOB_EXTENSION}.tmp-"))
                     || n.contains(&format!("{COMPACT_LOCK_NAME}.stale-"))
             });
             let abandoned = orphan
@@ -1262,7 +1401,98 @@ impl PersistentStore {
                 }
             }
         }
-        Ok(report)
+        Ok(())
+    }
+
+    /// Durably publishes `bytes` as the named blob — a checksummed,
+    /// atomically renamed coordination file addressed by `name` instead
+    /// of a [`StoreKey`]. Blobs live in the same (sharded) directory
+    /// layout as entries but are invisible to `get`/`len`/`compact`'s
+    /// entry sweep; shard workers use them to exchange partial results
+    /// (see the [module docs](self#sharded-directory-layout)). A re-put
+    /// under the same name atomically replaces the previous blob.
+    ///
+    /// # Errors
+    /// [`SailingError::InvalidConfig`] for an unusable name (empty, too
+    /// long, or containing path separators); [`SailingError::Persist`]
+    /// when the filesystem write or rename fails.
+    pub fn put_blob(&self, name: &str, bytes: &[u8]) -> Result<(), SailingError> {
+        static BLOB_SEQ: AtomicU64 = AtomicU64::new(0);
+        let file_name = blob_file_name(name, BLOB_EXTENSION)?;
+        let final_path = self.inner.file_path(&file_name);
+        let tmp_path = final_path.with_file_name(format!(
+            "{file_name}.tmp-{}-{}",
+            std::process::id(),
+            BLOB_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut framed = format!(
+            "{BLOB_MAGIC} v{FORMAT_VERSION} {} {:016x}\n",
+            bytes.len(),
+            checksum_bytes(bytes)
+        )
+        .into_bytes();
+        framed.extend_from_slice(bytes);
+        self.inner
+            .fs
+            .write(&tmp_path, &framed)
+            .map_err(|e| SailingError::persist(tmp_path.display().to_string(), e))?;
+        self.inner.fs.rename(&tmp_path, &final_path).map_err(|e| {
+            let _ = self.inner.fs.remove_file(&tmp_path);
+            SailingError::persist(final_path.display().to_string(), e)
+        })
+    }
+
+    /// Reads back a named blob published by [`PersistentStore::put_blob`]
+    /// (by this or any cooperating process). Every failure — missing
+    /// file, torn write, checksum or version mismatch, unusable name —
+    /// degrades to `None`, mirroring the entry read path's
+    /// miss-never-error contract.
+    pub fn get_blob(&self, name: &str) -> Option<Vec<u8>> {
+        let file_name = blob_file_name(name, BLOB_EXTENSION).ok()?;
+        let bytes = self.inner.fs.read(&self.inner.file_path(&file_name)).ok()?;
+        decode_blob(&bytes)
+    }
+
+    /// Removes a named blob. `true` when a file was actually unlinked.
+    pub fn remove_blob(&self, name: &str) -> bool {
+        let Ok(file_name) = blob_file_name(name, BLOB_EXTENSION) else {
+            return false;
+        };
+        self.inner
+            .fs
+            .remove_file(&self.inner.file_path(&file_name))
+            .is_ok()
+    }
+
+    /// Attempts to take the named advisory claim: an `O_CREAT|O_EXCL`
+    /// marker file in the store's (sharded) layout. Exactly one
+    /// cooperating process wins each name; the rest observe `false` and
+    /// move on. Claims are coordination hints, not locks — a claimed
+    /// work unit that never publishes its result is simply recomputed by
+    /// whoever needs it (see the multi-process shard protocol in the
+    /// [module docs](self#sharded-directory-layout)).
+    pub fn try_claim(&self, name: &str) -> bool {
+        let Ok(file_name) = blob_file_name(name, CLAIM_EXTENSION) else {
+            return false;
+        };
+        let path = self.inner.file_path(&file_name);
+        let token = format!("{} {}", std::process::id(), unix_millis());
+        self.inner
+            .fs
+            .create_exclusive(&path, token.as_bytes())
+            .is_ok()
+    }
+
+    /// Removes a claim marker taken via [`PersistentStore::try_claim`].
+    /// `true` when a file was actually unlinked.
+    pub fn remove_claim(&self, name: &str) -> bool {
+        let Ok(file_name) = blob_file_name(name, CLAIM_EXTENSION) else {
+            return false;
+        };
+        self.inner
+            .fs
+            .remove_file(&self.inner.file_path(&file_name))
+            .is_ok()
     }
 }
 
@@ -1460,6 +1690,80 @@ pub fn checksum_bytes(bytes: &[u8]) -> u64 {
     let rem = chunks.remainder();
     last[..rem.len()].copy_from_slice(rem);
     fx_mix(h, u64::from_le_bytes(last))
+}
+
+/// The shard subdirectory a file name hashes to under an `n`-way sharded
+/// layout (`None` when `shards == 0`, the flat layout). The shard index
+/// is a pure function of the *file name* — any process that knows the
+/// name finds the file without a directory scan.
+fn shard_subdir(dir: &Path, shards: usize, file_name: &str) -> Option<PathBuf> {
+    if shards == 0 {
+        return None;
+    }
+    let idx = checksum_bytes(file_name.as_bytes()) % shards as u64;
+    Some(dir.join(SHARDS_DIR_NAME).join(format!("{idx:02x}")))
+}
+
+/// Every shard subdirectory of an `n`-way sharded layout (empty for the
+/// flat layout).
+fn shard_subdirs(dir: &Path, shards: usize) -> Vec<PathBuf> {
+    (0..shards)
+        .map(|i| dir.join(SHARDS_DIR_NAME).join(format!("{i:02x}")))
+        .collect()
+}
+
+/// Best-effort migration of flat-layout entry files into their hash
+/// shards, run once per sharded open. Each move is one atomic rename, so
+/// a concurrent reader sees the entry at exactly one of its two possible
+/// locations — and the read path checks both. A failed rename leaves the
+/// entry in place: the dual-layout read keeps serving it and the next
+/// open retries.
+fn migrate_flat_entries(fs: &dyn StoreFs, dir: &Path, shards: usize) {
+    for path in entry_files(fs, dir) {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(shard) = shard_subdir(dir, shards, name) {
+            let _ = fs.rename(&path, &shard.join(name));
+        }
+    }
+}
+
+/// Validates a blob/claim name and appends the extension. Names address
+/// files directly, so they must be a single portable path component.
+fn blob_file_name(name: &str, extension: &str) -> Result<String, SailingError> {
+    let ok = !name.is_empty()
+        && name.len() <= 200
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'));
+    if !ok {
+        return Err(SailingError::config(
+            "persist blob name",
+            format!("{name:?} is not a portable single-component file stem"),
+        ));
+    }
+    Ok(format!("{name}.{extension}"))
+}
+
+/// Decodes a framed blob file; any damage reads as `None`.
+fn decode_blob(bytes: &[u8]) -> Option<Vec<u8>> {
+    let nl = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..nl]).ok()?;
+    let mut parts = header.split(' ');
+    if parts.next()? != BLOB_MAGIC {
+        return None;
+    }
+    let version: u32 = parts.next()?.strip_prefix('v')?.parse().ok()?;
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let len: usize = parts.next()?.parse().ok()?;
+    let checksum = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let payload = bytes.get(nl + 1..)?;
+    (parts.next().is_none() && payload.len() == len && checksum_bytes(payload) == checksum)
+        .then(|| payload.to_vec())
 }
 
 struct DecodedEntry {
@@ -2338,5 +2642,131 @@ mod tests {
         let err = PersistentStore::open(blocker.join("store")).unwrap_err();
         assert!(matches!(err, SailingError::Persist { .. }), "{err}");
         std::fs::remove_file(&blocker).ok();
+    }
+
+    #[test]
+    fn sharded_roundtrip_places_entries_in_their_shard() {
+        let dir = temp_dir("sharded-roundtrip");
+        let (snapshot, result, key) = table1_entry();
+        let opts = StoreOptions::default().shards(4);
+        {
+            let store = PersistentStore::open_with(&dir, opts).unwrap();
+            store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+            store.flush().unwrap();
+            assert_eq!(store.len(), 1);
+            // The file sits in exactly the shard its name hashes to —
+            // findable without a scan by any process that knows the key.
+            let name = key.file_name();
+            let expected = shard_subdir(&dir, 4, &name).unwrap().join(&name);
+            assert!(expected.exists(), "{}", expected.display());
+            assert!(!dir.join(&name).exists(), "not in the flat root");
+        }
+        // A second sharded handle (another process in production) hits.
+        let reopened = PersistentStore::open_with(&dir, opts).unwrap();
+        let (snap, loaded) = reopened.get(key, &snapshot).expect("disk hit");
+        assert_eq!(*snap, *snapshot);
+        assert_eq!(loaded.decisions_sorted(), result.decisions_sorted());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn opening_sharded_migrates_flat_entries_and_reads_both_layouts() {
+        let dir = temp_dir("shard-migration");
+        let (snapshot, result, key) = table1_entry();
+        {
+            let flat = PersistentStore::open(&dir).unwrap();
+            flat.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+            flat.flush().unwrap();
+            assert!(dir.join(key.file_name()).exists());
+        }
+        let sharded = PersistentStore::open_with(&dir, StoreOptions::default().shards(8)).unwrap();
+        let name = key.file_name();
+        let shard_path = shard_subdir(&dir, 8, &name).unwrap().join(&name);
+        assert!(shard_path.exists(), "migrated into its shard");
+        assert!(!dir.join(&name).exists(), "gone from the flat root");
+        assert_eq!(sharded.len(), 1);
+        assert!(sharded.get(key, &snapshot).is_some());
+
+        // An entry that appears in the flat root *after* migration (a
+        // flat-layout writer sharing the dir) is still served.
+        std::fs::remove_file(&shard_path).unwrap();
+        let entry = encode_entry(key, &snapshot, &result);
+        std::fs::write(dir.join(&name), entry).unwrap();
+        assert!(
+            sharded.get(key, &snapshot).is_some(),
+            "dual-layout read covers the flat location"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn blob_and_claim_roundtrip_with_damage_as_none() {
+        let dir = temp_dir("blobs");
+        let store = PersistentStore::open_with(&dir, StoreOptions::default().shards(4)).unwrap();
+        assert!(store.get_blob("partial-0").is_none(), "absent reads None");
+        store.put_blob("partial-0", b"payload bytes").unwrap();
+        assert_eq!(store.get_blob("partial-0").unwrap(), b"payload bytes");
+        // Re-put replaces atomically.
+        store.put_blob("partial-0", b"v2").unwrap();
+        assert_eq!(store.get_blob("partial-0").unwrap(), b"v2");
+        // Blobs are invisible to the entry surface.
+        assert_eq!(store.len(), 0);
+
+        // A torn/corrupted blob degrades to a clean None.
+        let name = blob_file_name("partial-0", BLOB_EXTENSION).unwrap();
+        let path = shard_subdir(&dir, 4, &name).unwrap().join(&name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 1);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.get_blob("partial-0").is_none(), "torn blob is None");
+
+        // Claims: exactly one winner per name, idempotent removal.
+        assert!(store.try_claim("shard-0-4"));
+        assert!(!store.try_claim("shard-0-4"), "second claimant loses");
+        let other = PersistentStore::open_with(&dir, StoreOptions::default().shards(4)).unwrap();
+        assert!(!other.try_claim("shard-0-4"), "other handles lose too");
+        assert!(store.remove_claim("shard-0-4"));
+        assert!(!store.remove_claim("shard-0-4"), "already gone");
+        assert!(other.try_claim("shard-0-4"), "free again after removal");
+
+        // Unusable names are refused without touching the filesystem.
+        assert!(store.put_blob("../escape", b"x").is_err());
+        assert!(store.get_blob("").is_none());
+        assert!(!store.try_claim("a/b"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_compaction_skips_only_locked_shards() {
+        let dir = temp_dir("shard-compact");
+        let (snapshot, result, key) = table1_entry();
+        let opts = StoreOptions::default().shards(4);
+        let store = PersistentStore::open_with(&dir, opts).unwrap();
+        store.put(key, Arc::clone(&snapshot), Arc::clone(&result));
+        store.flush().unwrap();
+        // Plant damage in a *different* shard than the valid entry's.
+        let name = key.file_name();
+        let own_shard = shard_subdir(&dir, 4, &name).unwrap();
+        let other_shard = shard_subdirs(&dir, 4)
+            .into_iter()
+            .find(|s| *s != own_shard)
+            .unwrap();
+        std::fs::write(other_shard.join("0000000000000bad-cold.sail"), b"junk").unwrap();
+
+        // Hold the damaged shard's compact.lock, as a concurrent
+        // compactor would.
+        std::fs::write(other_shard.join(COMPACT_LOCK_NAME), b"held").unwrap();
+        let report = store.compact().unwrap();
+        assert!(report.contended, "locked shard was skipped");
+        assert_eq!(report.kept, 1, "unlocked shards swept normally");
+        assert_eq!(report.removed, 0, "damage sits in the locked shard");
+
+        // Release the lock: the next sweep removes the damage.
+        std::fs::remove_file(other_shard.join(COMPACT_LOCK_NAME)).unwrap();
+        let report = store.compact().unwrap();
+        assert!(!report.contended);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.removed, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

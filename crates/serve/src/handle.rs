@@ -20,7 +20,6 @@ use sailing::fusion::FusionOutcome;
 use sailing::model::{ObjectId, SnapshotView};
 use sailing::query::{OrderingPolicy, TopKResult};
 use sailing::recommend::{Goal, Recommendation};
-use sailing::IngestStats;
 use sailing::{Analysis, SailingError};
 
 use crate::epoch::EpochPointer;
@@ -193,18 +192,23 @@ impl ServeHandle {
 
     /// Publishes an ingestion session's current analysis (through the
     /// [`ServeHandle::refresh_analysis`] gating) and records its
-    /// [`IngestStats`] for [`ServeHandle::metrics`]. Call once per sealed
-    /// epoch.
+    /// [`IngestStats`](sailing::IngestStats) for [`ServeHandle::metrics`].
+    /// Call once per sealed epoch.
     pub fn publish_ingest(&self, session: &IngestSession) -> Arc<Analysis> {
-        self.note_ingest(session.stats());
+        self.note_ingest(session);
         self.refresh_analysis(Arc::new(session.analysis()))
     }
 
-    /// Records a streaming ingestion session's cumulative counters
-    /// (latest wins) for [`ServeHandle::metrics`] without publishing
-    /// anything.
-    pub fn note_ingest(&self, stats: IngestStats) {
-        self.inner.metrics.note_ingest(stats);
+    /// Folds a streaming ingestion session's counters into
+    /// [`ServeHandle::metrics`] without publishing anything. Safe to call
+    /// from several sessions feeding one handle: each session's
+    /// cumulative stats are tracked by [`IngestSession::session_id`] and
+    /// only the per-session delta is added, so the additive metrics
+    /// fields never reset or clobber.
+    pub fn note_ingest(&self, session: &IngestSession) {
+        self.inner
+            .metrics
+            .note_ingest(session.session_id(), session.stats());
     }
 
     /// The shared gated-publication tail of
@@ -573,5 +577,46 @@ mod tests {
         handle.publish_ingest(&session);
         assert_eq!(handle.metrics().ingest_deltas_sealed, 2);
         assert_eq!(handle.generation(), 3);
+    }
+
+    #[test]
+    fn two_ingest_sessions_fold_into_one_handle() {
+        use sailing::ingest::SealPolicy;
+        use sailing::model::{ObjectId, SourceId, ValueId};
+
+        let engine = SailingEngine::with_defaults();
+        let handle = ServeHandle::new(
+            engine.clone(),
+            Arc::new(SnapshotView::from_triples(0, 0, Vec::new())),
+        );
+
+        let mut one = engine.ingest_session(SealPolicy::manual());
+        one.assert_claim(SourceId(0), ObjectId(0), ValueId(1), 0, 0);
+        one.assert_claim(SourceId(1), ObjectId(0), ValueId(1), 0, 1);
+        assert!(one.seal());
+        handle.note_ingest(&one);
+
+        let mut two = engine.ingest_session(SealPolicy::manual());
+        two.assert_claim(SourceId(0), ObjectId(1), ValueId(2), 0, 2);
+        assert!(two.seal());
+        handle.note_ingest(&two);
+
+        // Regression: note_ingest used to *replace* the stored stats with
+        // the latest session's cumulative counters, so the second session
+        // clobbered the first instead of adding to it.
+        let metrics = handle.metrics();
+        assert_eq!(metrics.ingest_events, 3, "2 from session one + 1 from two");
+        assert_eq!(metrics.ingest_deltas_sealed, 2);
+
+        // Re-publishing an unchanged session is a zero delta, and further
+        // progress in either session folds additively.
+        handle.note_ingest(&one);
+        assert_eq!(handle.metrics().ingest_events, 3);
+        one.assert_claim(SourceId(2), ObjectId(0), ValueId(1), 0, 3);
+        assert!(one.seal());
+        handle.note_ingest(&one);
+        let metrics = handle.metrics();
+        assert_eq!(metrics.ingest_events, 4);
+        assert_eq!(metrics.ingest_deltas_sealed, 3);
     }
 }

@@ -77,15 +77,29 @@ struct EndpointRecorder {
     latency: LatencyHistogram,
 }
 
+/// Folded ingest counters: additive totals across every session that has
+/// published through this handle, plus the last cumulative stats seen per
+/// session so a re-publication folds only its delta. Without the
+/// per-session memory, two live sessions (or a recreated one) would
+/// clobber each other's cumulative counts.
+#[derive(Debug, Default)]
+struct IngestFold {
+    totals: IngestStats,
+    /// `(session_id, last cumulative stats seen from it)`. A linear Vec:
+    /// a handle sees a handful of sessions over its lifetime, and folds
+    /// happen at epoch cadence, never on the request hot path.
+    last_seen: Vec<(u64, IngestStats)>,
+}
+
 /// The live metrics a [`ServeHandle`](crate::ServeHandle) records into.
 #[derive(Debug, Default)]
 pub(crate) struct ServeMetrics {
     endpoints: [EndpointRecorder; 5],
     epoch_swaps: AtomicU64,
-    /// Latest-wins counters from the streaming ingestion session feeding
+    /// Counters folded from the streaming ingestion session(s) feeding
     /// this handle (if any). A mutex, not atomics: ingestion publishes at
     /// epoch cadence, never on the per-request hot path.
-    ingest: Mutex<IngestStats>,
+    ingest: Mutex<IngestFold>,
 }
 
 impl ServeMetrics {
@@ -103,13 +117,37 @@ impl ServeMetrics {
         self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Replaces the retained ingest counters (cumulative session stats,
-    /// so latest wins).
-    pub(crate) fn note_ingest(&self, stats: IngestStats) {
-        *self
+    /// Folds one session's cumulative counters into the retained totals.
+    ///
+    /// `stats` is cumulative *for that session*; the fold subtracts the
+    /// last stats seen under the same `session_id` so only the new delta
+    /// is added — additive fields stay additive across sessions, and the
+    /// latest-value fields (`dirty_objects_last` &c.) take the incoming
+    /// session's view.
+    pub(crate) fn note_ingest(&self, session_id: u64, stats: IngestStats) {
+        let mut fold = self
             .ingest
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = stats;
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let last = match fold.last_seen.iter_mut().find(|(id, _)| *id == session_id) {
+            Some((_, last)) => std::mem::replace(last, stats),
+            None => {
+                fold.last_seen.push((session_id, stats));
+                IngestStats::default()
+            }
+        };
+        let totals = &mut fold.totals;
+        totals.events += stats.events.saturating_sub(last.events);
+        totals.deltas_sealed += stats.deltas_sealed.saturating_sub(last.deltas_sealed);
+        totals.incremental_runs += stats.incremental_runs.saturating_sub(last.incremental_runs);
+        totals.full_fallbacks += stats.full_fallbacks.saturating_sub(last.full_fallbacks);
+        totals.dirty_objects_total += stats
+            .dirty_objects_total
+            .saturating_sub(last.dirty_objects_total);
+        totals.iterations_total += stats.iterations_total.saturating_sub(last.iterations_total);
+        totals.dirty_objects_last = stats.dirty_objects_last;
+        totals.dirty_sources_last = stats.dirty_sources_last;
+        totals.last_outcome = stats.last_outcome;
     }
 
     /// Snapshots every counter, folding in the engine's cache stats and
@@ -137,10 +175,11 @@ impl ServeMetrics {
                 (false, Some(reason.clone()), since.elapsed().as_secs_f64())
             }
         };
-        let ingest = *self
+        let ingest = self
             .ingest
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .totals;
         MetricsSnapshot {
             ingest_events: ingest.events,
             ingest_deltas_sealed: ingest.deltas_sealed,
@@ -161,6 +200,8 @@ impl ServeMetrics {
             disk_retries: cache.disk_retries,
             disk_breaker_fast_fails: cache.disk_breaker_fast_fails,
             breaker: cache.disk_breaker.as_str(),
+            shard_runs: cache.shard_runs,
+            shard_partials_adopted: cache.shard_partials_adopted,
             healthy,
             degraded_reason,
             degraded_for_secs,
@@ -232,6 +273,12 @@ pub struct MetricsSnapshot {
     /// The persist circuit breaker's state at snapshot time: `"closed"`,
     /// `"open"`, or `"half-open"` (always `"closed"` without a breaker).
     pub breaker: &'static str,
+    /// Pair-range detection passes the engine's sharded analyses
+    /// computed locally ([`sailing::CacheStats::shard_runs`]).
+    pub shard_runs: u64,
+    /// Pair-range partials adopted from cooperating processes' published
+    /// blobs ([`sailing::CacheStats::shard_partials_adopted`]).
+    pub shard_partials_adopted: u64,
     /// `false` while the handle is serving a stale last-good epoch
     /// because refreshes keep failing (see
     /// [`Health`]).
@@ -311,6 +358,61 @@ mod tests {
         // The snapshot serializes (the bench and loadgen print it).
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"top_k\""), "{json}");
+    }
+
+    #[test]
+    fn note_ingest_folds_deltas_across_sessions() {
+        let metrics = ServeMetrics::default();
+        let cache = sailing::engine::SailingEngine::with_defaults().cache_stats();
+
+        let mut a = IngestStats {
+            events: 10,
+            deltas_sealed: 2,
+            incremental_runs: 1,
+            full_fallbacks: 1,
+            dirty_objects_last: 5,
+            iterations_total: 100,
+            ..IngestStats::default()
+        };
+        metrics.note_ingest(1, a);
+        let b = IngestStats {
+            events: 4,
+            deltas_sealed: 1,
+            full_fallbacks: 1,
+            dirty_objects_last: 3,
+            iterations_total: 30,
+            ..IngestStats::default()
+        };
+        metrics.note_ingest(2, b);
+        // Session 1 publishes again with cumulative growth; only the
+        // delta since its last publication may be added.
+        a.events += 6;
+        a.deltas_sealed += 1;
+        a.incremental_runs += 1;
+        a.dirty_objects_last = 2;
+        a.iterations_total += 20;
+        metrics.note_ingest(1, a);
+
+        let snap = metrics.snapshot(&cache, &Health::Healthy);
+        assert_eq!(snap.ingest_events, 20, "10 + 4 + 6");
+        assert_eq!(snap.ingest_deltas_sealed, 4);
+        assert_eq!(snap.ingest_incremental_runs, 2);
+        assert_eq!(snap.ingest_full_fallbacks, 2);
+        assert_eq!(snap.ingest_iterations_total, 150);
+        assert_eq!(snap.ingest_dirty_objects_last, 2, "latest wins");
+
+        // Re-publishing unchanged stats folds a zero delta.
+        metrics.note_ingest(1, a);
+        assert_eq!(metrics.snapshot(&cache, &Health::Healthy).ingest_events, 20);
+
+        // A recreated session (fresh id, counters from zero) adds to the
+        // totals instead of resetting them — the old clobber bug.
+        let c = IngestStats {
+            events: 1,
+            ..IngestStats::default()
+        };
+        metrics.note_ingest(3, c);
+        assert_eq!(metrics.snapshot(&cache, &Health::Healthy).ingest_events, 21);
     }
 
     #[test]

@@ -124,8 +124,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use sailing_core::shard::{iteration_digest, shard_ranges, PairRange, PartialDependence};
 use sailing_core::truth::{DependenceMatrix, ValueProbabilities};
 use sailing_core::{
     AccuCopy, DeltaOutcome, DetectionParams, PairDependence, PipelineResult, SourceReport,
@@ -149,6 +150,24 @@ use sailing_recommend::{
 /// Default number of snapshot analyses the engine keeps cached.
 const DEFAULT_CACHE_CAPACITY: usize = 16;
 
+/// How often a cooperative sharded analysis re-polls the store for a
+/// partial claimed by another process.
+const SHARD_ADOPT_POLL: Duration = Duration::from_millis(25);
+
+/// How long it polls before concluding the claimant is gone and
+/// recomputing the range locally — the liveness bound for a crashed
+/// peer.
+const SHARD_ADOPT_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Store name (claim and blob alike) coordinating one pair-range of one
+/// iteration of one snapshot's sharded analysis.
+fn shard_partial_name(hash: u64, iteration: usize, range: PairRange) -> String {
+    format!(
+        "shard-{hash:016x}-i{iteration}-{}-{}",
+        range.start, range.end
+    )
+}
+
 /// Builder for [`SailingEngine`]; start from [`SailingEngine::builder`].
 pub struct SailingEngineBuilder {
     params: Option<DetectionParams>,
@@ -165,6 +184,7 @@ pub struct SailingEngineBuilder {
     persist_breaker: Option<(u32, Duration)>,
     persist_shutdown_deadline: Option<Duration>,
     persist_fs: Option<Arc<dyn StoreFs>>,
+    persist_shards: Option<usize>,
     watchdog: Option<Watchdog>,
 }
 
@@ -185,6 +205,7 @@ impl SailingEngineBuilder {
             persist_breaker: None,
             persist_shutdown_deadline: None,
             persist_fs: None,
+            persist_shards: None,
             watchdog: None,
         }
     }
@@ -347,6 +368,19 @@ impl SailingEngineBuilder {
         self
     }
 
+    /// Spreads the persistent store's entries over `n` hash-prefix
+    /// subdirectories (see [`sailing_persist::StoreOptions::shards`]):
+    /// compaction locks per shard instead of the whole store, and large
+    /// stores avoid one enormous flat directory. Opening an existing
+    /// flat store with shards configured migrates it in place; `0` (the
+    /// default) keeps the flat layout. No effect without
+    /// [`SailingEngineBuilder::persist_dir`].
+    #[must_use]
+    pub fn persist_shards(mut self, n: usize) -> Self {
+        self.persist_shards = Some(n);
+        self
+    }
+
     /// Arms a **discovery watchdog** on the default ACCU-COPY strategy: a
     /// wall-clock deadline and/or limit-cycle detection that end a
     /// non-converging run as a typed outcome
@@ -448,6 +482,9 @@ impl SailingEngineBuilder {
                 if let Some(deadline) = self.persist_shutdown_deadline {
                     options = options.shutdown_deadline(deadline);
                 }
+                if let Some(shards) = self.persist_shards {
+                    options = options.shards(shards);
+                }
                 let store = match self.persist_fs {
                     Some(fs) => PersistentStore::open_with_fs(dir, options, fs)?,
                     None => PersistentStore::open_with(dir, options)?,
@@ -463,6 +500,7 @@ impl SailingEngineBuilder {
             temporal_params: self.temporal_params,
             cache: Arc::new(AnalysisCache::new(self.cache_capacity)),
             persist,
+            shard: Arc::new(ShardCounters::default()),
         })
     }
 }
@@ -485,6 +523,21 @@ pub struct SailingEngine {
     /// The durable tier under the in-memory cache, when configured —
     /// shared by clones, like the cache itself.
     persist: Option<Arc<PersistentStore>>,
+    /// Counters for the pair-sharded analysis path — shared by clones,
+    /// like the cache.
+    shard: Arc<ShardCounters>,
+}
+
+/// Counters behind [`CacheStats::shard_runs`] /
+/// [`CacheStats::shard_partials_adopted`].
+#[derive(Debug, Default)]
+struct ShardCounters {
+    /// Pair-range detection passes this engine (and its clones) computed
+    /// locally.
+    runs: AtomicU64,
+    /// Partials adopted from a cooperating process's published blob
+    /// instead of being recomputed.
+    adopted: AtomicU64,
 }
 
 impl SailingEngine {
@@ -532,6 +585,8 @@ impl SailingEngine {
             stats.disk_breaker_fast_fails = disk.breaker_fast_fails;
             stats.disk_breaker = store.breaker_state();
         }
+        stats.shard_runs = self.shard.runs.load(Ordering::Relaxed);
+        stats.shard_partials_adopted = self.shard.adopted.load(Ordering::Relaxed);
         stats
     }
 
@@ -648,6 +703,175 @@ impl SailingEngine {
     ) -> Analysis {
         self.analyze_inner(SnapshotInput::Owned(snapshot), Some(history), None)
             .0
+    }
+
+    /// Pair-sharded distributed analysis: fans the dependence-detection
+    /// pass of each discovery iteration over `workers` contiguous ranges
+    /// of the candidate-pair list (see [`sailing_core::shard`]) and folds
+    /// the partials back into a result **bitwise identical** to
+    /// [`SailingEngine::analyze`] on the same snapshot (without any
+    /// configured watchdog, which the sharded path does not arm — the
+    /// coordinator's iteration cap is the only stop).
+    ///
+    /// Without a persistent store the fan-out runs on `workers` scoped
+    /// threads in this process. With one attached
+    /// ([`SailingEngineBuilder::persist_dir`]), the fan-out is
+    /// **cooperative**: each iteration's ranges are claimed through
+    /// durable `.claim` entries and finished partials are published as
+    /// store blobs, so several engine *processes* pointed at one store
+    /// directory split the detection work of a single analysis. Unclaimed
+    /// partials are adopted from the store (validated against the local
+    /// iteration state and counted in
+    /// [`CacheStats::shard_partials_adopted`]); a claimed partial that
+    /// never appears is recomputed locally after a short deadline, so a
+    /// crashed peer slows the run down but can neither wedge nor skew it.
+    /// Claims and blobs are swept best-effort when the run completes;
+    /// debris from a crashed run is adopted (if still valid) or simply
+    /// out-waited by the next run.
+    ///
+    /// Sharded results bypass the analysis cache, like streamed analyses:
+    /// the path exists to bound the latency of one large analysis, not to
+    /// warm the cache.
+    ///
+    /// # Errors
+    /// A configuration error when the installed strategy is not the
+    /// iterative ACCU/ACCU-COPY family (the sharded loop distributes that
+    /// specific iteration), or a merge error if the store hands back
+    /// partials that cannot reproduce the monolithic pass.
+    pub fn analyze_sharded(
+        &self,
+        snapshot: &SnapshotView,
+        workers: usize,
+    ) -> Result<Analysis, SailingError> {
+        if self.strategy.detection_params().is_none() {
+            return Err(SailingError::config(
+                "analyze_sharded",
+                format!(
+                    "the installed strategy `{}` does not run the iterative detection \
+                     loop the sharded path distributes; use the default strategy or \
+                     the ACCU/ACCU-COPY family",
+                    self.strategy.name()
+                ),
+            ));
+        }
+        let pipeline = AccuCopy::new(self.params.clone())?;
+        let snapshot = Arc::new(snapshot.clone());
+        let ranges = shard_ranges(pipeline.pair_count(&snapshot), workers.max(1));
+        let hash = snapshot.content_hash();
+        let mut state = pipeline.bootstrap_sharded(&snapshot, None);
+        while state.iterations < self.params.max_iterations {
+            let iteration = state.iterations + 1;
+            let partials =
+                self.sharded_iteration(&pipeline, &snapshot, &ranges, &state, hash, iteration);
+            let step = pipeline.merge_partials(&snapshot, &state, &partials)?;
+            state = step.state;
+            if step.done {
+                break;
+            }
+        }
+        if let Some(store) = self.persist.as_deref() {
+            // Best-effort sweep of the run's coordination files. A racing
+            // straggler re-publishing after this sweep cleans up again
+            // when it finishes; only a crashed process leaks its names,
+            // and those are validated-or-out-waited by the next run.
+            for iteration in 1..=state.iterations {
+                for &range in &ranges {
+                    let name = shard_partial_name(hash, iteration, range);
+                    store.remove_blob(&name);
+                    store.remove_claim(&name);
+                }
+            }
+        }
+        Ok(self.assemble_analysis(snapshot, None, Arc::new(state)))
+    }
+
+    /// One iteration's fan-out: claim what we can, compute claimed ranges
+    /// on scoped threads, publish them, adopt the rest from cooperating
+    /// processes (recomputing locally when a claimant never delivers).
+    fn sharded_iteration(
+        &self,
+        pipeline: &AccuCopy,
+        snapshot: &SnapshotView,
+        ranges: &[PairRange],
+        state: &PipelineResult,
+        hash: u64,
+        iteration: usize,
+    ) -> Vec<PartialDependence> {
+        let store = self.persist.as_deref();
+        let (mine, theirs): (Vec<PairRange>, Vec<PairRange>) = match store {
+            Some(store) => ranges
+                .iter()
+                .partition(|&&r| store.try_claim(&shard_partial_name(hash, iteration, r))),
+            None => (ranges.to_vec(), Vec::new()),
+        };
+
+        let mut partials: Vec<PartialDependence> = if mine.len() <= 1 {
+            mine.iter()
+                .map(|&r| pipeline.run_shard(snapshot, r, state))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = mine
+                    .iter()
+                    .map(|&r| scope.spawn(move || pipeline.run_shard(snapshot, r, state)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+        self.shard
+            .runs
+            .fetch_add(mine.len() as u64, Ordering::Relaxed);
+
+        let Some(store) = store else {
+            return partials;
+        };
+        // Publishing is cooperative best-effort: a failed publish only
+        // denies peers an adoption (they recompute), never this merge.
+        for partial in &partials {
+            let name = shard_partial_name(hash, iteration, partial.range);
+            let _ = store.put_blob(&name, partial.to_canonical_json().as_bytes());
+        }
+        let digest = iteration_digest(state);
+        let total_pairs = ranges.last().map_or(0, |r| r.end);
+        let deadline = Instant::now() + SHARD_ADOPT_DEADLINE;
+        let mut waiting = theirs;
+        while !waiting.is_empty() {
+            waiting.retain(|&range| {
+                let adopted = store
+                    .get_blob(&shard_partial_name(hash, iteration, range))
+                    .and_then(|bytes| String::from_utf8(bytes).ok())
+                    .and_then(|text| PartialDependence::from_json_str(&text).ok())
+                    // A blob from a crashed earlier run (or a peer on a
+                    // different epoch) fails the digest check and is
+                    // recomputed rather than merged.
+                    .filter(|p| {
+                        p.range == range && p.total_pairs == total_pairs && p.state_digest == digest
+                    });
+                match adopted {
+                    Some(partial) => {
+                        partials.push(partial);
+                        self.shard.adopted.fetch_add(1, Ordering::Relaxed);
+                        false
+                    }
+                    None => true,
+                }
+            });
+            if waiting.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(SHARD_ADOPT_POLL);
+        }
+        for &range in &waiting {
+            let partial = pipeline.run_shard(snapshot, range, state);
+            let name = shard_partial_name(hash, iteration, partial.range);
+            let _ = store.put_blob(&name, partial.to_canonical_json().as_bytes());
+            self.shard.runs.fetch_add(1, Ordering::Relaxed);
+            partials.push(partial);
+        }
+        partials
     }
 
     /// Opens a [`TimelineSession`] over a history: one warm-started epoch
@@ -1145,6 +1369,14 @@ pub struct CacheStats {
     /// ([`BreakerState::Closed`] when no store or no breaker is
     /// configured).
     pub disk_breaker: BreakerState,
+    /// Pair-range detection passes [`SailingEngine::analyze_sharded`]
+    /// computed locally (claimed ranges plus recomputed fallbacks).
+    pub shard_runs: u64,
+    /// Pair-range partials adopted from a cooperating process's
+    /// published blob instead of being recomputed (`0` without a
+    /// persistent store — threads-only fan-outs have no one to adopt
+    /// from).
+    pub shard_partials_adopted: u64,
 }
 
 /// Cache key: the snapshot's content hash plus the provenance of the
@@ -1388,6 +1620,8 @@ impl AnalysisCache {
             disk_retries: 0,
             disk_breaker_fast_fails: 0,
             disk_breaker: BreakerState::Closed,
+            shard_runs: 0,
+            shard_partials_adopted: 0,
         }
     }
 }
@@ -1915,7 +2149,14 @@ pub struct IngestSession {
     snapshot: Arc<SnapshotView>,
     last: Arc<PipelineResult>,
     stats: IngestStats,
+    /// Process-unique identity, so downstream consumers folding stats
+    /// from several sessions (see `sailing-serve`'s metrics) can track
+    /// per-session deltas instead of clobbering each other's totals.
+    session_id: u64,
 }
+
+/// Monotonic source for [`IngestSession::session_id`].
+static NEXT_INGEST_SESSION_ID: AtomicU64 = AtomicU64::new(1);
 
 impl IngestSession {
     fn start(engine: SailingEngine, log: ClaimLog) -> Self {
@@ -1926,18 +2167,23 @@ impl IngestSession {
             snapshot: Arc::new(SnapshotView::from_triples(0, 0, Vec::new())),
             last: Arc::new(trivial_result()),
             stats: IngestStats::default(),
+            session_id: NEXT_INGEST_SESSION_ID.fetch_add(1, Ordering::Relaxed),
         };
         if !session.log.is_empty() {
-            // Recovery bootstrap: fold everything the log retained (all
-            // sealed epochs plus the open tail) into one snapshot and pay
-            // a full cold analysis for it. Streaming continues
-            // incrementally from that state.
-            let bootstrap = session.log.replay_delta();
+            // Recovery bootstrap: fold the log's *sealed* epochs into one
+            // snapshot and pay a full cold analysis for them. The open
+            // tail stays out deliberately — its eventual seal re-emits
+            // those events as a delta, so folding it here too would
+            // apply them twice: a spurious dirty-closure re-analysis and
+            // double-counted epoch stats.
             session.stats.events = session.log.len() as u64;
-            session.snapshot = Arc::new(session.snapshot.apply_delta(&bootstrap));
-            let result = session.engine.strategy.run_warm(&session.snapshot, None);
-            session.stats.iterations_total += result.iterations as u64;
-            session.last = Arc::new(result);
+            if session.log.sealed_len() > 0 {
+                let bootstrap = session.log.replay_sealed_delta();
+                session.snapshot = Arc::new(session.snapshot.apply_delta(&bootstrap));
+                let result = session.engine.strategy.run_warm(&session.snapshot, None);
+                session.stats.iterations_total += result.iterations as u64;
+                session.last = Arc::new(result);
+            }
         }
         session
     }
@@ -2046,6 +2292,14 @@ impl IngestSession {
     /// Running session counters.
     pub fn stats(&self) -> IngestStats {
         self.stats
+    }
+
+    /// This session's process-unique identity (monotonic, never reused).
+    /// Stats consumers key their last-seen [`IngestStats`] on it so that
+    /// several sessions publishing through one sink fold additively
+    /// instead of overwriting each other.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
     }
 
     /// The underlying claim log.
@@ -2866,6 +3120,90 @@ mod tests {
         );
         assert!(session.stats().iterations_total > 0);
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_sharded_matches_analyze_bitwise() {
+        let (store, truth) = fixtures::table1();
+        let snap = store.snapshot();
+        let engine = SailingEngine::with_defaults();
+        let solo = engine.analyze(&snap);
+        for workers in [1, 3] {
+            let sharded = engine.analyze_sharded(&snap, workers).unwrap();
+            assert_eq!(sharded.decisions(), solo.decisions());
+            for (x, y) in sharded.accuracies().iter().zip(solo.accuracies()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "workers={workers}");
+            }
+            assert_eq!(
+                sharded.result().iterations,
+                solo.result().iterations,
+                "the sharded coordinator replays the same iterations"
+            );
+            assert_eq!(truth.decision_precision(&sharded.decisions()).unwrap(), 1.0);
+        }
+        let stats = engine.cache_stats();
+        assert!(stats.shard_runs > 0, "local detection passes are counted");
+        assert_eq!(
+            stats.shard_partials_adopted, 0,
+            "threads-only fan-outs have no peers to adopt from"
+        );
+        // Sharded results bypass the cache: only the plain analyze()
+        // touched the request counters.
+        assert_eq!(stats.hits + stats.misses, 1);
+    }
+
+    #[test]
+    fn analyze_sharded_rejects_accuracy_blind_strategies() {
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let engine = SailingEngine::builder()
+            .strategy(NaiveVote::new())
+            .build()
+            .unwrap();
+        let err = engine.analyze_sharded(&snap, 2).unwrap_err();
+        assert!(err.to_string().contains("strategy"), "{err}");
+    }
+
+    #[test]
+    fn analyze_sharded_adopts_peer_partials_through_the_store() {
+        let dir = persist_temp_dir("shard-adopt");
+        let (store, _) = fixtures::table1();
+        let snap = store.snapshot();
+        let engine = SailingEngine::builder().persist_dir(&dir).build().unwrap();
+
+        // A stand-in for a cooperating process: claim the first range of
+        // iteration 1 and publish its partial through the shared store
+        // before the engine's own run begins.
+        let pipeline = AccuCopy::new(engine.params().clone()).unwrap();
+        let ranges = shard_ranges(pipeline.pair_count(&snap), 2);
+        assert_eq!(ranges.len(), 2, "table1 has enough candidate pairs");
+        let state = pipeline.bootstrap_sharded(&snap, None);
+        let name = shard_partial_name(snap.content_hash(), 1, ranges[0]);
+        let peer = engine.persist_store().unwrap();
+        assert!(peer.try_claim(&name));
+        let partial = pipeline.run_shard(&snap, ranges[0], &state);
+        peer.put_blob(&name, partial.to_canonical_json().as_bytes())
+            .unwrap();
+
+        let sharded = engine.analyze_sharded(&snap, 2).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(
+            stats.shard_partials_adopted, 1,
+            "the pre-published partial was adopted, not recomputed"
+        );
+        assert!(stats.shard_runs > 0);
+
+        let solo = SailingEngine::with_defaults().analyze(&snap);
+        assert_eq!(sharded.decisions(), solo.decisions());
+        for (x, y) in sharded.accuracies().iter().zip(solo.accuracies()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "cooperation stays bit-exact");
+        }
+
+        // The completed run swept its coordination files, so the claim
+        // is takeable again and the blob is gone.
+        assert!(peer.get_blob(&name).is_none());
+        assert!(peer.try_claim(&name));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

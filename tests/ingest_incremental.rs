@@ -191,6 +191,50 @@ fn torn_log_recovery_bootstraps_a_consistent_session() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Regression: `ingest_session_from` used to bootstrap from
+/// `replay_delta()` — sealed epochs *plus* the open tail — so the tail's
+/// eventual seal re-emitted those events as a delta and they were applied
+/// twice (a spurious re-analysis with double-counted epoch stats). The
+/// bootstrap must cover sealed events only, leaving the tail to its seal.
+#[test]
+fn bootstrap_with_open_tail_applies_tail_exactly_once() {
+    let engine = SailingEngine::with_defaults();
+    let mut log = ClaimLog::in_memory(SealPolicy::manual());
+    log.assert_claim(SourceId(0), ObjectId(0), ValueId(1), 0, 0);
+    log.assert_claim(SourceId(1), ObjectId(0), ValueId(1), 0, 1);
+    log.seal();
+    // Non-empty open tail handed to the engine un-sealed.
+    log.assert_claim(SourceId(0), ObjectId(1), ValueId(2), 0, 2);
+
+    let net = |delta: &sailing::model::Delta| {
+        SnapshotView::from_triples(0, 0, Vec::new()).apply_delta(delta)
+    };
+    let sealed_net = net(&log.replay_sealed_delta());
+    let full_net = net(&log.replay_delta());
+
+    let mut session = engine.ingest_session_from(log);
+    assert_eq!(
+        session.snapshot().content_hash(),
+        sealed_net.content_hash(),
+        "bootstrap folds sealed epochs only"
+    );
+    let deltas_before = session.stats().deltas_sealed;
+
+    assert!(session.seal(), "the recovered tail seals normally");
+    let stats = session.stats();
+    assert_eq!(stats.deltas_sealed, deltas_before + 1);
+    assert_eq!(stats.events, 3);
+    assert_eq!(
+        session.snapshot().content_hash(),
+        full_net.content_hash(),
+        "tail events applied exactly once"
+    );
+    assert_eq!(
+        session.analysis().decisions(),
+        engine.analyze(&full_net).decisions()
+    );
+}
+
 /// A temporal history drives the ingest path through
 /// `change_points_since`: epochs before the cutoff are skipped, each
 /// remaining change point becomes one delta epoch (diff of consecutive

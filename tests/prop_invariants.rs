@@ -670,6 +670,78 @@ fn incremental_run_delta_matches_full_warm_rerun() {
     );
 }
 
+/// The pair-sharded coordinator (`run_sharded`, the reference driver for
+/// `SailingEngine::analyze_sharded`) must reproduce the monolithic loop
+/// **bitwise** — same iterations, same accuracies, same posteriors, same
+/// dependences (which subsumes the 1e-9 acceptance bound) — on random
+/// worlds, random shard counts, and warm-started runs.
+#[test]
+fn sharded_analysis_matches_monolithic_on_random_worlds() {
+    let pipeline = AccuCopy::new(DetectionParams {
+        hard_damping_threshold: 1.0,
+        convergence_epsilon: 1e-12,
+        // The default 20-iteration cap never reaches a 1e-12 fixpoint;
+        // the property should mostly compare genuinely converged runs.
+        max_iterations: 400,
+        ..DetectionParams::default()
+    })
+    .unwrap();
+    let mut checked = 0usize;
+    for case in 0..CASES {
+        let mut r = rng(16_000 + case);
+        let snapshot = random_snapshot(16_500 + case);
+        let workers = r.gen_range(1..7usize);
+        let monolithic = pipeline.run(&snapshot);
+        let sharded = pipeline.run_sharded(&snapshot, None, workers).unwrap();
+        assert_eq!(sharded.iterations, monolithic.iterations, "case {case}");
+        assert_eq!(sharded.converged, monolithic.converged, "case {case}");
+        for (i, (x, y)) in sharded
+            .accuracies
+            .iter()
+            .zip(&monolithic.accuracies)
+            .enumerate()
+        {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "case {case}: accuracy[{i}] {x} vs {y} (workers {workers})"
+            );
+        }
+        for o in monolithic.probabilities.objects() {
+            let got = sharded.probabilities.distribution(o);
+            let want = monolithic.probabilities.distribution(o);
+            assert_eq!(got.len(), want.len(), "case {case}: width at {o:?}");
+            for (&(v, p), &(w, q)) in got.iter().zip(want) {
+                assert_eq!(v, w, "case {case}: value order at {o:?}");
+                assert_eq!(
+                    p.to_bits(),
+                    q.to_bits(),
+                    "case {case}: posterior({o:?}, {v:?}) {p} vs {q}"
+                );
+            }
+        }
+        assert_eq!(sharded.dependences, monolithic.dependences, "case {case}");
+
+        if monolithic.converged {
+            checked += 1;
+            // Warm-started sharded runs share run_warm's prior gate and
+            // its fixpoint.
+            let warm = pipeline.run_warm(&snapshot, Some(&monolithic));
+            let warm_sharded = pipeline
+                .run_sharded(&snapshot, Some(&monolithic), workers)
+                .unwrap();
+            assert_eq!(warm_sharded.iterations, warm.iterations, "case {case}");
+            for (x, y) in warm_sharded.accuracies.iter().zip(&warm.accuracies) {
+                assert_eq!(x.to_bits(), y.to_bits(), "case {case}: warm drifted");
+            }
+        }
+    }
+    assert!(
+        checked >= CASES as usize / 4,
+        "only {checked} cases converged — the property barely ran"
+    );
+}
+
 #[test]
 fn dissim_posteriors_are_probabilities() {
     for case in 0..CASES {
