@@ -51,6 +51,15 @@
 //! every run, smoke included); wall-clock is informational on a 1-core
 //! box and recorded as the thread overhead it is.
 //!
+//! Schema 7 adds `equivalence`: the value-equivalence quotient layer on
+//! the messy variant world — the cost of building a `NormalizedString`
+//! quotient, the post-refactor `Exact` engine path against the direct
+//! pipeline entry (the `Exact` backend must be free: overhead gated
+//! ≤ 1.02× on every run, min-of-N alternating rounds), and decision
+//! precision under exact / normalized-string / numeric-tolerance
+//! backends — the quotient backends must strictly beat exact identity on
+//! the variant world (deterministic, gated on every run).
+//!
 //! Set `SAILING_BENCH_SMOKE=1` for a seconds-scale smoke run (used by CI
 //! to keep this target from rotting); the JSON is then suffixed
 //! `.smoke.json` so a smoke run never overwrites a real trajectory point.
@@ -69,8 +78,10 @@ use sailing_core::truth::{naive_probabilities, ValueProbabilities};
 use sailing_core::{DetectionParams, PairDependence};
 use sailing_datagen::churn::{ChurnConfig, ChurnWorld};
 use sailing_datagen::temporal::{table3_style, TemporalWorld};
+use sailing_datagen::variants::{VariantWorld, VariantWorldConfig};
 use sailing_datagen::world::{SnapshotWorld, WorldConfig};
-use sailing_model::{ObjectId, SnapshotView, SourceId, ValueId};
+use sailing_linkage::NormalizedString;
+use sailing_model::{NumericTolerance, ObjectId, SnapshotView, SourceId, ValueId};
 
 /// The pre-refactor (hash-layout) pairwise detection, preserved here as the
 /// measured baseline. Mirrors the seed implementation operation for
@@ -371,6 +382,40 @@ struct ShardedAnalysisPoint {
     max_accuracy_gap: f64,
 }
 
+/// One value-equivalence measurement on the messy variant world: the
+/// quotient build cost, the `Exact`-backend engine path against the
+/// direct pipeline entry (the refactor's no-regression contract —
+/// `exact_overhead` is gated ≤ 1.02 on every run, smoke included, over
+/// min-of-N alternating rounds), and decision precision per backend
+/// (the quotient backends must strictly beat exact identity — exact
+/// and deterministic, gated on every run).
+#[derive(Debug, Serialize)]
+struct EquivalencePoint {
+    sources: usize,
+    objects: usize,
+    /// Assertions that arrived as formatting variants of a canonical
+    /// value.
+    variant_claims: usize,
+    /// Interned values in the snapshot's arena.
+    values: usize,
+    /// Classes the `NormalizedString` quotient partitions them into.
+    quotient_classes: usize,
+    /// Wall time to build that quotient (partition + dense maps).
+    quotient_build_ms: f64,
+    /// Direct pipeline entry (`AccuCopy::run`) — the pre-refactor path.
+    pipeline_ms: f64,
+    /// Post-refactor engine path with the default `Exact` backend,
+    /// cache off.
+    exact_ms: f64,
+    /// `exact_ms / pipeline_ms` — gated ≤ 1.02 on every run.
+    exact_overhead: f64,
+    /// Engine path under `NormalizedString` (quotient build included).
+    normalized_ms: f64,
+    precision_exact: f64,
+    precision_normalized: f64,
+    precision_numeric: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     experiment: &'static str,
@@ -388,6 +433,7 @@ struct BenchReport {
     async_write_behind: Vec<AsyncWriteBehindPoint>,
     streaming_ingest: Vec<StreamingIngestPoint>,
     sharded_analysis: Vec<ShardedAnalysisPoint>,
+    equivalence: Vec<EquivalencePoint>,
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -1073,9 +1119,134 @@ fn main() {
         }
     }
 
+    // --- E7h: value-equivalence quotient — exact overhead, variant precision ---
+    banner(
+        "E7h",
+        "Value equivalence: quotient cost, Exact overhead, variant precision",
+    );
+    header(&[
+        "objects",
+        "sources",
+        "classes",
+        "quot ms",
+        "pipe ms",
+        "exact ms",
+        "ovhd",
+        "prec e/n/t",
+    ]);
+    let equiv_configs: &[(usize, usize)] = if smoke {
+        &[(120, 8)]
+    } else {
+        &[(200, 10), (400, 12)]
+    };
+    let equiv_rounds = if smoke { 3 } else { 5 };
+    let mut equivalence_points = Vec::new();
+    for &(objects, sources) in equiv_configs {
+        let messy = VariantWorld::generate(&VariantWorldConfig::messy(objects, sources, 42));
+        let snapshot = Arc::new(messy.snapshot.clone());
+        let values = snapshot.values().map_or(0, |v| v.len());
+
+        // Quotient build cost: the one-time per-analysis price a
+        // non-exact backend pays before the integer-only inner loops.
+        let (quotient, t_quotient) = time_ms(|| snapshot.quotient(&NormalizedString));
+        assert!(
+            quotient.num_classes() < values,
+            "the variant world must actually merge representations"
+        );
+
+        // Exact must be free: the post-refactor engine path (default
+        // `Exact` backend, cache off so every round recomputes) against
+        // the direct pipeline entry. Alternating rounds, min per side —
+        // the iteration work dominates both, so the ratio isolates the
+        // facade's added dispatch (`is_exact` check and key derivation).
+        let pipeline = sailing_core::AccuCopy::new(DetectionParams::default()).unwrap();
+        let exact_engine = SailingEngine::builder().cache_capacity(0).build().unwrap();
+        pipeline.run(&snapshot);
+        exact_engine.analyze_owned(Arc::clone(&snapshot));
+        let (mut t_pipe, mut t_exact) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..equiv_rounds {
+            let (_, t) = time_ms(|| pipeline.run(&snapshot));
+            t_pipe = t_pipe.min(t);
+            let (_, t) = time_ms(|| exact_engine.analyze_owned(Arc::clone(&snapshot)));
+            t_exact = t_exact.min(t);
+        }
+        let exact_overhead = t_exact / t_pipe.max(1e-9);
+        assert!(
+            exact_overhead <= 1.02,
+            "Exact backend must stay within 2% of the direct pipeline: \
+             {t_exact:.2}ms vs {t_pipe:.2}ms ({exact_overhead:.3}x)"
+        );
+
+        // Precision per backend — exact decisions, deterministic worlds,
+        // gated on every run: quotienting must re-form the split
+        // majority the formatting variants fractured.
+        let precision_of = |engine: &SailingEngine| {
+            let analysis = engine.analyze_owned(Arc::clone(&snapshot));
+            let decisions = analysis.result().probabilities.decisions_sorted();
+            messy.truth.decision_precision(&decisions).unwrap()
+        };
+        let precision_exact = precision_of(&exact_engine);
+        let normalized_engine = SailingEngine::builder()
+            .value_equivalence(NormalizedString)
+            .cache_capacity(0)
+            .build()
+            .unwrap();
+        let (precision_normalized, t_normalized) = time_ms(|| precision_of(&normalized_engine));
+        let numeric_engine = SailingEngine::builder()
+            .value_equivalence(NumericTolerance::new(messy.config.numeric_eps).unwrap())
+            .cache_capacity(0)
+            .build()
+            .unwrap();
+        let precision_numeric = precision_of(&numeric_engine);
+        assert!(
+            precision_normalized > precision_exact,
+            "normalized-string must strictly beat exact on the variant world: \
+             {precision_normalized} vs {precision_exact}"
+        );
+        assert!(
+            precision_numeric > precision_exact,
+            "numeric-tolerance must strictly beat exact on the variant world: \
+             {precision_numeric} vs {precision_exact}"
+        );
+
+        println!(
+            "{}",
+            row(&[
+                objects.to_string(),
+                sources.to_string(),
+                format!("{}/{}", quotient.num_classes(), values),
+                format!("{t_quotient:.2}"),
+                format!("{t_pipe:.1}"),
+                format!("{t_exact:.1}"),
+                format!("{exact_overhead:.3}x"),
+                format!(
+                    "{:.0}/{:.0}/{:.0}%",
+                    precision_exact * 100.0,
+                    precision_normalized * 100.0,
+                    precision_numeric * 100.0
+                ),
+            ])
+        );
+        equivalence_points.push(EquivalencePoint {
+            sources,
+            objects,
+            variant_claims: messy.num_variant_claims,
+            values,
+            quotient_classes: quotient.num_classes(),
+            quotient_build_ms: t_quotient,
+            pipeline_ms: t_pipe,
+            exact_ms: t_exact,
+            exact_overhead,
+            normalized_ms: t_normalized,
+            precision_exact,
+            precision_normalized,
+            precision_numeric,
+        });
+    }
+
     let report = BenchReport {
         experiment: "exp_scalability",
-        schema: 6,
+        schema: 7,
         smoke,
         world: "specialist",
         host_cpus,
@@ -1086,6 +1257,7 @@ fn main() {
         async_write_behind: async_points,
         streaming_ingest: ingest_points,
         sharded_analysis: sharded_points,
+        equivalence: equivalence_points,
     };
     let file_name = if smoke {
         "BENCH_scalability.smoke.json"

@@ -18,6 +18,10 @@
 //!   where sources appear and vanish epoch by epoch, with a contested
 //!   never-churned hard cohort (the incremental-discovery benchmark's
 //!   substrate);
+//! * [`variants`] — worlds whose sources disagree about formatting as much
+//!   as about facts: canonical values plus case/whitespace/diacritic and
+//!   trailing-zero re-renderings, the substrate for the value-equivalence
+//!   backends;
 //! * [`zipf`] — the coverage-skew sampler shared by the generators.
 
 #![forbid(unsafe_code)]
@@ -27,6 +31,7 @@ pub mod bookstores;
 pub mod churn;
 pub mod ratings;
 pub mod temporal;
+pub mod variants;
 pub mod world;
 pub mod zipf;
 
@@ -34,6 +39,7 @@ pub use bookstores::{BookCorpus, BookCorpusConfig};
 pub use churn::{ChurnConfig, ChurnWorld};
 pub use ratings::{RaterBehavior, RatingWorld, RatingWorldConfig};
 pub use temporal::{TemporalWorld, TemporalWorldConfig};
+pub use variants::{VariantWorld, VariantWorldConfig};
 pub use world::{SnapshotWorld, SourceBehavior, WorldConfig};
 pub use zipf::Zipf;
 

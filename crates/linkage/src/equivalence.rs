@@ -1,0 +1,105 @@
+//! The normalized-string [`ValueEquivalence`] backend: two text values are
+//! the same when they [`normalize`] to the same key.
+//!
+//! This is the linkage-flavoured answer to Example 4.1's "formatted in
+//! various ways" problem, lifted into the quotient machinery of
+//! `sailing-model`: `"BLOCH, Joshua"`-style case, punctuation, whitespace,
+//! and diacritic variants collapse into one equivalence class, so truth
+//! discovery and copy detection stop splitting votes across formattings of
+//! the same underlying value. It lives here (not in `sailing-model`)
+//! because the normalizer does.
+
+use std::collections::HashMap;
+
+use sailing_model::equivalence::ValueEquivalence;
+use sailing_model::{fx_mix, Value};
+
+use crate::normalize::normalize;
+
+/// Text values are equivalent when their [`normalize`]d forms are equal
+/// (the [`crate::normalize::normalized_eq`] relation); non-text values are
+/// equivalent only to themselves.
+///
+/// The property tests in the root crate pin the contract this backend
+/// leans on: `normalize` is idempotent, which makes `normalized_eq` a true
+/// equivalence relation — reflexive, symmetric, and transitive — and the
+/// quotient construction sound.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedString;
+
+impl ValueEquivalence for NormalizedString {
+    fn name(&self) -> &'static str {
+        "normalized-string"
+    }
+
+    fn digest(&self) -> u64 {
+        fx_mix(0x6571_7569_765f, 1) // "equiv_" tag, variant 1
+    }
+
+    fn partition(&self, values: &[Value]) -> Vec<u32> {
+        let mut classes: HashMap<String, u32> = HashMap::new();
+        let mut labels = Vec::with_capacity(values.len());
+        let mut next = 0u32;
+        for value in values {
+            match value.as_text() {
+                Some(text) => {
+                    let key = normalize(text);
+                    let label = *classes.entry(key).or_insert_with(|| {
+                        let l = next;
+                        next += 1;
+                        l
+                    });
+                    labels.push(label);
+                }
+                None => {
+                    // Interned arenas hold each value once, so a fresh
+                    // label per non-text slot is exact equivalence.
+                    labels.push(next);
+                    next += 1;
+                }
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sailing_model::equivalence::ValueQuotient;
+    use sailing_model::ValueId;
+
+    #[test]
+    fn formatting_variants_share_a_class() {
+        let values = vec![
+            Value::text("John Smith"),
+            Value::text("JOHN  SMITH"),
+            Value::text("John-Smith"),
+            Value::text("Jóhn Smith"),
+            Value::text("Jane Doe"),
+            Value::Int(3),
+        ];
+        let q = ValueQuotient::build(&NormalizedString, &values);
+        assert_eq!(q.num_classes(), 3);
+        for i in 1..4 {
+            assert_eq!(q.representative_of(ValueId(i)), ValueId(0));
+        }
+        assert_eq!(q.representative_of(ValueId(4)), ValueId(4));
+        assert_eq!(q.representative_of(ValueId(5)), ValueId(5));
+        assert!(!q.is_identity());
+    }
+
+    #[test]
+    fn distinct_names_stay_distinct() {
+        let values = vec![
+            Value::text("Luna Dong"),
+            Value::text("Xin Dong"),
+            Value::text("3.14"),
+            Value::text("3.140"),
+        ];
+        let q = ValueQuotient::build(&NormalizedString, &values);
+        // Normalization is about formatting, not numerics: "3.14" and
+        // "3.140" normalize to different keys ("3 14" vs "3 140").
+        assert!(q.is_identity());
+    }
+}

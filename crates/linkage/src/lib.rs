@@ -24,11 +24,13 @@
 pub mod authors;
 pub mod classify;
 pub mod cluster;
+pub mod equivalence;
 pub mod metrics;
 pub mod normalize;
 
 pub use authors::{parse_author_list, AuthorList, AuthorName};
 pub use classify::{classify_pair, ClassifyParams, ValueRelation};
 pub use cluster::{cluster_values, UnionFind};
+pub use equivalence::NormalizedString;
 pub use metrics::{jaccard_tokens, jaro, jaro_winkler, levenshtein, ngram_similarity};
-pub use normalize::normalize;
+pub use normalize::{normalize, normalized_eq};

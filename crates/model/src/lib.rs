@@ -32,6 +32,7 @@
 
 pub mod claim;
 pub mod delta;
+pub mod equivalence;
 pub mod error;
 pub mod fixtures;
 pub mod history;
@@ -42,6 +43,9 @@ pub mod world;
 
 pub use claim::{Claim, Timestamp};
 pub use delta::{Delta, DeltaBuilder, DeltaOp};
+pub use equivalence::{
+    ClassId, Exact, HashedDigest, NumericTolerance, ValueEquivalence, ValueQuotient,
+};
 pub use error::{ModelError, SailingError, SailingResult};
 pub use history::{History, UpdateTrace};
 pub use ids::{Catalog, ObjectId, SourceId};

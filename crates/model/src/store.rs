@@ -40,11 +40,13 @@
 //! catalog ids are dense, so real artifacts always pass.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Content, Deserialize, Error as SerdeError, Serialize};
 
 use crate::claim::{Claim, Timestamp};
 use crate::delta::Delta;
+use crate::equivalence::{ValueEquivalence, ValueQuotient};
 use crate::error::ModelError;
 use crate::ids::{Catalog, ObjectId, SourceId};
 use crate::value::{Value, ValueId};
@@ -149,6 +151,11 @@ impl ClaimStoreBuilder {
             by_source[c.source.index()].push(i);
             by_object[c.object.index()].push(i);
         }
+        // Materialise the value arena once; every snapshot taken from this
+        // store shares it by `Arc`, which is what lets
+        // [`SnapshotView::quotient`] partition values without a catalog in
+        // reach.
+        let value_arena = Arc::new(self.values.iter().cloned().collect::<Vec<Value>>());
         ClaimStore {
             sources: self.sources,
             objects: self.objects,
@@ -156,6 +163,7 @@ impl ClaimStoreBuilder {
             claims: self.claims,
             by_source,
             by_object,
+            value_arena,
         }
     }
 }
@@ -169,6 +177,8 @@ pub struct ClaimStore {
     claims: Vec<Claim>,
     by_source: Vec<Vec<u32>>,
     by_object: Vec<Vec<u32>>,
+    /// The interned values in id order, shared with every snapshot.
+    value_arena: Arc<Vec<Value>>,
 }
 
 impl ClaimStore {
@@ -307,6 +317,7 @@ impl ClaimStore {
             rows.push((s, o, v));
         }
         SnapshotView::from_unique_sorted(self.sources.len(), self.objects.len(), rows)
+            .with_values(Arc::clone(&self.value_arena))
     }
 }
 
@@ -317,8 +328,10 @@ impl ClaimStore {
 /// side drives `assertions_on`/`value_counts`, and a precomputed
 /// distinct-value column makes `distinct_values` O(1). Equality compares
 /// content (dimensions + assertions); the canonical CSR layout makes the
-/// derived field-wise comparison exactly that.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// field-wise comparison exactly that. The optional value arena is
+/// advisory payload metadata (it enables [`SnapshotView::quotient`]) and
+/// deliberately takes no part in equality, hashing, or the wire format.
+#[derive(Debug, Clone)]
 pub struct SnapshotView {
     num_sources: usize,
     num_objects: usize,
@@ -332,7 +345,30 @@ pub struct SnapshotView {
     obj_entries: Vec<(SourceId, ValueId)>,
     /// Distinct values asserted per object.
     obj_distinct: Vec<u32>,
+    /// The interned values in id order, when the snapshot's producer had
+    /// them (snapshots built from a [`ClaimStore`]; snapshots rebuilt from
+    /// the wire or from bare triples carry `None`).
+    values: Option<Arc<Vec<Value>>>,
 }
+
+// Equality is CSR content only: two snapshots asserting the same
+// `(source, object, value)` set are the same snapshot whether or not one
+// of them happens to carry the payload arena. The persist tier relies on
+// this — stored snapshots round-trip through the arena-less wire shape
+// and must still verify equal against live ones.
+impl PartialEq for SnapshotView {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_sources == other.num_sources
+            && self.num_objects == other.num_objects
+            && self.src_offsets == other.src_offsets
+            && self.src_entries == other.src_entries
+            && self.obj_offsets == other.obj_offsets
+            && self.obj_entries == other.obj_entries
+            && self.obj_distinct == other.obj_distinct
+    }
+}
+
+impl Eq for SnapshotView {}
 
 impl Default for SnapshotView {
     fn default() -> Self {
@@ -471,6 +507,7 @@ impl SnapshotView {
             obj_offsets,
             obj_entries,
             obj_distinct,
+            values: None,
         }
     }
 
@@ -671,7 +708,75 @@ impl SnapshotView {
                 rows.push((sid, o, v));
             }
         }
-        Self::from_unique_sorted(num_sources, num_objects, rows)
+        let mut out = Self::from_unique_sorted(num_sources, num_objects, rows);
+        // The arena describes interned values, not assertions; the delta
+        // may name ids beyond it (streamed values carry no payloads) and
+        // those are simply uncovered.
+        out.values = self.values.clone();
+        out
+    }
+
+    /// The interned value arena backing this snapshot's ids, when known.
+    /// `values()[v.index()]` is the payload behind `v` for ids the arena
+    /// covers; ids at or beyond its length (e.g. streamed in without
+    /// payloads) are opaque.
+    pub fn values(&self) -> Option<&[Value]> {
+        self.values.as_deref().map(Vec::as_slice)
+    }
+
+    /// Attaches a value arena (in id order) to this snapshot, replacing
+    /// any existing one. The arena is advisory: it does not participate
+    /// in equality, [`SnapshotView::content_hash`], or serialization.
+    pub fn with_values(mut self, values: Arc<Vec<Value>>) -> Self {
+        self.values = Some(values);
+        self
+    }
+
+    /// The smallest value-id space covering both the arena and every
+    /// assertion in this snapshot.
+    pub fn value_space(&self) -> usize {
+        let asserted = self
+            .src_entries
+            .iter()
+            .map(|&(_, v)| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        asserted.max(self.values.as_deref().map_or(0, Vec::len))
+    }
+
+    /// Builds the quotient of this snapshot's value arena under `equiv`.
+    ///
+    /// Snapshots without an arena (wire round-trips, bare triples,
+    /// history replays) quotient over the empty arena: every asserted id
+    /// is an implicit singleton, so the quotient is the identity — a
+    /// non-exact backend degrades to exact matching rather than guessing.
+    pub fn quotient(&self, equiv: &dyn ValueEquivalence) -> ValueQuotient {
+        ValueQuotient::build(equiv, self.values().unwrap_or(&[]))
+    }
+
+    /// Rewrites every assertion's value to its class representative under
+    /// `quotient`, producing the snapshot the discovery hot loops run
+    /// over: two sources that asserted equivalent values now assert the
+    /// *same* `ValueId`, so the integer comparisons in overlap merging,
+    /// dissimilarity, copy detection, and voting see the quotient space
+    /// for free. `(source, object)` keys are untouched, distinct-value
+    /// counts are rebuilt, and the same arena is carried along. Identity
+    /// quotients return a plain clone.
+    pub fn quotiented(&self, quotient: &ValueQuotient) -> SnapshotView {
+        if quotient.is_identity() {
+            return self.clone();
+        }
+        let rows: Vec<(SourceId, ObjectId, ValueId)> = (0..self.num_sources)
+            .flat_map(|s| {
+                let sid = SourceId::from_index(s);
+                self.source_assertions(sid)
+                    .iter()
+                    .map(move |&(o, v)| (sid, o, quotient.representative_of(v)))
+            })
+            .collect();
+        let mut out = Self::from_unique_sorted(self.num_sources, self.num_objects, rows);
+        out.values = self.values.clone();
+        out
     }
 }
 
@@ -1199,6 +1304,85 @@ mod tests {
         b.retract(SourceId(1), ObjectId(2));
         let noop = base.apply_delta(&b.build());
         assert_eq!(noop, base);
+    }
+
+    #[test]
+    fn snapshots_carry_the_value_arena_and_equality_ignores_it() {
+        let store = sample_store();
+        let snap = store.snapshot();
+        let arena = snap.values().expect("store snapshots carry the arena");
+        assert_eq!(arena.len(), store.num_values());
+        assert_eq!(arena[0], Value::text("UW"));
+        assert_eq!(snap.value_space(), store.num_values());
+
+        // The wire shape drops the arena, but the round-trip still
+        // compares equal and hashes identically.
+        let back = SnapshotView::from_json_str(&snap.to_canonical_json()).unwrap();
+        assert!(back.values().is_none());
+        assert_eq!(back, snap);
+        assert_eq!(back.content_hash(), snap.content_hash());
+
+        // apply_delta carries the arena through, even past its coverage.
+        let mut b = Delta::builder();
+        b.assert_value(SourceId(0), ObjectId(0), ValueId(9));
+        let bumped = snap.apply_delta(&b.build());
+        assert_eq!(bumped.values().map(<[Value]>::len), Some(arena.len()));
+        assert_eq!(bumped.value_space(), 10);
+    }
+
+    #[test]
+    fn quotiented_rewrites_values_to_representatives() {
+        use crate::equivalence::NumericTolerance;
+        let mut b = ClaimStoreBuilder::new();
+        b.add("S1", "o0", "3.14")
+            .add("S2", "o0", "3.140")
+            .add("S3", "o0", "2.71")
+            .add("S1", "o1", "3.140");
+        let store = b.build();
+        let snap = store.snapshot();
+        let q = snap.quotient(&NumericTolerance::new(1e-6).unwrap());
+        assert!(!q.is_identity());
+        let quot = snap.quotiented(&q);
+        let v314 = store.value_id(&Value::text("3.14")).unwrap();
+        let v271 = store.value_id(&Value::text("2.71")).unwrap();
+        let o0 = store.object_id("o0").unwrap();
+        let o1 = store.object_id("o1").unwrap();
+        for s in ["S1", "S2"] {
+            let sid = store.source_id(s).unwrap();
+            assert_eq!(quot.value(sid, o0), Some(v314));
+        }
+        assert_eq!(quot.value(store.source_id("S3").unwrap(), o0), Some(v271));
+        assert_eq!(quot.value(store.source_id("S1").unwrap(), o1), Some(v314));
+        // Distinct-value counts see the quotient space.
+        assert_eq!(snap.distinct_values(o0), 3);
+        assert_eq!(quot.distinct_values(o0), 2);
+        // The arena rides along, and the original is untouched.
+        assert!(quot.values().is_some());
+        assert_ne!(quot.content_hash(), snap.content_hash());
+
+        // An identity quotient leaves the snapshot bitwise identical.
+        let exact = snap.quotiented(&snap.quotient(&crate::equivalence::Exact));
+        assert_eq!(exact, snap);
+        assert_eq!(exact.content_hash(), snap.content_hash());
+    }
+
+    #[test]
+    fn arenaless_snapshots_quotient_to_identity() {
+        use crate::equivalence::HashedDigest;
+        let snap = SnapshotView::from_triples(
+            2,
+            1,
+            vec![
+                (SourceId(0), ObjectId(0), ValueId(3)),
+                (SourceId(1), ObjectId(0), ValueId(7)),
+            ],
+        );
+        assert!(snap.values().is_none());
+        let q = snap.quotient(&HashedDigest::new(42));
+        assert!(q.is_identity());
+        assert_eq!(q.coverage(), 0);
+        assert_eq!(snap.quotiented(&q), snap);
+        assert_eq!(snap.value_space(), 8);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Private federation: truth discovery over salted value digests, without
+//! ever comparing plaintext values.
+//!
+//! A federation of sources wants dependence-aware fusion but will not ship
+//! raw values to the coordinator. The [`HashedDigest`] equivalence backend
+//! matches values by salted digest equality, so the engine's quotient —
+//! and therefore voting, dissimilarity, and copy detection — only ever
+//! sees digest-equality classes. On a variant-free world that partition is
+//! the identity, and the analysis must reproduce exact-identity discovery
+//! decision for decision and posterior for posterior (±1e-9).
+//!
+//! The second act runs the *messy* variant world through the
+//! [`NormalizedString`] and [`NumericTolerance`] backends: formatting
+//! variants collapse into one equivalence class each, the split honest
+//! majority re-forms, and decision precision strictly improves over exact
+//! identity.
+//!
+//! Run with `cargo run --release --example private_federation`.
+
+use std::sync::Arc;
+
+use sailing::datagen::variants::{VariantWorld, VariantWorldConfig};
+use sailing::engine::SailingEngine;
+use sailing::linkage::NormalizedString;
+use sailing::model::{HashedDigest, NumericTolerance, SnapshotView};
+
+const POSTERIOR_TOLERANCE: f64 = 1e-9;
+
+fn main() -> Result<(), sailing::SailingError> {
+    // == Act 1: digest-only discovery on a variant-free federation ==
+    let world = VariantWorld::generate(&VariantWorldConfig::federation(200, 10, 42));
+    println!(
+        "== Private federation: {} sources, {} objects, variant-free ==",
+        world.snapshot.num_sources(),
+        world.snapshot.num_objects()
+    );
+
+    let exact_engine = SailingEngine::builder().build()?;
+    let hashed_engine = SailingEngine::builder()
+        .value_equivalence(HashedDigest::new(0x5a17_ed00))
+        .build()?;
+
+    let exact = exact_engine.analyze_owned(Arc::new(world.snapshot.clone()));
+    let hashed = hashed_engine.analyze_owned(Arc::new(world.snapshot.clone()));
+
+    // Digest equality on distinct payloads is the identity partition, so
+    // discovery over digests must agree with plaintext discovery exactly.
+    let exact_decisions = exact.result().probabilities.decisions_sorted();
+    let hashed_decisions = hashed.result().probabilities.decisions_sorted();
+    assert_eq!(exact_decisions, hashed_decisions, "decisions must agree");
+
+    let mut max_posterior_gap: f64 = 0.0;
+    for &object in exact_decisions.keys() {
+        let a = exact.result().probabilities.distribution(object);
+        let b = hashed.result().probabilities.distribution(object);
+        assert_eq!(a.len(), b.len());
+        for (&(va, pa), &(vb, pb)) in a.iter().zip(b) {
+            assert_eq!(va, vb);
+            max_posterior_gap = max_posterior_gap.max((pa - pb).abs());
+        }
+    }
+    assert!(
+        max_posterior_gap <= POSTERIOR_TOLERANCE,
+        "posterior gap {max_posterior_gap}"
+    );
+
+    let precision = world.truth.decision_precision(&hashed_decisions).unwrap();
+    println!("  digest-only decisions match plaintext discovery exactly");
+    println!("  max posterior gap: {max_posterior_gap:.2e} (tolerance {POSTERIOR_TOLERANCE:.0e})");
+    println!("  decision precision: {:.1}%", precision * 100.0);
+
+    // The two engines key their caches disjointly: the hashed partition's
+    // digest is folded into the analysis key, so exact and hashed results
+    // can never alias even when the quotient is the identity.
+    println!(
+        "  cache entries: exact {:?}, hashed {:?}",
+        exact_engine.cache_stats().entries,
+        hashed_engine.cache_stats().entries
+    );
+
+    // == Act 2: re-forming the split majority on a messy world ==
+    let messy = VariantWorld::generate(&VariantWorldConfig::messy(200, 10, 42));
+    println!(
+        "\n== Messy world: {} of {} assertions arrive as format-variants ==",
+        messy.num_variant_claims,
+        messy.snapshot.num_assertions()
+    );
+
+    let precision_under = |engine: &SailingEngine, snapshot: &SnapshotView| {
+        let analysis = engine.analyze_owned(Arc::new(snapshot.clone()));
+        let decisions = analysis.result().probabilities.decisions_sorted();
+        messy.truth.decision_precision(&decisions).unwrap()
+    };
+
+    let exact_p = precision_under(&exact_engine, &messy.snapshot);
+    let normalized_engine = SailingEngine::builder()
+        .value_equivalence(NormalizedString)
+        .build()?;
+    let normalized_p = precision_under(&normalized_engine, &messy.snapshot);
+    let numeric_engine = SailingEngine::builder()
+        .value_equivalence(NumericTolerance::new(messy.config.numeric_eps)?)
+        .build()?;
+    let numeric_p = precision_under(&numeric_engine, &messy.snapshot);
+
+    println!(
+        "  decision precision, exact identity:     {:.1}%",
+        exact_p * 100.0
+    );
+    println!(
+        "  decision precision, normalized-string:  {:.1}%",
+        normalized_p * 100.0
+    );
+    println!(
+        "  decision precision, numeric-tolerance:  {:.1}%",
+        numeric_p * 100.0
+    );
+    assert!(normalized_p > exact_p, "normalized must beat exact");
+    assert!(numeric_p > exact_p, "tolerance must beat exact");
+    println!("\nok: private federation reproduces exact discovery; quotienting re-forms the split majority");
+    Ok(())
+}

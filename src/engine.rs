@@ -129,14 +129,15 @@ use std::time::{Duration, Instant};
 use sailing_core::shard::{iteration_digest, shard_ranges, PairRange, PartialDependence};
 use sailing_core::truth::{DependenceMatrix, ValueProbabilities};
 use sailing_core::{
-    AccuCopy, DeltaOutcome, DetectionParams, PairDependence, PipelineResult, SourceReport,
-    TemporalParams, Termination, TruthDiscovery, Watchdog,
+    AccuCopy, DeltaOutcome, DeltaRun, DetectionParams, PairDependence, PipelineResult,
+    SourceReport, TemporalParams, Termination, TruthDiscovery, Watchdog,
 };
 use sailing_datagen::bookstores::BookCorpusConfig;
 use sailing_fusion::{FusionOutcome, ProbabilisticDatabase};
 use sailing_ingest::{ClaimLog, IngestLogStats, SealPolicy};
+use sailing_model::equivalence::{Exact, ValueEquivalence, ValueQuotient};
 use sailing_model::{
-    Delta, History, ObjectId, SailingError, SnapshotView, SourceId, Timestamp, ValueId,
+    fx_mix, Delta, History, ObjectId, SailingError, SnapshotView, SourceId, Timestamp, ValueId,
 };
 use sailing_persist::{
     BreakerState, CompactReport, PersistentStore, StoreFs, StoreKey, StoreOptions,
@@ -186,6 +187,7 @@ pub struct SailingEngineBuilder {
     persist_fs: Option<Arc<dyn StoreFs>>,
     persist_shards: Option<usize>,
     watchdog: Option<Watchdog>,
+    equivalence: Option<Arc<dyn ValueEquivalence>>,
 }
 
 impl SailingEngineBuilder {
@@ -207,6 +209,7 @@ impl SailingEngineBuilder {
             persist_fs: None,
             persist_shards: None,
             watchdog: None,
+            equivalence: None,
         }
     }
 
@@ -395,6 +398,29 @@ impl SailingEngineBuilder {
         self
     }
 
+    /// Installs a [`ValueEquivalence`] backend: before any discovery
+    /// runs, the engine quotients the snapshot's value space under it
+    /// ([`SnapshotView::quotient`]) and rewrites every assertion to its
+    /// class representative, so dissimilarity, copy detection, and voting
+    /// treat equivalent values ("J. Smith" / "John Smith", `3.14` /
+    /// `3.140`) as one value — while the hot loops stay pure integer
+    /// comparisons.
+    ///
+    /// The default is [`sailing_model::equivalence::Exact`], which is
+    /// bitwise identical to an engine without this call (no quotient is
+    /// built, cache and persist keys keep their legacy values). Non-exact
+    /// backends fold the realised partition's digest into every cache and
+    /// persist key, so an exact analysis never aliases a normalized one —
+    /// in memory or on disk. Snapshots without a value arena (wire
+    /// round-trips, bare triples, history replays) quotient to the
+    /// identity: a non-exact backend degrades to exact matching there
+    /// rather than guessing, still under its own keys.
+    #[must_use]
+    pub fn value_equivalence(mut self, equivalence: impl ValueEquivalence + 'static) -> Self {
+        self.equivalence = Some(Arc::new(equivalence));
+        self
+    }
+
     /// Attaches a bookstore-corpus configuration, making its screening the
     /// engine default: the candidate-pair floor is raised to the corpus's
     /// `min_shared_books` (Example 4.1 screens AbeBooks pairs by "at least
@@ -501,6 +527,7 @@ impl SailingEngineBuilder {
             cache: Arc::new(AnalysisCache::new(self.cache_capacity)),
             persist,
             shard: Arc::new(ShardCounters::default()),
+            equivalence: self.equivalence.unwrap_or_else(|| Arc::new(Exact)),
         })
     }
 }
@@ -526,6 +553,9 @@ pub struct SailingEngine {
     /// Counters for the pair-sharded analysis path — shared by clones,
     /// like the cache.
     shard: Arc<ShardCounters>,
+    /// The value-equivalence backend every analysis path quotients
+    /// through; [`Exact`] by default (zero-cost, bitwise-identical).
+    equivalence: Arc<dyn ValueEquivalence>,
 }
 
 /// Counters behind [`CacheStats::shard_runs`] /
@@ -755,9 +785,16 @@ impl SailingEngine {
             ));
         }
         let pipeline = AccuCopy::new(self.params.clone())?;
-        let snapshot = Arc::new(snapshot.clone());
+        // The coordinator quotients once, before any ranges are cut: every
+        // worker (local thread or cooperating process) sees the quotiented
+        // snapshot, and the partial blob/claim names carry the equivalence
+        // provenance through the keyed hash — partials computed under
+        // different backends can never be adopted across runs.
+        let (snapshot, quotient_digest) =
+            self.quotient_input(SnapshotInput::Owned(Arc::new(snapshot.clone())));
+        let snapshot = snapshot.into_arc();
         let ranges = shard_ranges(pipeline.pair_count(&snapshot), workers.max(1));
-        let hash = snapshot.content_hash();
+        let hash = quotient_keyed_hash(snapshot.content_hash(), quotient_digest);
         let mut state = pipeline.bootstrap_sharded(&snapshot, None);
         while state.iterations < self.params.max_iterations {
             let iteration = state.iterations + 1;
@@ -969,6 +1006,11 @@ impl SailingEngine {
         history: Option<Arc<History>>,
         prior: Option<&PipelineResult>,
     ) -> (Analysis, bool) {
+        // Quotient first: everything downstream — cache, persist,
+        // discovery, the returned handle — sees the quotiented snapshot,
+        // so a cached result is always consistent with the snapshot it is
+        // stored against. The exact backend skips this entirely.
+        let (snapshot, quotient_digest) = self.quotient_input(snapshot);
         // With both tiers disabled, skip key construction entirely —
         // hashing the snapshot and digesting the prior are linear scans
         // that would be pure waste when nothing can hit.
@@ -978,14 +1020,49 @@ impl SailingEngine {
             let fresh = Arc::new(self.strategy.run_warm(&snapshot, prior));
             (snapshot, fresh, false)
         } else {
-            let key = CacheKey {
-                hash: snapshot.view().content_hash(),
-                prior: prior.map(PipelineResult::content_digest),
-            };
+            let key = quotient_cache_key(
+                snapshot.view().content_hash(),
+                quotient_digest,
+                prior.map(PipelineResult::content_digest),
+            );
             self.lookup_or_compute(key, snapshot, prior)
         };
         let analysis = self.assemble_analysis(snapshot, history, result);
         (analysis, from_cache)
+    }
+
+    /// Applies the engine's [`ValueEquivalence`] to an incoming snapshot:
+    /// the exact backend passes it through untouched with no digest
+    /// (legacy cache/store keys, zero work); a non-exact backend builds
+    /// the quotient and rewrites assertions to class representatives,
+    /// returning the realised partition's digest for key derivation.
+    /// Identity quotients (nothing merged — including arena-less
+    /// snapshots) skip the rewrite but still carry the digest, so their
+    /// keys stay disjoint from exact ones.
+    fn quotient_input<'a>(&self, snapshot: SnapshotInput<'a>) -> (SnapshotInput<'a>, Option<u64>) {
+        if self.equivalence.is_exact() {
+            return (snapshot, None);
+        }
+        let quotient = snapshot.view().quotient(self.equivalence.as_ref());
+        let digest = Some(quotient.digest());
+        if quotient.is_identity() {
+            (snapshot, digest)
+        } else {
+            let quotiented = snapshot.view().quotiented(&quotient);
+            (SnapshotInput::Owned(Arc::new(quotiented)), digest)
+        }
+    }
+
+    /// Re-derives the quotient digest for a snapshot that may already be
+    /// quotiented. Sound because the partition depends only on the value
+    /// arena, which [`SnapshotView::quotiented`] carries through
+    /// unchanged — re-quotienting yields the identical digest.
+    fn quotient_digest(&self, snapshot: &SnapshotView) -> Option<u64> {
+        if self.equivalence.is_exact() {
+            None
+        } else {
+            Some(snapshot.quotient(self.equivalence.as_ref()).digest())
+        }
     }
 
     /// The full miss path with **single-flight admission**: memory hit →
@@ -1406,6 +1483,49 @@ impl CacheKey {
     }
 }
 
+/// Provenance-lane tags separating quotiented analyses from exact ones
+/// (and cold quotiented runs from warm ones). Arbitrary ASCII constants;
+/// only their distinctness matters.
+const QUOTIENT_COLD_PROVENANCE: u64 = 0x636f_6c64_2d71_756f; // "cold-quo"
+const QUOTIENT_WARM_PROVENANCE: u64 = 0x7761_726d_2d71_756f; // "warm-quo"
+
+/// Derives the two-tier cache identity for an analysis: the (quotiented)
+/// snapshot's content hash, plus a provenance lane carrying the warm-start
+/// prior and the equivalence backend.
+///
+/// The [`ValueQuotient::digest`] is folded into the **provenance** lane,
+/// not the snapshot hash, because persistent-store entries are
+/// self-certifying: `StoreKey::snapshot_hash` must equal the stored
+/// snapshot's recomputed content hash or the entry is rejected on read.
+/// The exact backend passes `None` and keeps the legacy keys bit-for-bit —
+/// pre-existing cache entries and on-disk store files stay addressable —
+/// while any non-exact backend (even one whose quotient happened to be the
+/// identity) lands on a disjoint provenance, so an exact analysis never
+/// aliases a normalized one, in memory or on disk, and two backends that
+/// rewrite to the same quotiented snapshot still key apart.
+fn quotient_cache_key(hash: u64, quotient_digest: Option<u64>, prior: Option<u64>) -> CacheKey {
+    let prior = match (quotient_digest, prior) {
+        (None, prior) => prior,
+        (Some(digest), None) => Some(fx_mix(QUOTIENT_COLD_PROVENANCE, digest)),
+        (Some(digest), Some(prior)) => {
+            Some(fx_mix(fx_mix(QUOTIENT_WARM_PROVENANCE, digest), prior))
+        }
+    };
+    CacheKey { hash, prior }
+}
+
+/// Folds a [`ValueQuotient::digest`] into a snapshot content hash for the
+/// sharded fan-out's *partial-blob* namespace (blob names carry no
+/// self-certifying snapshot hash, unlike store entries — see
+/// [`quotient_cache_key`]), so partials computed under different backends
+/// can never be adopted across runs.
+fn quotient_keyed_hash(hash: u64, quotient_digest: Option<u64>) -> u64 {
+    match quotient_digest {
+        None => hash,
+        Some(digest) => fx_mix(hash, digest),
+    }
+}
+
 /// One retained analysis: the snapshot it was computed from (kept both to
 /// verify hits against hash collisions and to let borrowed-snapshot calls
 /// reuse the allocation) and the converged result.
@@ -1818,13 +1938,23 @@ impl TimelineSession {
             if self.batched.contains_key(&at) {
                 continue;
             }
-            let snapshot = Arc::new(self.history.snapshot_at(at));
+            // Quotient before hashing, so batched epochs probe, retain,
+            // and compute against exactly the snapshots (and keys) the
+            // sequential walk would use. History snapshots carry no value
+            // arena, so non-exact backends quotient to the identity here —
+            // but still under their own key space.
+            let (snapshot, quotient_digest) = {
+                let (input, digest) = self
+                    .engine
+                    .quotient_input(SnapshotInput::Owned(Arc::new(self.history.snapshot_at(at))));
+                (input.into_arc(), digest)
+            };
             let hash = snapshot.content_hash();
             if pending_hashes.contains(&hash) {
                 repeats.push((at, hash));
                 continue;
             }
-            let key = CacheKey { hash, prior: None };
+            let key = quotient_cache_key(hash, quotient_digest, None);
             match self.engine.probe(key, &snapshot) {
                 Some((snapshot, result)) => {
                     self.batched.insert(
@@ -1872,10 +2002,15 @@ impl TimelineSession {
             });
         let mut by_hash: BTreeMap<u64, (Arc<SnapshotView>, Arc<PipelineResult>)> = BTreeMap::new();
         for (at, snapshot, result) in results.into_iter().flatten() {
-            let key = CacheKey {
-                hash: snapshot.content_hash(),
-                prior: None,
-            };
+            // Re-deriving the quotient digest from the already-quotiented
+            // snapshot is stable (the partition depends only on the value
+            // arena, which rides along), so this key equals the probe key
+            // above.
+            let key = quotient_cache_key(
+                snapshot.content_hash(),
+                self.engine.quotient_digest(&snapshot),
+                None,
+            );
             let (snapshot, result) = self.engine.retain_result(key, snapshot, Arc::new(result));
             by_hash.insert(key.hash, (Arc::clone(&snapshot), Arc::clone(&result)));
             self.batched.insert(
@@ -2153,6 +2288,35 @@ pub struct IngestSession {
     /// from several sessions (see `sailing-serve`'s metrics) can track
     /// per-session deltas instead of clobbering each other's totals.
     session_id: u64,
+    /// Quotient state under a non-exact [`ValueEquivalence`] backend;
+    /// `None` under [`Exact`] (the common case — zero overhead, the
+    /// session runs on the raw snapshots exactly as before).
+    equiv: Option<IngestEquivalence>,
+}
+
+/// The non-exact ingest session's quotient state: the quotient covering
+/// every value id the session has seen, and the quotiented snapshot the
+/// discovery loop actually runs over. Stream events carry bare
+/// [`ValueId`]s — no payloads — so ids beyond the bootstrap arena are
+/// extended as **singletons** (never merged), and a delta naming an
+/// unseen id forces the typed [`DeltaOutcome::Unsupported`] fallback: an
+/// unknown payload could in principle merge classes anywhere, so the
+/// dirty closure cannot be trusted.
+struct IngestEquivalence {
+    quotient: ValueQuotient,
+    qsnapshot: Arc<SnapshotView>,
+}
+
+impl IngestEquivalence {
+    /// The quotiented twin of `snapshot` under the current quotient
+    /// (shared allocation when the quotient is the identity).
+    fn quotiented_arc(&self, snapshot: &Arc<SnapshotView>) -> Arc<SnapshotView> {
+        if self.quotient.is_identity() {
+            Arc::clone(snapshot)
+        } else {
+            Arc::new(snapshot.quotiented(&self.quotient))
+        }
+    }
 }
 
 /// Monotonic source for [`IngestSession::session_id`].
@@ -2168,7 +2332,21 @@ impl IngestSession {
             last: Arc::new(trivial_result()),
             stats: IngestStats::default(),
             session_id: NEXT_INGEST_SESSION_ID.fetch_add(1, Ordering::Relaxed),
+            equiv: None,
         };
+        if !session.engine.equivalence.is_exact() {
+            // Non-exact backend: seed the quotient from the (empty)
+            // starting snapshot so `advance` can route every sealed
+            // epoch through the quotient arms from the first event on.
+            let mut quotient = session
+                .snapshot
+                .quotient(session.engine.equivalence.as_ref());
+            quotient.extend_to(session.snapshot.value_space());
+            session.equiv = Some(IngestEquivalence {
+                qsnapshot: Arc::clone(&session.snapshot),
+                quotient,
+            });
+        }
         if !session.log.is_empty() {
             // Recovery bootstrap: fold the log's *sealed* epochs into one
             // snapshot and pay a full cold analysis for them. The open
@@ -2180,7 +2358,23 @@ impl IngestSession {
             if session.log.sealed_len() > 0 {
                 let bootstrap = session.log.replay_sealed_delta();
                 session.snapshot = Arc::new(session.snapshot.apply_delta(&bootstrap));
-                let result = session.engine.strategy.run_warm(&session.snapshot, None);
+                let target = match &mut session.equiv {
+                    None => Arc::clone(&session.snapshot),
+                    Some(eq) => {
+                        // Rebuild the quotient over the recovered value
+                        // space (replayed events carry bare ids, so the
+                        // extension is all singletons) and bootstrap
+                        // over the quotiented snapshot.
+                        let mut quotient = session
+                            .snapshot
+                            .quotient(session.engine.equivalence.as_ref());
+                        quotient.extend_to(session.snapshot.value_space());
+                        eq.quotient = quotient;
+                        eq.qsnapshot = eq.quotiented_arc(&session.snapshot);
+                        Arc::clone(&eq.qsnapshot)
+                    }
+                };
+                let result = session.engine.strategy.run_warm(&target, None);
                 session.stats.iterations_total += result.iterations as u64;
                 session.last = Arc::new(result);
             }
@@ -2254,10 +2448,53 @@ impl IngestSession {
     fn advance(&mut self, delta: &Delta) {
         self.stats.deltas_sealed += 1;
         let next = Arc::new(self.snapshot.apply_delta(delta));
-        let run =
-            self.engine
-                .strategy
-                .run_delta(&next, Some(&self.last), delta, self.max_dirty_fraction);
+        let run = match &mut self.equiv {
+            None => self.engine.strategy.run_delta(
+                &next,
+                Some(&self.last),
+                delta,
+                self.max_dirty_fraction,
+            ),
+            Some(eq) if eq.quotient.covers(delta) => {
+                // Every id the delta names is already classified, so the
+                // quotiented delta's dirty closure is exact: rewrite the
+                // ops onto class representatives and run incrementally
+                // over the quotiented snapshot.
+                let qdelta = eq.quotient.map_delta(delta);
+                let qnext = Arc::new(eq.qsnapshot.apply_delta(&qdelta));
+                let run = self.engine.strategy.run_delta(
+                    &qnext,
+                    Some(&self.last),
+                    &qdelta,
+                    self.max_dirty_fraction,
+                );
+                eq.qsnapshot = qnext;
+                run
+            }
+            Some(eq) => {
+                // The delta names a value id the quotient has never
+                // seen. Stream events carry bare ids — no payloads — so
+                // the new value could in principle merge classes
+                // anywhere and the delta's dirty closure cannot be
+                // trusted. Extend the quotient with singletons (the
+                // only sound extension for unknown payloads) and fall
+                // back to a full warm re-analysis; `run_warm` still
+                // gates on a converged prior, so the warm-start rule is
+                // preserved, and the typed outcome lets callers observe
+                // the degradation.
+                eq.quotient.extend_to(next.value_space());
+                let qnext = eq.quotiented_arc(&next);
+                let result = self.engine.strategy.run_warm(&qnext, Some(&self.last));
+                let (dirty_objects, dirty_sources) = (qnext.num_objects(), qnext.num_sources());
+                eq.qsnapshot = qnext;
+                DeltaRun {
+                    result,
+                    outcome: DeltaOutcome::Unsupported,
+                    dirty_objects,
+                    dirty_sources,
+                }
+            }
+        };
         if run.outcome.is_incremental() {
             self.stats.incremental_runs += 1;
         } else {
@@ -2275,8 +2512,15 @@ impl IngestSession {
     /// Assembles the session's current posterior into an [`Analysis`]
     /// handle, bypassing the engine's analysis cache (see the type docs).
     pub fn analysis(&self) -> Analysis {
+        // Under a non-exact backend the posterior was computed over the
+        // quotiented snapshot, so the handle must index into it — class
+        // representatives, not raw stream ids.
+        let snapshot = self.equiv.as_ref().map_or_else(
+            || Arc::clone(&self.snapshot),
+            |eq| Arc::clone(&eq.qsnapshot),
+        );
         self.engine
-            .assemble_analysis(Arc::clone(&self.snapshot), None, Arc::clone(&self.last))
+            .assemble_analysis(snapshot, None, Arc::clone(&self.last))
     }
 
     /// The session's current snapshot (all sealed epochs applied).

@@ -43,8 +43,9 @@
 //!   events into delta epochs that feed incremental discovery (see
 //!   *Streaming ingestion* below);
 //! * [`datagen`] — seeded synthetic worlds, including the AbeBooks-like
-//!   corpus of the paper's Example 4.1 and churn worlds for streaming
-//!   workloads.
+//!   corpus of the paper's Example 4.1, churn worlds for streaming
+//!   workloads, and variant worlds whose sources disagree about
+//!   formatting as much as about facts.
 //!
 //! For read-heavy, multi-threaded deployments, the companion crate
 //! `sailing-serve` wraps the engine in a **concurrent query-serving
@@ -146,6 +147,60 @@
 //! record on reopen and [`SailingEngine::ingest_session_from`]
 //! bootstraps the session from whatever survived. See
 //! `examples/ingest_stream.rs` for the end-to-end flow.
+//!
+//! ## Value equivalence
+//!
+//! Real sources render the same fact differently — `"J. Smith"` vs
+//! `"j smith"`, `"3.14"` vs `"3.140"` — and under bitwise identity a
+//! split honest majority can lose to a coherent block of copiers. The
+//! engine therefore runs discovery over a **quotient of the value
+//! space**: a pluggable [`ValueEquivalence`](model::ValueEquivalence)
+//! backend partitions the snapshot's interned values once per analysis,
+//! every claim is rewritten to its class representative, and voting,
+//! dissimilarity, and copy detection proceed over plain integer ids
+//! exactly as before — the inner loops never call a comparator.
+//!
+//! Four backends ship: [`Exact`](model::Exact) (the default — bitwise
+//! identity, zero overhead, legacy cache keys untouched),
+//! [`NormalizedString`](linkage::NormalizedString) (case, whitespace,
+//! punctuation and diacritic folding via
+//! [`linkage::normalize()`]), [`NumericTolerance`](model::NumericTolerance)
+//! (numbers within an epsilon merge transitively), and
+//! [`HashedDigest`](model::HashedDigest) (salted digests: federation
+//! members match values without revealing them — see
+//! `examples/private_federation.rs`).
+//!
+//! ```
+//! use sailing::datagen::variants::{VariantWorld, VariantWorldConfig};
+//! use sailing::engine::SailingEngine;
+//! use sailing::linkage::NormalizedString;
+//!
+//! // Half the assertions arrive as formatting variants of the truth.
+//! let world = VariantWorld::generate(&VariantWorldConfig::messy(120, 8, 42));
+//!
+//! let exact = SailingEngine::builder().build()?;
+//! let normalized = SailingEngine::builder()
+//!     .value_equivalence(NormalizedString)
+//!     .build()?;
+//!
+//! let score = |engine: &SailingEngine| {
+//!     world
+//!         .truth
+//!         .decision_precision(&engine.analyze(&world.snapshot).decisions())
+//!         .unwrap()
+//! };
+//! // Collapsing the variants re-forms the split majority.
+//! assert!(score(&normalized) > score(&exact));
+//! # Ok::<(), sailing::error::SailingError>(())
+//! ```
+//!
+//! The quotient's digest is folded into the analysis cache key and the
+//! persistent [`persist::StoreKey`], so results computed under one
+//! backend are never served to an engine running another — in memory or
+//! across processes. Streaming sessions degrade safely: ingest events
+//! carry bare value ids, so a sealed epoch that names a value the
+//! quotient has never classified falls back to a full warm re-analysis
+//! with the typed [`core::DeltaOutcome::Unsupported`].
 //!
 //! ## Failure semantics
 //!

@@ -304,3 +304,89 @@ fn change_points_since_feed_streams_history_suffix() {
         engine.analyze(&latest).decisions()
     );
 }
+
+/// Cohort-structured bootstrap claims: 4 disjoint cohorts of 3 sources x
+/// 3 objects each, so the dirty closure of a one-object delta stays
+/// inside its cohort (3 of 12 objects) instead of flooding the world.
+fn cohort_bootstrap(session: &mut sailing::engine::IngestSession) {
+    for c in 0..4u32 {
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                let o = c * 3 + j;
+                let v = if i < 2 { o * 3 } else { o * 3 + 1 };
+                session.assert_claim(SourceId(c * 3 + i), ObjectId(o), ValueId(v), 0, 0);
+            }
+        }
+    }
+}
+
+/// Non-exact equivalence backends over a claim stream: ingest events carry
+/// bare value ids (no payloads), so a sealed delta that names a value id
+/// the session's quotient has never classified cannot trust its dirty
+/// closure — an unknown payload could merge classes anywhere. The session
+/// must fall back to a full warm re-analysis with the typed
+/// [`DeltaOutcome::Unsupported`], count it in
+/// [`IngestStats::full_fallbacks`], and keep serving answers that match a
+/// direct analysis. Deltas confined to already-classified ids stay on the
+/// incremental path.
+///
+/// [`IngestStats::full_fallbacks`]: sailing::engine::IngestStats::full_fallbacks
+#[test]
+fn unseen_values_under_a_quotient_backend_fall_back_typed() {
+    let engine = SailingEngine::builder()
+        .value_equivalence(sailing::linkage::NormalizedString)
+        .build()
+        .unwrap();
+    let mut session = engine
+        .ingest_session(SealPolicy::manual())
+        .with_max_dirty_fraction(0.3);
+
+    // Epoch 1 — bootstrap: every value id is unseen by the (empty)
+    // quotient, so the first seal is the typed fallback, not a crash.
+    cohort_bootstrap(&mut session);
+    assert!(session.seal());
+    let stats = session.stats();
+    assert_eq!(stats.last_outcome, Some(DeltaOutcome::Unsupported));
+    assert_eq!((stats.full_fallbacks, stats.incremental_runs), (1, 0));
+
+    // Epoch 2 — a one-object delta over *already classified* ids rides
+    // the incremental path (the warm gate is preserved through the
+    // fallback: epoch 1's full analysis converged and seeds this run).
+    session.assert_claim(SourceId(2), ObjectId(0), ValueId(0), 0, 1);
+    assert!(session.seal());
+    let stats = session.stats();
+    assert_eq!(stats.last_outcome, Some(DeltaOutcome::Incremental));
+    assert_eq!((stats.full_fallbacks, stats.incremental_runs), (1, 1));
+
+    // Epoch 3 — the same-shaped delta, but naming a brand-new value id:
+    // typed fallback again, and the stats say so.
+    session.assert_claim(SourceId(2), ObjectId(1), ValueId(100), 0, 2);
+    assert!(session.seal());
+    let stats = session.stats();
+    assert_eq!(stats.last_outcome, Some(DeltaOutcome::Unsupported));
+    assert_eq!((stats.full_fallbacks, stats.incremental_runs), (2, 1));
+
+    // Degraded, not wrong: the session's answers still match a direct
+    // analysis of its net snapshot.
+    assert_eq!(
+        session.analysis().decisions(),
+        engine.analyze(session.snapshot()).decisions()
+    );
+
+    // Control: the exact backend takes the identical stream fully
+    // incrementally after bootstrap — the fallback above is driven by the
+    // equivalence backend, not by the delta's shape.
+    let exact_engine = tight_engine();
+    let mut exact = exact_engine
+        .ingest_session(SealPolicy::manual())
+        .with_max_dirty_fraction(0.3);
+    cohort_bootstrap(&mut exact);
+    assert!(exact.seal());
+    exact.assert_claim(SourceId(2), ObjectId(0), ValueId(0), 0, 1);
+    assert!(exact.seal());
+    exact.assert_claim(SourceId(2), ObjectId(1), ValueId(100), 0, 2);
+    assert!(exact.seal());
+    let stats = exact.stats();
+    assert_eq!(stats.last_outcome, Some(DeltaOutcome::Incremental));
+    assert_eq!((stats.full_fallbacks, stats.incremental_runs), (1, 2));
+}

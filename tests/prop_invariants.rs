@@ -12,7 +12,7 @@ use sailing::core::dissim::{DissimParams, RatingView};
 use sailing::core::truth::{naive_probabilities, weighted_vote, DependenceMatrix};
 use sailing::core::{copy, AccuCopy, DetectionParams, Termination};
 use sailing::datagen::rng;
-use sailing::linkage::{jaro_winkler, levenshtein, normalize, parse_author_list};
+use sailing::linkage::{jaro_winkler, levenshtein, normalize, normalized_eq, parse_author_list};
 use sailing::model::{
     ClaimStoreBuilder, Delta, ObjectId, SnapshotView, SourceId, UpdateTrace, ValueId,
 };
@@ -761,5 +761,90 @@ fn dissim_posteriors_are_probabilities() {
             assert!((0.0..=1.0).contains(&dep.probability), "case {case}");
             assert!((0.0..=1.0).contains(&dep.prob_a_on_b), "case {case}");
         }
+    }
+}
+
+/// Draws a messy string over letters, digits, diacritics, punctuation,
+/// and whitespace — the raw material `normalize` has to canonicalize.
+fn random_messy_string(rng: &mut sailing::datagen::Rng) -> String {
+    let pool: Vec<char> = "abcXYZ019áéñöÅ .-_,/;'\"\t".chars().collect();
+    random_word(rng, &pool, 24)
+}
+
+/// A random reformatting of `base` that [`normalize`] must erase: case,
+/// whitespace runs, hyphens-for-spaces, diacritic re-spellings, padding.
+fn random_variant(rng: &mut sailing::datagen::Rng, base: &str) -> String {
+    match rng.gen_range(0..6u32) {
+        0 => base.to_uppercase(),
+        1 => base.replace(' ', "-"),
+        2 => base.replace(' ', "   "),
+        3 => base.replacen('a', "á", 1).replacen('o', "ó", 1),
+        4 => format!("  {base} "),
+        _ => {
+            let mut upper = false;
+            base.chars()
+                .map(|c| {
+                    upper = !upper;
+                    if upper {
+                        c.to_uppercase().next().unwrap()
+                    } else {
+                        c
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// `normalized_eq` is a true equivalence relation — reflexive, symmetric,
+/// and transitive — over generated variant strings. The quotient
+/// construction in `sailing-model` is only sound for genuine equivalences,
+/// so this property underwrites the `NormalizedString` backend.
+#[test]
+fn normalized_eq_is_an_equivalence_relation() {
+    for case in 0..CASES {
+        let mut r = rng(16_000 + case);
+        // A small pool mixing variants of two shared bases with unrelated
+        // messy strings, so the transitivity check exercises both the
+        // equal and unequal regimes.
+        let base_a = format!("john q{case} smith");
+        let base_b = format!("jane p{case} doe");
+        let mut pool: Vec<String> = Vec::new();
+        for _ in 0..4 {
+            pool.push(random_variant(&mut r, &base_a));
+            pool.push(random_variant(&mut r, &base_b));
+            pool.push(random_messy_string(&mut r));
+        }
+        for s in &pool {
+            assert!(normalized_eq(s, s), "case {case}: reflexivity on {s:?}");
+        }
+        for a in &pool {
+            for b in &pool {
+                assert_eq!(
+                    normalized_eq(a, b),
+                    normalized_eq(b, a),
+                    "case {case}: symmetry on {a:?} / {b:?}"
+                );
+            }
+        }
+        for a in &pool {
+            for b in &pool {
+                for c in &pool {
+                    if normalized_eq(a, b) && normalized_eq(b, c) {
+                        assert!(
+                            normalized_eq(a, c),
+                            "case {case}: transitivity on {a:?} / {b:?} / {c:?}"
+                        );
+                    }
+                }
+            }
+        }
+        // Variants of one base all collapse to it; the two bases stay
+        // distinct (sanity that the generator exercises the equal regime).
+        assert!(pool
+            .iter()
+            .step_by(3)
+            .all(|v| normalized_eq(v, &base_a) || v.trim().is_empty()));
+        assert!(!normalized_eq(&base_a, &base_b), "case {case}");
     }
 }
